@@ -1,0 +1,50 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench selftest reproduce clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bulk/ ./internal/attack/ .
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+selftest:
+	$(GO) run ./cmd/gcdselftest -n 5000 -v
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+reproduce:
+	mkdir -p results
+	$(GO) run ./cmd/gcdbench -table 4 -pairs 500                  | tee results/table4.txt
+	$(GO) run ./cmd/gcdbench -table 5 -moduli 128 -cpupairs 100 \
+	    -simthreads 96 -clock 0.9 -sms 15                         | tee results/table5_early.txt
+	$(GO) run ./cmd/gcdbench -betastats -pairs 400                | tee results/betastats.txt
+	$(GO) run ./cmd/gcdbench -memops -pairs 200                   | tee results/memops.txt
+	$(GO) run ./cmd/gcdbench -ablation -sizes 512 -pairs 200      | tee results/ablation.txt
+	$(GO) run ./cmd/gcdbench -crossover -sizes 512                | tee results/crossover.txt
+	$(GO) run ./cmd/ummsim -fig 2                                 | tee results/fig2.txt
+	$(GO) run ./cmd/ummsim -fig 3                                 | tee results/fig3.txt
+	$(GO) run ./cmd/ummsim -theorem1                              | tee results/theorem1.txt
+	$(GO) run ./cmd/ummsim -semioblivious -bits 1024 -p 128       | tee results/semioblivious.txt
+	$(GO) run ./cmd/ummsim -divergence -bits 512 -p 64            | tee results/divergence.txt
+	$(GO) run ./cmd/ummsim -occupancy -bits 1024 -p 128           | tee results/occupancy.txt
+	$(GO) run ./cmd/ummsim -related -p 128                        | tee results/relatedwork.txt
+	$(GO) run ./cmd/ummsim -oblivioustax -bits 1024 -p 128        | tee results/oblivioustax.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,164 @@
+// Command gcdbench regenerates the paper's evaluation tables:
+//
+//	gcdbench -table 4                reproduce Table IV (iteration counts)
+//	gcdbench -table 5                reproduce Table V (CPU vs GPU time)
+//	gcdbench -betastats              Section V beta > 0 statistics
+//	gcdbench -memops                 Section IV memory-op accounting (Fig. 1)
+//
+// Scale flags (-pairs, -moduli, -sizes) trade fidelity for runtime; the
+// defaults finish in seconds, while the paper-scale values (-pairs 10000,
+// -moduli 16384) run for hours exactly like the original evaluation did.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"bulkgcd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gcdbench: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run implements the tool; factored out of main so tests can drive it.
+func run(args []string, stdout, stderrW io.Writer) error {
+	fs := flag.NewFlagSet("gcdbench", flag.ContinueOnError)
+	fs.SetOutput(stderrW)
+	var (
+		table     = fs.Int("table", 0, "paper table to reproduce: 4 or 5")
+		betastats = fs.Bool("betastats", false, "measure Section V beta>0 statistics")
+		memops    = fs.Bool("memops", false, "measure Section IV memory operations per iteration")
+		crossover = fs.Bool("crossover", false, "compare all-pairs vs Bernstein batch GCD over growing corpora")
+		ablation  = fs.Bool("ablation", false, "ablate the design choices: word size d and early-terminate threshold")
+		pairs     = fs.Int("pairs", 200, "random pairs per size (Table IV/stats; paper: 10000)")
+		moduli    = fs.Int("moduli", 192, "corpus size for the bulk run (Table V; paper: 16384)")
+		cpuPairs  = fs.Int("cpupairs", 50, "pairs for sequential CPU timing (Table V)")
+		simThr    = fs.Int("simthreads", 128, "bulk width for the UMM simulation (Table V)")
+		width     = fs.Int("ummwidth", 32, "UMM width w")
+		latency   = fs.Int("ummlatency", 200, "UMM latency l")
+		clock     = fs.Float64("clock", 1.0, "simulated clock in GHz for unit->time conversion")
+		sms       = fs.Int("sms", 15, "simulated streaming multiprocessors (independent UMM units)")
+		early     = fs.Bool("early", true, "use early-terminate variants (Table V)")
+		seed      = fs.Int64("seed", 1, "deterministic seed")
+		sizesStr  = fs.String("sizes", "512,1024,2048,4096", "comma-separated modulus sizes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sizes, err := parseSizes(*sizesStr)
+	if err != nil {
+		return err
+	}
+
+	ran := false
+	if *table == 4 {
+		ran = true
+		fmt.Fprintf(stdout, "Table IV: mean iterations over %d pairs per size (NT = non-terminate, ET = early-terminate)\n\n", *pairs)
+		res, err := experiments.RunTableIV(experiments.TableIVConfig{
+			Sizes: sizes, Pairs: *pairs, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Table().String())
+	}
+	if *table == 5 {
+		ran = true
+		mode := "early-terminate"
+		if !*early {
+			mode = "non-terminate"
+		}
+		fmt.Fprintf(stdout, "Table V: time per GCD, %s; bulk corpus %d moduli; UMM w=%d l=%d clock=%.2fGHz SMs=%d\n",
+			mode, *moduli, *width, *latency, *clock, *sms)
+		fmt.Fprintf(stdout, "(GPU-par = host-parallel bulk executor; GPU-sim = UMM model simulation)\n\n")
+		res, err := experiments.RunTableV(experiments.TableVConfig{
+			Sizes: sizes, CPUPairs: *cpuPairs, BulkModuli: *moduli,
+			SimThreads: *simThr, UMMWidth: *width, UMMLatency: *latency,
+			ClockGHz: *clock, SMs: *sms, Early: *early, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Table().String())
+	}
+	if *betastats {
+		ran = true
+		fmt.Fprintf(stdout, "Section V: approx() beta>0 frequency over %d pairs per size\n\n", *pairs)
+		res, err := experiments.RunBetaStats(experiments.BetaStatsConfig{
+			Sizes: sizes, Pairs: *pairs, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Table().String())
+	}
+	if *memops {
+		ran = true
+		fmt.Fprintf(stdout, "Section IV / Figure 1: word memory operations per iteration (early-terminate Approximate)\n\n")
+		res, err := experiments.RunMemOps(sizes, *pairs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Table().String())
+	}
+	if *crossover {
+		ran = true
+		size := sizes[0]
+		fmt.Fprintf(stdout, "Baseline comparison at %d bits: all-pairs Approximate (this paper) vs batch GCD (Bernstein)\n\n", size)
+		ps, err := experiments.RunCrossover(size, nil, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.CrossoverTable(ps).String())
+	}
+	if *ablation {
+		ran = true
+		size := sizes[0]
+		fmt.Fprintf(stdout, "Ablation 1: quotient approximation quality vs word size d (%d-bit moduli, %d pairs)\n\n", size, *pairs)
+		wa, err := experiments.RunWordSizeAblation(size, *pairs, nil, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, wa.Table().String())
+		fmt.Fprintf(stdout, "\nAblation 2: early-terminate threshold (%d-bit moduli, %d pairs)\n\n", size, *pairs)
+		ta, err := experiments.RunThresholdAblation(size, *pairs, nil, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, ta.Table().String())
+	}
+	if !ran {
+		return fmt.Errorf("nothing to do: pass -table 4, -table 5, -betastats, -memops, -crossover and/or -ablation")
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 64 || v%2 != 0 {
+			return nil, fmt.Errorf("bad size %q (need even integers >= 64)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

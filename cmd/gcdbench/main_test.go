@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable4Small(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-table", "4", "-pairs", "10", "-sizes", "256"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, needle := range []string{"(A) Original", "(E) Approximate", "(E)-(B)", "NT 256", "ET 256"} {
+		if !strings.Contains(s, needle) {
+			t.Fatalf("missing %q:\n%s", needle, s)
+		}
+	}
+}
+
+func TestTable5Small(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-table", "5", "-sizes", "256", "-moduli", "24",
+		"-cpupairs", "10", "-simthreads", "16"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, needle := range []string{"CPU (C)", "GPU-par (E)", "GPU-sim (D)", "CPU/GPU-sim (E)", "coalesced (C)"} {
+		if !strings.Contains(s, needle) {
+			t.Fatalf("missing %q:\n%s", needle, s)
+		}
+	}
+}
+
+func TestBetaStatsAndMemOps(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-betastats", "-memops", "-pairs", "10", "-sizes", "256"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "beta>0") || !strings.Contains(s, "3*s/d") {
+		t.Fatalf("stats output wrong:\n%s", s)
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("512, 1024 ,2048")
+	if err != nil || len(got) != 3 || got[1] != 1024 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "abc", "63", "0", ","} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run(nil, &sink, &sink); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run([]string{"-table", "4", "-sizes", "bogus"}, &sink, &sink); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if err := run([]string{"-nope"}, &sink, &sink); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	var out bytes.Buffer
+	// Default crossover sweep is sized for real measurement; here we just
+	// exercise the path with the smallest size.
+	err := run([]string{"-crossover", "-sizes", "256"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "batch GCD") {
+		t.Fatalf("crossover output wrong:\n%s", out.String())
+	}
+}
+
+func TestAblation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-ablation", "-sizes", "256", "-pairs", "10"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "word size d") || !strings.Contains(s, "0.50*s") {
+		t.Fatalf("ablation output wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSelfTestPasses(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "200", "-maxbits", "512", "-v"}, &out); err != nil {
+		t.Fatalf("self test failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "self-test passed: 200 cases") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+func TestSelfTestDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-n", "50", "-maxbits", "256", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "50", "-maxbits", "256", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("campaign not reproducible")
+	}
+}
+
+func TestSelfTestValidation(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run([]string{"-n", "0"}, &sink); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-maxbits", "4"}, &sink); err == nil {
+		t.Error("maxbits=4 accepted")
+	}
+	if err := run([]string{"-junk"}, &sink); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Command keygen generates a corpus of RSA moduli with planted weak pairs,
+// the synthetic stand-in for the paper's OpenSSL-generated and
+// Web-collected key sets.
+//
+// Usage:
+//
+//	keygen -n 64 -bits 512 -weak 3 -seed 42 -o corpus.txt [-truth truth.txt]
+//
+// The corpus file holds one hex modulus per line. With -truth, the planted
+// ground truth (pair indices and shared primes) is written separately so
+// attack results can be verified.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"bulkgcd/internal/corpus"
+	"bulkgcd/internal/pemkeys"
+	"bulkgcd/internal/rsakey"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("keygen: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run implements the tool; factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n      = fs.Int("n", 64, "number of moduli")
+		bits   = fs.Int("bits", 512, "modulus size in bits")
+		weak   = fs.Int("weak", 2, "number of planted weak pairs (pairs sharing a prime)")
+		seed   = fs.Int64("seed", 1, "deterministic generation seed")
+		out    = fs.String("o", "-", "output file (- for stdout)")
+		truth  = fs.String("truth", "", "optional ground-truth output file")
+		pseudo = fs.Bool("pseudo", false, "use fast pseudo-moduli (for benchmarking only)")
+		format = fs.String("format", "hex", "output format: hex (corpus lines) or pem (PKIX public keys)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: *n, Bits: *bits, WeakPairs: *weak, Seed: *seed, Pseudo: *pseudo,
+	})
+	if err != nil {
+		return err
+	}
+
+	w, closeW, err := openOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "hex":
+		comment := fmt.Sprintf("bulkgcd corpus: n=%d bits=%d weak=%d seed=%d pseudo=%v",
+			*n, *bits, *weak, *seed, *pseudo)
+		if err := corpus.Write(w, c.Moduli(), comment); err != nil {
+			return err
+		}
+	case "pem":
+		for _, k := range c.Keys {
+			if err := pemkeys.WritePublicKey(w, k.N.ToBig(), k.E); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown format %q (hex or pem)", *format)
+	}
+	if err := closeW(); err != nil {
+		return err
+	}
+
+	if *truth != "" {
+		f, err := os.Create(*truth)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "# planted weak pairs: i j shared-prime-hex\n")
+		for _, pp := range c.Planted {
+			fmt.Fprintf(f, "%d %d %x\n", pp.I, pp.J, pp.P)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "keygen: wrote %d moduli (%d bits, %d weak pairs)\n", *n, *bits, *weak)
+	return nil
+}
+
+func openOut(path string, stdout io.Writer) (io.Writer, func() error, error) {
+	if path == "-" {
+		return stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bulkgcd/internal/corpus"
+)
+
+func TestRunWritesCorpusToStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-n", "8", "-bits", "64", "-weak", "1", "-seed", "3"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := corpus.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 8 {
+		t.Fatalf("wrote %d moduli, want 8", len(ms))
+	}
+	for i, m := range ms {
+		if m.BitLen() != 64 {
+			t.Fatalf("modulus %d has %d bits", i, m.BitLen())
+		}
+	}
+	if !strings.Contains(errOut.String(), "wrote 8 moduli") {
+		t.Fatalf("status line missing: %q", errOut.String())
+	}
+}
+
+func TestRunWritesFilesAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	cp := filepath.Join(dir, "corpus.txt")
+	tp := filepath.Join(dir, "truth.txt")
+	var errOut bytes.Buffer
+	err := run([]string{"-n", "10", "-bits", "64", "-weak", "2", "-seed", "4",
+		"-o", cp, "-truth", tp}, &bytes.Buffer{}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := corpus.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 10 {
+		t.Fatalf("corpus has %d moduli", len(ms))
+	}
+	truth, err := os.ReadFile(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, l := range strings.Split(string(truth), "\n") {
+		l = strings.TrimSpace(l)
+		if l != "" && !strings.HasPrefix(l, "#") {
+			lines++
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("truth file has %d pairs, want 2", lines)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-n", "4", "-bits", "64", "-seed", "9"}, &a, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "4", "-bits", "64", "-seed", "9"}, &b, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different corpora")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run([]string{"-n", "0"}, &sink, &sink); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-bits", "63", "-n", "4"}, &sink, &sink); err == nil {
+		t.Error("odd bits accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &sink, &sink); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-n", "4", "-bits", "64", "-o", "/nonexistent-dir/x"}, &sink, &sink); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestRunPseudo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "16", "-bits", "1024", "-pseudo", "-weak", "0"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := corpus.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 16 || ms[0].BitLen() != 1024 {
+		t.Fatal("pseudo corpus wrong shape")
+	}
+}
+
+func TestRunPEMFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3", "-bits", "128", "-weak", "0", "-format", "pem"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "BEGIN PUBLIC KEY"); got != 3 {
+		t.Fatalf("wrote %d PEM blocks, want 3:\n%s", got, out.String())
+	}
+	var sink bytes.Buffer
+	if err := run([]string{"-format", "nonsense"}, &sink, &sink); err == nil {
+		t.Error("bad format accepted")
+	}
+}

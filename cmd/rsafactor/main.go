@@ -1,0 +1,326 @@
+// Command rsafactor is the weak-RSA-key attack tool: it reads a corpus of
+// moduli, computes the GCD of all pairs with the selected Euclidean
+// algorithm (Approximate by default), and reports every factored key.
+//
+// Usage:
+//
+//	rsafactor -in corpus.txt [-alg approximate] [-no-early] [-workers N] [-v]
+//	rsafactor -in corpus.txt -batch          # Bernstein batch-GCD baseline
+//	rsafactor -in corpus.txt -truth truth.txt # verify against ground truth
+//
+// Output lists, per broken key, the corpus index, the prime factors and
+// the recovered private exponent for e = 65537.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bulkgcd/internal/attack"
+	"bulkgcd/internal/corpus"
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/pemkeys"
+)
+
+var algByName = map[string]gcd.Algorithm{
+	"original":    gcd.Original,
+	"fast":        gcd.Fast,
+	"binary":      gcd.Binary,
+	"fastbinary":  gcd.FastBinary,
+	"approximate": gcd.Approximate,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rsafactor: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run implements the tool; factored out of main so tests can drive it.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rsafactor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in      = fs.String("in", "-", "corpus file (- for stdin)")
+		algName = fs.String("alg", "approximate", "gcd algorithm: original|fast|binary|fastbinary|approximate")
+		noEarly = fs.Bool("no-early", false, "disable s/2 early termination")
+		batch   = fs.Bool("batch", false, "use the Bernstein product-tree batch GCD instead of all-pairs")
+		workers = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		e       = fs.Uint64("e", 65537, "RSA public exponent for key recovery")
+		prev    = fs.String("prev", "", "previously scanned corpus (same formats); compute only pairs involving the new corpus")
+		truth   = fs.String("truth", "", "ground-truth file from keygen -truth; verify the findings")
+		emit    = fs.String("emit", "", "directory to write recovered private keys as PKCS#1 PEM files")
+		verbose = fs.Bool("v", false, "print progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, ok := algByName[strings.ToLower(*algName)]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	r := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	moduli, sources, err := readCorpus(r, stderr)
+	if err != nil {
+		return err
+	}
+
+	var oldModuli []*mpnat.Nat
+	if *prev != "" {
+		pf, err := os.Open(*prev)
+		if err != nil {
+			return err
+		}
+		oldModuli, _, err = readCorpus(pf, stderr)
+		pf.Close()
+		if err != nil {
+			return fmt.Errorf("previous corpus: %w", err)
+		}
+		if *truth != "" {
+			return fmt.Errorf("-truth cannot be combined with -prev (indices are offset)")
+		}
+		if *batch {
+			return fmt.Errorf("-batch cannot be combined with -prev (batch GCD is not incremental)")
+		}
+		if len(moduli) < 1 {
+			return fmt.Errorf("new corpus is empty")
+		}
+	} else if len(moduli) < 2 {
+		return fmt.Errorf("corpus has %d moduli; need at least 2", len(moduli))
+	}
+
+	opt := attack.Options{
+		Algorithm: alg,
+		Early:     !*noEarly,
+		Workers:   *workers,
+		Exponent:  *e,
+		BatchGCD:  *batch,
+	}
+	if *verbose {
+		opt.Progress = func(done, total int64) {
+			fmt.Fprintf(stderr, "\rprogress: %d/%d pairs", done, total)
+		}
+	}
+	var rep *attack.Report
+	if *prev != "" {
+		rep, err = attack.RunIncremental(oldModuli, moduli, opt)
+	} else {
+		rep, err = attack.Run(moduli, opt)
+	}
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		fmt.Fprintln(stderr)
+	}
+	if *prev != "" {
+		fmt.Fprintf(stdout, "incremental scan: %d previous + %d new moduli (indices are global)\n",
+			len(oldModuli), len(moduli))
+	}
+
+	fmt.Fprintf(stdout, "corpus: %d moduli, %d bits\n", rep.Moduli, moduli[0].BitLen())
+	if *batch {
+		fmt.Fprintf(stdout, "method: batch GCD (product/remainder tree) in %v\n",
+			rep.Bulk.Elapsed.Round(1000))
+	} else {
+		fmt.Fprintf(stdout, "pairs: %d computed with %s (%d workers) in %v (%.0f pairs/s)\n",
+			rep.Bulk.Pairs, alg, rep.Bulk.Workers, rep.Bulk.Elapsed.Round(1000),
+			rep.Bulk.PairsPerSecond())
+		fmt.Fprintf(stdout, "iterations: %d total, %.1f per pair\n",
+			rep.Bulk.Stats.Iterations, float64(rep.Bulk.Stats.Iterations)/float64(rep.Bulk.Pairs))
+	}
+
+	if len(rep.Broken) == 0 && len(rep.Duplicates) == 0 {
+		fmt.Fprintln(stdout, "no weak keys found")
+	}
+	for _, bk := range rep.Broken {
+		fmt.Fprintf(stdout, "\nBROKEN key %d (found with key %d)\n", bk.Index, bk.FoundWith)
+		fmt.Fprintf(stdout, "  n = %x\n", bk.N)
+		fmt.Fprintf(stdout, "  p = %x\n", bk.P)
+		fmt.Fprintf(stdout, "  q = %x\n", bk.Q)
+		if bk.D != nil {
+			fmt.Fprintf(stdout, "  d = %x\n", bk.D)
+		} else {
+			fmt.Fprintf(stdout, "  d = (factors not both prime; modulus factored but exponent skipped)\n")
+		}
+	}
+	for _, d := range rep.Duplicates {
+		fmt.Fprintf(stdout, "\nDUPLICATE moduli: keys %d and %d are identical\n", d[0], d[1])
+	}
+	fmt.Fprintf(stdout, "\nsummary: %d broken, %d duplicate pairs out of %d keys\n",
+		len(rep.Broken), len(rep.Duplicates), rep.Moduli)
+
+	if *emit != "" {
+		if err := emitPrivateKeys(stdout, *emit, rep, sources, *e); err != nil {
+			return err
+		}
+	}
+	if *truth != "" {
+		return verifyTruth(stdout, *truth, rep)
+	}
+	return nil
+}
+
+// readCorpus reads moduli in either format: PEM streams (public keys and
+// certificates, the shape of real collected key sets) are detected by the
+// PEM armour; anything else is the line-oriented hex corpus format.
+// sources is non-nil only for PEM input.
+func readCorpus(r io.Reader, stderr io.Writer) ([]*mpnat.Nat, []pemkeys.Source, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bytes.Contains(data, []byte("-----BEGIN ")) {
+		bigs, sources, skipped, err := pemkeys.ReadModuli(bytes.NewReader(data))
+		if err != nil {
+			return nil, nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(stderr, "rsafactor: skipped %d non-RSA or unparseable PEM blocks\n", skipped)
+		}
+		out := make([]*mpnat.Nat, len(bigs))
+		for i, n := range bigs {
+			if n.Bit(0) == 0 {
+				return nil, nil, fmt.Errorf("PEM key %d has an even modulus", i)
+			}
+			out[i] = mpnat.FromBig(n)
+		}
+		return out, sources, nil
+	}
+	ms, err := corpus.Read(bytes.NewReader(data))
+	return ms, nil, err
+}
+
+// emitPrivateKeys writes each fully recovered key as key<index>.pem under
+// dir, re-deriving d with the key's own exponent when PEM sources carry
+// one that differs from the default.
+func emitPrivateKeys(stdout io.Writer, dir string, rep *attack.Report, sources []pemkeys.Source, defaultE uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	written := 0
+	for _, bk := range rep.Broken {
+		d := bk.D
+		e := defaultE
+		if sources != nil && sources[bk.Index].E != 0 {
+			e = sources[bk.Index].E
+		}
+		if d == nil || e != defaultE {
+			// Re-derive with the key's own exponent.
+			var err error
+			d, _, err = recoverWithExponent(bk, e)
+			if err != nil {
+				fmt.Fprintf(stdout, "key %d: cannot emit (%v)\n", bk.Index, err)
+				continue
+			}
+		}
+		key, err := pemkeys.AssemblePrivateKey(bk.N, bk.P, bk.Q, d, e)
+		if err != nil {
+			fmt.Fprintf(stdout, "key %d: cannot emit (%v)\n", bk.Index, err)
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("key%d.pem", bk.Index))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := pemkeys.WritePrivateKey(f, key); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written++
+	}
+	fmt.Fprintf(stdout, "emitted %d private keys to %s\n", written, dir)
+	return nil
+}
+
+// recoverWithExponent recomputes d for a broken key under exponent e.
+func recoverWithExponent(bk attack.BrokenKey, e uint64) (d, q *big.Int, err error) {
+	phi := new(big.Int).Mul(
+		new(big.Int).Sub(bk.P, big.NewInt(1)),
+		new(big.Int).Sub(bk.Q, big.NewInt(1)),
+	)
+	dn := new(mpnat.Nat).ModInverse(mpnat.New(e), mpnat.FromBig(phi))
+	if dn == nil {
+		return nil, nil, fmt.Errorf("e = %d not invertible", e)
+	}
+	return dn.ToBig(), bk.Q, nil
+}
+
+// verifyTruth compares the attack findings against a keygen ground-truth
+// file ("i j prime-hex" lines) and reports mismatches as an error.
+func verifyTruth(stdout io.Writer, path string, rep *attack.Report) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	brokenBy := map[int]attack.BrokenKey{}
+	for _, bk := range rep.Broken {
+		brokenBy[bk.Index] = bk
+	}
+	var missing int
+	var pairs int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var i, j int
+		var primeHex string
+		if _, err := fmt.Sscanf(line, "%d %d %s", &i, &j, &primeHex); err != nil {
+			return fmt.Errorf("truth file: bad line %q: %v", line, err)
+		}
+		p, ok := new(big.Int).SetString(primeHex, 16)
+		if !ok {
+			return fmt.Errorf("truth file: bad prime %q", primeHex)
+		}
+		pairs++
+		for _, idx := range []int{i, j} {
+			bk, found := brokenBy[idx]
+			if !found {
+				fmt.Fprintf(stdout, "MISSED: key %d (planted pair %d,%d) not broken\n", idx, i, j)
+				missing++
+				continue
+			}
+			if bk.P.Cmp(p) != 0 && bk.Q.Cmp(p) != 0 {
+				fmt.Fprintf(stdout, "WRONG FACTOR: key %d broken without the planted prime\n", idx)
+				missing++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if missing > 0 {
+		return fmt.Errorf("verification failed: %d mismatches against %d planted pairs", missing, pairs)
+	}
+	fmt.Fprintf(stdout, "verification: all %d planted pairs recovered\n", pairs)
+	return nil
+}

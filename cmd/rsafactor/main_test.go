@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bulkgcd/internal/corpus"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/pemkeys"
+	"bulkgcd/internal/rsakey"
+)
+
+// writeCorpus creates a corpus file (and ground truth) in dir.
+func writeCorpus(t *testing.T, dir string, count, bits, weak int, seed int64) (string, string) {
+	t.Helper()
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: count, Bits: bits, WeakPairs: weak, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := filepath.Join(dir, "corpus.txt")
+	f, err := os.Create(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.Write(f, c.Moduli(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tp := filepath.Join(dir, "truth.txt")
+	tf, err := os.Create(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range c.Planted {
+		fmt.Fprintf(tf, "%d %d %x\n", pp.I, pp.J, pp.P)
+	}
+	tf.Close()
+	return cp, tp
+}
+
+func TestRunBreaksWeakCorpus(t *testing.T) {
+	dir := t.TempDir()
+	cp, tp := writeCorpus(t, dir, 12, 128, 2, 7)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-in", cp, "-truth", tp}, nil, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if got := strings.Count(s, "BROKEN key"); got != 4 {
+		t.Fatalf("broke %d keys, want 4:\n%s", got, s)
+	}
+	if !strings.Contains(s, "verification: all 2 planted pairs recovered") {
+		t.Fatalf("truth verification missing:\n%s", s)
+	}
+	if !strings.Contains(s, "summary: 4 broken") {
+		t.Fatalf("summary missing:\n%s", s)
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: 6, Bits: 128, WeakPairs: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in bytes.Buffer
+	if err := corpus.Write(&in, c.Moduli(), ""); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-v"}, &in, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BROKEN key") {
+		t.Fatalf("no break reported:\n%s", out.String())
+	}
+}
+
+func TestRunAllAlgorithmsAndBatch(t *testing.T) {
+	dir := t.TempDir()
+	cp, _ := writeCorpus(t, dir, 10, 128, 1, 9)
+	for _, alg := range []string{"original", "fast", "binary", "fastbinary", "approximate"} {
+		var out bytes.Buffer
+		if err := run([]string{"-in", cp, "-alg", alg, "-no-early"}, nil, &out, &bytes.Buffer{}); err != nil {
+			t.Fatalf("alg %s: %v", alg, err)
+		}
+		if strings.Count(out.String(), "BROKEN key") != 2 {
+			t.Fatalf("alg %s: wrong break count:\n%s", alg, out.String())
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", cp, "-batch"}, nil, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "BROKEN key") != 2 {
+		t.Fatalf("batch mode wrong break count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "method: batch GCD") {
+		t.Fatalf("batch header missing:\n%s", out.String())
+	}
+}
+
+func TestRunCleanCorpus(t *testing.T) {
+	dir := t.TempDir()
+	cp, _ := writeCorpus(t, dir, 6, 128, 0, 10)
+	var out bytes.Buffer
+	if err := run([]string{"-in", cp}, nil, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no weak keys found") {
+		t.Fatalf("expected clean report:\n%s", out.String())
+	}
+}
+
+func TestRunTruthVerificationFailure(t *testing.T) {
+	dir := t.TempDir()
+	cp, _ := writeCorpus(t, dir, 8, 128, 0, 11) // clean corpus...
+	bogus := filepath.Join(dir, "bogus.txt")
+	// ... but the truth file claims a planted pair: verification must fail.
+	if err := os.WriteFile(bogus, []byte("0 1 abcdef123457\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-in", cp, "-truth", bogus}, nil, &out, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "verification failed") {
+		t.Fatalf("expected verification failure, got %v", err)
+	}
+	if !strings.Contains(out.String(), "MISSED") {
+		t.Fatalf("missing MISSED report:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run([]string{"-alg", "nonsense", "-in", "x"}, nil, &sink, &sink); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent"}, nil, &sink, &sink); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-badflag"}, nil, &sink, &sink); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	in := strings.NewReader("ff\n") // single modulus
+	if err := run(nil, in, &sink, &sink); err == nil {
+		t.Error("single-modulus corpus accepted")
+	}
+	in = strings.NewReader("zz\n")
+	if err := run(nil, in, &sink, &sink); err == nil {
+		t.Error("bad corpus accepted")
+	}
+}
+
+// TestRunPEMWorkflow: the real-world pipeline - PEM public keys in,
+// recovered private keys out as PEM files that crypto/x509 parses.
+func TestRunPEMWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: 8, Bits: 256, WeakPairs: 1, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemPath := filepath.Join(dir, "keys.pem")
+	f, err := os.Create(pemPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range c.Keys {
+		if err := pemkeys.WritePublicKey(f, k.N.ToBig(), k.E); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	emitDir := filepath.Join(dir, "broken")
+	var out bytes.Buffer
+	if err := run([]string{"-in", pemPath, "-emit", emitDir}, nil, &out, &bytes.Buffer{}); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "emitted 2 private keys") {
+		t.Fatalf("emit summary missing:\n%s", out.String())
+	}
+	// The emitted PEMs must parse and decrypt.
+	pp := c.Planted[0]
+	for _, idx := range []int{pp.I, pp.J} {
+		data, err := os.ReadFile(filepath.Join(emitDir, fmt.Sprintf("key%d.pem", idx)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		block, _ := pem.Decode(data)
+		if block == nil {
+			t.Fatalf("key%d.pem is not PEM", idx)
+		}
+		key, err := x509.ParsePKCS1PrivateKey(block.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key.N.Cmp(c.Keys[idx].N.ToBig()) != 0 {
+			t.Fatalf("key%d.pem has wrong modulus", idx)
+		}
+		if err := key.Validate(); err != nil {
+			t.Fatalf("key%d.pem invalid: %v", idx, err)
+		}
+	}
+}
+
+// TestRunPEMSkipsGarbageBlocks: mixed streams warn but work.
+func TestRunPEMSkipsGarbageBlocks(t *testing.T) {
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: 4, Bits: 256, WeakPairs: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in bytes.Buffer
+	for _, k := range c.Keys {
+		if err := pemkeys.WritePublicKey(&in, k.N.ToBig(), k.E); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pem.Encode(&in, &pem.Block{Type: "EC PRIVATE KEY", Bytes: []byte{1}})
+	var out, errOut bytes.Buffer
+	if err := run(nil, &in, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "skipped 1") {
+		t.Fatalf("skip warning missing: %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), "BROKEN key") {
+		t.Fatalf("attack failed on PEM input:\n%s", out.String())
+	}
+}
+
+// TestRunIncrementalFlag: the -prev rolling-scan mode.
+func TestRunIncrementalFlag(t *testing.T) {
+	dir := t.TempDir()
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: 12, Bits: 128, WeakPairs: 2, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ensure at least one planted pair crosses the 6/6 split or lives in
+	// the new half; with seed 14 check dynamically.
+	moduli := c.Moduli()
+	writeHalf := func(name string, ms []*mpnat.Nat) string {
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := corpus.Write(f, ms, ""); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return p
+	}
+	oldPath := writeHalf("old.txt", moduli[:6])
+	newPath := writeHalf("new.txt", moduli[6:])
+
+	var out bytes.Buffer
+	if err := run([]string{"-in", newPath, "-prev", oldPath}, nil, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "incremental scan: 6 previous + 6 new") {
+		t.Fatalf("incremental header missing:\n%s", out.String())
+	}
+	wantBroken := 0
+	for _, pp := range c.Planted {
+		if pp.I >= 6 || pp.J >= 6 {
+			wantBroken += 2
+		}
+	}
+	if got := strings.Count(out.String(), "BROKEN key"); got != wantBroken {
+		t.Fatalf("broke %d keys, want %d:\n%s", got, wantBroken, out.String())
+	}
+	// Conflicting flags.
+	var sink bytes.Buffer
+	if err := run([]string{"-in", newPath, "-prev", oldPath, "-batch"}, nil, &sink, &sink); err == nil {
+		t.Error("-prev -batch accepted")
+	}
+	if err := run([]string{"-in", newPath, "-prev", oldPath, "-truth", oldPath}, nil, &sink, &sink); err == nil {
+		t.Error("-prev -truth accepted")
+	}
+	if err := run([]string{"-in", newPath, "-prev", "/nonexistent"}, nil, &sink, &sink); err == nil {
+		t.Error("missing -prev file accepted")
+	}
+}

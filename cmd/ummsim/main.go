@@ -1,0 +1,218 @@
+// Command ummsim runs the UMM (Unified Memory Machine) model experiments
+// of Section VI:
+//
+//	ummsim -fig 2         the worked warp-dispatch example (w=4, l=5)
+//	ummsim -fig 3         column-wise vs row-wise layout comparison
+//	ummsim -theorem1      sweep validating the O(p*t/w + l*t) bound
+//	ummsim -semioblivious coalescing of the real bulk GCD execution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"bulkgcd/internal/experiments"
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/tabfmt"
+	"bulkgcd/internal/umm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ummsim: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run implements the tool; factored out of main so tests can drive it.
+func run(args []string, stdout, stderrW io.Writer) error {
+	fs := flag.NewFlagSet("ummsim", flag.ContinueOnError)
+	fs.SetOutput(stderrW)
+	var (
+		fig     = fs.Int("fig", 0, "paper figure to reproduce: 2 or 3")
+		theorem = fs.Bool("theorem1", false, "validate Theorem 1 over a (p, w, l) sweep")
+		semi    = fs.Bool("semioblivious", false, "measure coalescing of the bulk GCD execution")
+		diverg  = fs.Bool("divergence", false, "measure SIMT branch divergence of the bulk GCD kernels (Section VII)")
+		occup   = fs.Bool("occupancy", false, "sweep resident warps on the integrated device model (latency hiding)")
+		related = fs.Bool("related", false, "reproduce the Section I related-work comparison on device presets")
+		tax     = fs.Bool("oblivioustax", false, "fully-oblivious GCD vs the paper's semi-oblivious Approximate on the UMM")
+		width   = fs.Int("w", 32, "UMM width")
+		latency = fs.Int("l", 200, "UMM latency")
+		threads = fs.Int("p", 128, "bulk width (threads)")
+		size    = fs.Int("bits", 1024, "modulus size for -semioblivious")
+		steps   = fs.Int("steps", 64, "memory steps for -fig 3")
+		seed    = fs.Int64("seed", 1, "deterministic seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ran := false
+	switch *fig {
+	case 2:
+		ran = true
+		if err := figure2(stdout); err != nil {
+			return err
+		}
+	case 3:
+		ran = true
+		if err := figure3(stdout, *width, *latency, *threads, *steps, *seed); err != nil {
+			return err
+		}
+	case 0:
+	default:
+		return fmt.Errorf("unknown figure %d", *fig)
+	}
+	if *theorem {
+		ran = true
+		if err := theorem1(stdout); err != nil {
+			return err
+		}
+	}
+	if *semi {
+		ran = true
+		if err := semiOblivious(stdout, *width, *latency, *threads, *size, *seed); err != nil {
+			return err
+		}
+	}
+	if *diverg {
+		ran = true
+		fmt.Fprintf(stdout, "SIMT branch divergence (warp %d, p=%d threads, %d-bit moduli, early-terminate)\n\n",
+			*width, *threads, *size)
+		rs, err := experiments.RunDivergence(*width, 4, *size, *threads, true, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.DivergenceTable(rs).String())
+	}
+	if *occup {
+		ran = true
+		fmt.Fprintf(stdout, "Latency hiding: occupancy sweep on the integrated device (p=%d threads, %d-bit moduli, Approximate)\n\n",
+			*threads, *size)
+		ps, err := experiments.RunOccupancySweep(nil, gcd.Approximate, *size, *threads, nil, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.OccupancyTable(ps).String())
+	}
+	if *related {
+		ran = true
+		fmt.Fprintf(stdout, "Section I related work: published 1024-bit per-GCD times vs the device model (p=%d)\n\n", *threads)
+		rows, err := experiments.RunRelatedWork(*threads, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RelatedWorkTable(rows).String())
+	}
+	if *tax {
+		ran = true
+		m, err := umm.New(*width, *latency)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Obliviousness tax (p=%d threads, %d-bit moduli, UMM w=%d l=%d, non-terminate)\n\n",
+			*threads, *size, *width, *latency)
+		res, err := experiments.RunObliviousTax(m, *size, *threads, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Table().String())
+	}
+	if !ran {
+		return fmt.Errorf("nothing to do: pass -fig 2, -fig 3, -theorem1, -semioblivious, -divergence, -occupancy, -related and/or -oblivioustax")
+	}
+	return nil
+}
+
+// figure2 reproduces the Section VI worked example: two warps on the UMM
+// with w = 4 and l = 5, one spanning three address groups and one fully
+// coalesced, complete in 3 + 1 + 5 - 1 = 8 time units.
+func figure2(w io.Writer) error {
+	m, err := umm.New(4, 5)
+	if err != nil {
+		return err
+	}
+	addrs := []int64{0, 5, 9, 2, 12, 13, 14, 15}
+	b := m.Batch(addrs)
+	fmt.Fprintln(w, "Figure 2: UMM with width w=4, latency l=5")
+	fmt.Fprintf(w, "  W(0) requests addresses %v -> 3 address groups\n", addrs[:4])
+	fmt.Fprintf(w, "  W(1) requests addresses %v -> 1 address group\n", addrs[4:])
+	fmt.Fprintf(w, "  completion: (3+1)(groups) + %d(latency) - 1 = %d time units\n",
+		5, b.Time)
+	if b.Time != 8 {
+		return fmt.Errorf("expected 8 time units, simulated %d", b.Time)
+	}
+	return nil
+}
+
+func figure3(out io.Writer, w, l, p, steps int, seed int64) error {
+	res, err := experiments.RunLayout(w, l, p, steps, 32, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Figure 3: bulk execution of an oblivious algorithm, p=%d threads, %d steps, UMM w=%d l=%d\n\n",
+		p, steps, w, l)
+	t := tabfmt.NewTable("layout", "time units", "coalesced", "vs Theorem 1")
+	t.AddRowF("column-wise", fmt.Sprintf("%d", res.ColumnTime),
+		fmt.Sprintf("%.2f", res.ColumnCoalesced),
+		fmt.Sprintf("%.3fx", float64(res.ColumnTime)/float64(res.TheoremTime)))
+	t.AddRowF("row-wise", fmt.Sprintf("%d", res.RowTime),
+		fmt.Sprintf("%.2f", res.RowCoalesced),
+		fmt.Sprintf("%.3fx", float64(res.RowTime)/float64(res.TheoremTime)))
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func theorem1(out io.Writer) error {
+	fmt.Fprintln(out, "Theorem 1: bulk execution of an oblivious algorithm costs (p/w + l - 1) * t time units")
+	fmt.Fprintln(out)
+	t := tabfmt.NewTable("p", "w", "l", "t", "simulated", "closed form")
+	for _, c := range []struct{ p, w, l, steps int }{
+		{32, 4, 5, 16}, {64, 8, 20, 32}, {128, 32, 100, 64},
+		{256, 32, 200, 48}, {512, 16, 50, 24},
+	} {
+		res, err := experiments.RunLayout(c.w, c.l, c.p, c.steps, 16, 7)
+		if err != nil {
+			return err
+		}
+		t.AddRowF(
+			fmt.Sprintf("%d", c.p), fmt.Sprintf("%d", c.w), fmt.Sprintf("%d", c.l),
+			fmt.Sprintf("%d", c.steps),
+			fmt.Sprintf("%d", res.ColumnTime), fmt.Sprintf("%d", res.TheoremTime),
+		)
+		if res.ColumnTime != res.TheoremTime {
+			return fmt.Errorf("Theorem 1 violated at p=%d w=%d l=%d", c.p, c.w, c.l)
+		}
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func semiOblivious(out io.Writer, w, l, p, bits int, seed int64) error {
+	m, err := umm.New(w, l)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Semi-obliviousness of the bulk GCD (p=%d threads, %d-bit moduli, UMM w=%d l=%d)\n\n",
+		p, bits, w, l)
+	t := tabfmt.NewTable("algorithm", "coalesced frac", "units/GCD", "oblivious bound", "overhead")
+	for _, alg := range []gcd.Algorithm{gcd.Binary, gcd.FastBinary, gcd.Approximate} {
+		res, err := experiments.RunSemiOblivious(m, alg, bits, p, true, seed)
+		if err != nil {
+			return err
+		}
+		t.AddRowF(
+			fmt.Sprintf("(%s) %s", alg.Letter(), alg),
+			fmt.Sprintf("%.3f", res.CoalescedFrac),
+			fmt.Sprintf("%.0f", res.TimePerGCD),
+			fmt.Sprintf("%.0f", res.ObliviousLower),
+			fmt.Sprintf("%.2fx", res.TimePerGCD/res.ObliviousLower),
+		)
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}

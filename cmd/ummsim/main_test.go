@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigure2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "2"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "8 time units") {
+		t.Fatalf("Figure 2 output wrong:\n%s", out.String())
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "3", "-w", "8", "-l", "16", "-p", "64", "-steps", "32"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "column-wise") || !strings.Contains(s, "row-wise") {
+		t.Fatalf("Figure 3 output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "1.000x") {
+		t.Fatalf("column-wise should match Theorem 1 exactly:\n%s", s)
+	}
+}
+
+func TestTheorem1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-theorem1"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "closed form") {
+		t.Fatalf("Theorem 1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestSemiOblivious(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-semioblivious", "-bits", "256", "-p", "16", "-w", "8", "-l", "20"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, needle := range []string{"(C) Binary", "(D) FastBinary", "(E) Approximate", "oblivious bound"} {
+		if !strings.Contains(s, needle) {
+			t.Fatalf("missing %q:\n%s", needle, s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run(nil, &sink, &sink); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run([]string{"-fig", "9"}, &sink, &sink); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-badflag"}, &sink, &sink); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-fig", "3", "-p", "63"}, &sink, &sink); err == nil {
+		t.Error("non-multiple p accepted")
+	}
+}
+
+func TestDivergence(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-divergence", "-bits", "256", "-p", "32", "-w", "16"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "divergence penalty") || !strings.Contains(s, "(C) Binary") {
+		t.Fatalf("divergence output wrong:\n%s", s)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-occupancy", "-bits", "256", "-p", "32"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resident warps") {
+		t.Fatalf("occupancy output wrong:\n%s", out.String())
+	}
+}
+
+func TestRelated(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-related", "-p", "32"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "this paper") || !strings.Contains(out.String(), "Fujimoto") {
+		t.Fatalf("related output wrong:\n%s", out.String())
+	}
+}
+
+func TestObliviousTax(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-oblivioustax", "-bits", "256", "-p", "32", "-w", "16", "-l", "50"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tax of full obliviousness") {
+		t.Fatalf("tax output wrong:\n%s", out.String())
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: generate a small corpus with planted weak keys and break
+// them with the public API, in under a second.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"bulkgcd"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 64 RSA-512 moduli, three pairs of which share a prime - the
+	// bad-randomness situation the paper attacks.
+	moduli, planted, err := bulkgcd.GenerateWeakCorpus(64, 512, 3, 2015)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d moduli of %d bits, %d weak pairs planted\n",
+		len(moduli), moduli[0].BitLen(), len(planted))
+
+	// The attack: all-pairs GCD with the Approximate Euclidean algorithm.
+	report, err := bulkgcd.FindSharedPrimes(moduli, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("computed %d pair GCDs (%d loop iterations total)\n",
+		report.Pairs, report.Stats.Iterations)
+
+	for _, bk := range report.Broken {
+		fmt.Printf("\nbroken key %d (shares a prime with key %d)\n", bk.Index, bk.FoundWith)
+		fmt.Printf("  p = %s...\n", shortHex(bk.P))
+		fmt.Printf("  q = %s...\n", shortHex(bk.Q))
+		fmt.Printf("  factorization verified: %v\n",
+			new(big.Int).Mul(bk.P, bk.Q).Cmp(bk.N) == 0)
+		fmt.Printf("  private exponent recovered: %v\n", bk.D != nil)
+	}
+
+	// Cross-check against the generator's ground truth.
+	want := map[int]bool{}
+	for _, pp := range planted {
+		want[pp.I], want[pp.J] = true, true
+	}
+	ok := len(report.Broken) == len(want)
+	for _, bk := range report.Broken {
+		ok = ok && want[bk.Index]
+	}
+	fmt.Printf("\nground truth match: %v (%d/%d weak keys broken)\n",
+		ok, len(report.Broken), len(want))
+}
+
+func shortHex(v *big.Int) string {
+	s := v.Text(16)
+	if len(s) > 16 {
+		s = s[:16]
+	}
+	return s
+}

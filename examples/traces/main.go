@@ -1,0 +1,96 @@
+// Traces: reproduce the paper's worked examples, Tables I-III, step for
+// step. All five Euclidean algorithms run on the paper's inputs
+// X = 1111,1110,1101,1100,1011 (1043915), Y = 1011,1011,1011,1011,1011
+// (768955) with 4-bit words, printing each iteration in the paper's
+// binary-grouped notation.
+//
+//	go run ./examples/traces
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"bulkgcd/internal/refgcd"
+	"bulkgcd/internal/tabfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	x := big.NewInt(1043915)
+	y := big.NewInt(768955)
+	opt := refgcd.Options{WordBits: 4, RecordSteps: true}
+
+	fmt.Printf("inputs: X = %s, Y = %s\n\n",
+		tabfmt.BinaryDecimal(x, 4), tabfmt.BinaryDecimal(y, 4))
+
+	// Table I: Binary vs Fast Binary.
+	fmt.Println("Table I - Binary Euclidean vs Fast Binary Euclidean")
+	binary := run(refgcd.Binary, x, y, opt)
+	fastBin := run(refgcd.FastBinary, x, y, opt)
+	t1 := tabfmt.NewTable("#", "Binary X", "Binary Y", "FastBinary X", "FastBinary Y")
+	for i := 0; i < len(binary.Steps) || i < len(fastBin.Steps); i++ {
+		row := []string{fmt.Sprintf("%d", i+1), "", "", "", ""}
+		if i < len(binary.Steps) {
+			row[1] = tabfmt.Binary(binary.Steps[i].X, 4)
+			row[2] = tabfmt.Binary(binary.Steps[i].Y, 4)
+		}
+		if i < len(fastBin.Steps) {
+			row[3] = tabfmt.Binary(fastBin.Steps[i].X, 4)
+			row[4] = tabfmt.Binary(fastBin.Steps[i].Y, 4)
+		}
+		t1.AddRowF(row...)
+	}
+	fmt.Print(t1.String())
+	fmt.Printf("iterations: Binary %d (paper: 24), FastBinary %d (paper: 16)\n\n",
+		binary.Iterations, fastBin.Iterations)
+
+	// Table II: Original vs Fast Euclidean (with quotients).
+	fmt.Println("Table II - Original vs Fast Euclidean")
+	orig := run(refgcd.Original, x, y, opt)
+	fast := run(refgcd.Fast, x, y, opt)
+	t2 := tabfmt.NewTable("#", "Original X", "Q", "Fast X", "Q")
+	for i := 0; i < len(orig.Steps) || i < len(fast.Steps); i++ {
+		row := []string{fmt.Sprintf("%d", i+1), "", "", "", ""}
+		if i < len(orig.Steps) {
+			row[1] = tabfmt.Binary(orig.Steps[i].X, 4)
+			row[2] = orig.Steps[i].Q.String()
+		}
+		if i < len(fast.Steps) {
+			row[3] = tabfmt.Binary(fast.Steps[i].X, 4)
+			row[4] = fast.Steps[i].Q.String()
+		}
+		t2.AddRowF(row...)
+	}
+	fmt.Print(t2.String())
+	fmt.Printf("iterations: Original %d (paper: 11), Fast %d (paper: 8)\n\n",
+		orig.Iterations, fast.Iterations)
+
+	// Table III: Approximate Euclidean with (alpha, beta) and cases.
+	fmt.Println("Table III - Approximate Euclidean (d = 4, D = 16)")
+	approx := run(refgcd.Approximate, x, y, opt)
+	t3 := tabfmt.NewTable("#", "X", "Y", "case", "(alpha,beta)")
+	for i, s := range approx.Steps {
+		t3.AddRowF(
+			fmt.Sprintf("%d", i+1),
+			tabfmt.Binary(s.X, 4),
+			tabfmt.Binary(s.Y, 4),
+			s.Case,
+			fmt.Sprintf("(%s,%d)", s.Alpha, s.Beta),
+		)
+	}
+	fmt.Print(t3.String())
+	fmt.Printf("iterations: Approximate %d (paper: 9)\n\n", approx.Iterations)
+
+	fmt.Printf("all algorithms output gcd = %s (paper: 0101 (5))\n",
+		tabfmt.BinaryDecimal(approx.GCD, 4))
+}
+
+func run(alg refgcd.Algorithm, x, y *big.Int, opt refgcd.Options) *refgcd.Result {
+	res, err := refgcd.Run(alg, x, y, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module bulkgcd
+
+go 1.22

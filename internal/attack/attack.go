@@ -1,0 +1,249 @@
+// Package attack is the weak-RSA-key attack pipeline: it runs the bulk
+// all-pairs GCD over a corpus of moduli, interprets every non-trivial GCD,
+// and reconstructs the broken private keys - the complete workflow the
+// paper motivates ("we may break weak RSA keys by computing the GCDs of
+// all pairs of two moduli in the Web").
+package attack
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+
+	"bulkgcd/internal/batchgcd"
+	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/rsakey"
+)
+
+// Options configures an attack run.
+type Options struct {
+	// Algorithm selects the GCD engine; the default (zero value requires
+	// explicit choice, so Run defaults to Approximate when unset via
+	// DefaultOptions) is the paper's Approximate Euclidean.
+	Algorithm gcd.Algorithm
+
+	// Early enables s/2 early termination (on by default in
+	// DefaultOptions; it is safe for RSA moduli and halves the work).
+	Early bool
+
+	// Workers and GroupSize are passed to the bulk executor.
+	Workers   int
+	GroupSize int
+
+	// Exponent is the public exponent for private-key recovery.
+	Exponent uint64
+
+	// Progress, when non-nil, receives pair-completion updates
+	// (all-pairs mode only).
+	Progress func(done, total int64)
+
+	// BatchGCD switches from the paper's all-pairs computation to the
+	// Bernstein product-tree batch GCD baseline. Algorithm, Early,
+	// Workers and GroupSize are ignored in this mode.
+	BatchGCD bool
+}
+
+// DefaultOptions returns the recommended configuration: Approximate
+// Euclidean with early termination and e = 65537.
+func DefaultOptions() Options {
+	return Options{
+		Algorithm: gcd.Approximate,
+		Early:     true,
+		Exponent:  rsakey.DefaultExponent,
+	}
+}
+
+// BrokenKey is one factored modulus.
+type BrokenKey struct {
+	// Index is the modulus position in the input corpus.
+	Index int
+	// N is the modulus.
+	N *big.Int
+	// P and Q are the recovered factors, P <= Q.
+	P, Q *big.Int
+	// D is the recovered private exponent, nil when the factors are not
+	// both prime (possible only with synthetic pseudo-moduli) or e is not
+	// invertible.
+	D *big.Int
+	// FoundWith is the index of the other modulus of the revealing pair,
+	// or -1 when the batch-GCD engine found the factor (it has no notion
+	// of a revealing pair).
+	FoundWith int
+}
+
+// Report is the attack outcome.
+type Report struct {
+	// Broken lists factored keys ordered by Index (one entry per modulus,
+	// even when several pairs reveal it).
+	Broken []BrokenKey
+	// Duplicates lists pairs of identical moduli (gcd = modulus), which
+	// are compromised but not factored by the GCD attack.
+	Duplicates [][2]int
+	// Bulk carries the underlying bulk-run measurements.
+	Bulk *bulk.Result
+	// Moduli is the corpus size.
+	Moduli int
+}
+
+// Run executes the attack over the corpus.
+func Run(moduli []*mpnat.Nat, opt Options) (*Report, error) {
+	if opt.Exponent == 0 {
+		opt.Exponent = rsakey.DefaultExponent
+	}
+	if opt.BatchGCD {
+		return runBatch(moduli, opt)
+	}
+	res, err := bulk.AllPairs(moduli, bulk.Config{
+		Algorithm: opt.Algorithm,
+		Early:     opt.Early,
+		Workers:   opt.Workers,
+		GroupSize: opt.GroupSize,
+		Progress:  opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return interpretFactors(moduli, res, opt)
+}
+
+// RunIncremental attacks only the pairs involving a new modulus: the
+// cross product newModuli x old plus the new x new triangle, for rolling
+// scans over growing corpora. Broken-key indices are global, with old
+// moduli at 0..len(old)-1 and the new ones following.
+func RunIncremental(old, newModuli []*mpnat.Nat, opt Options) (*Report, error) {
+	if opt.Exponent == 0 {
+		opt.Exponent = rsakey.DefaultExponent
+	}
+	if opt.BatchGCD {
+		return nil, fmt.Errorf("attack: incremental mode requires the all-pairs engine")
+	}
+	res, err := bulk.Incremental(old, newModuli, bulk.Config{
+		Algorithm: opt.Algorithm,
+		Early:     opt.Early,
+		Workers:   opt.Workers,
+		Progress:  opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	combined := make([]*mpnat.Nat, 0, len(old)+len(newModuli))
+	combined = append(combined, old...)
+	combined = append(combined, newModuli...)
+	return interpretFactors(combined, res, opt)
+}
+
+// interpretFactors turns raw pair factors into the attack report:
+// duplicates detected, moduli factored, private keys recovered.
+func interpretFactors(moduli []*mpnat.Nat, res *bulk.Result, opt Options) (*Report, error) {
+	rep := &Report{Bulk: res, Moduli: len(moduli)}
+	broken := map[int]BrokenKey{}
+	for _, f := range res.Factors {
+		g := f.P.ToBig()
+		nI := moduli[f.I].ToBig()
+		nJ := moduli[f.J].ToBig()
+		if g.Cmp(nI) == 0 && g.Cmp(nJ) == 0 {
+			rep.Duplicates = append(rep.Duplicates, [2]int{f.I, f.J})
+			continue
+		}
+		for _, side := range []struct {
+			idx   int
+			n     *big.Int
+			other int
+		}{{f.I, nI, f.J}, {f.J, nJ, f.I}} {
+			if _, done := broken[side.idx]; done {
+				continue
+			}
+			if g.Cmp(side.n) >= 0 {
+				continue // g equals this modulus; it factors only the other side
+			}
+			bk, err := factorKey(side.idx, side.n, g, opt.Exponent, side.other)
+			if err != nil {
+				return nil, fmt.Errorf("attack: modulus %d: %w", side.idx, err)
+			}
+			broken[side.idx] = bk
+		}
+	}
+	for _, bk := range broken {
+		rep.Broken = append(rep.Broken, bk)
+	}
+	sort.Slice(rep.Broken, func(i, j int) bool { return rep.Broken[i].Index < rep.Broken[j].Index })
+	return rep, nil
+}
+
+// runBatch is the batch-GCD (product/remainder tree) variant of the
+// attack: same Report, different engine. Findings whose gcd equals the
+// whole modulus resolve to duplicates; proper divisors factor the key.
+func runBatch(moduli []*mpnat.Nat, opt Options) (*Report, error) {
+	if len(moduli) < 2 {
+		return nil, fmt.Errorf("attack: need at least 2 moduli, got %d", len(moduli))
+	}
+	big_ := make([]*big.Int, len(moduli))
+	for i, m := range moduli {
+		if m == nil || m.IsZero() {
+			return nil, fmt.Errorf("attack: modulus %d is zero", i)
+		}
+		big_[i] = m.ToBig()
+	}
+	start := time.Now()
+	findings, err := batchgcd.Run(big_)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Moduli: len(moduli),
+		Bulk:   &bulk.Result{Elapsed: time.Since(start), Workers: 1},
+	}
+	dupSeen := map[[2]int]bool{}
+	for _, f := range findings {
+		n := big_[f.Index]
+		if f.Factor.Cmp(n) < 0 {
+			bk, err := factorKey(f.Index, n, f.Factor, opt.Exponent, -1)
+			if err != nil {
+				return nil, fmt.Errorf("attack: modulus %d: %w", f.Index, err)
+			}
+			rep.Broken = append(rep.Broken, bk)
+			continue
+		}
+		if f.DuplicateOf >= 0 {
+			lo, hi := f.Index, f.DuplicateOf
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if !dupSeen[[2]int{lo, hi}] {
+				dupSeen[[2]int{lo, hi}] = true
+				rep.Duplicates = append(rep.Duplicates, [2]int{lo, hi})
+			}
+		}
+	}
+	sort.Slice(rep.Broken, func(i, j int) bool { return rep.Broken[i].Index < rep.Broken[j].Index })
+	sort.Slice(rep.Duplicates, func(i, j int) bool {
+		if rep.Duplicates[i][0] != rep.Duplicates[j][0] {
+			return rep.Duplicates[i][0] < rep.Duplicates[j][0]
+		}
+		return rep.Duplicates[i][1] < rep.Duplicates[j][1]
+	})
+	return rep, nil
+}
+
+// factorKey turns a known non-trivial divisor into a BrokenKey, recovering
+// the private exponent when both factors are prime.
+func factorKey(idx int, n, g *big.Int, e uint64, other int) (BrokenKey, error) {
+	q, rem := new(big.Int).QuoRem(n, g, new(big.Int))
+	if rem.Sign() != 0 {
+		return BrokenKey{}, fmt.Errorf("gcd %v does not divide modulus", g)
+	}
+	p := new(big.Int).Set(g)
+	if p.Cmp(q) > 0 {
+		p, q = q, p
+	}
+	bk := BrokenKey{Index: idx, N: n, P: p, Q: q, FoundWith: other}
+	if p.ProbablyPrime(20) && q.ProbablyPrime(20) {
+		if d, _, err := rsakey.RecoverPrivate(n, p, e); err == nil {
+			bk.D = d
+		}
+	}
+	return bk, nil
+}

@@ -1,0 +1,178 @@
+// Package batchgcd implements Bernstein's batch GCD (product tree +
+// remainder tree), the standard alternative to the paper's all-pairs
+// approach for finding shared primes among many RSA moduli (the algorithm
+// behind the fastgcd tool used by Heninger et al.).
+//
+// The paper's contribution is a better *pairwise* GCD kernel; batch GCD
+// is the asymptotically faster but memory-hungry competitor, so this
+// package serves as the known-baseline comparison: cmd/rsafactor -batch
+// runs it, and the crossover experiment in package experiments compares
+// the two as corpus size grows.
+//
+// For m moduli of b bits, batch GCD computes
+//
+//	g_i = gcd(n_i, (P / n_i) mod n_i)   where P = prod_j n_j
+//
+// for all i in O(M(m*b) * log m) time, where M is the multiplication
+// cost. It is implemented over math/big: the baseline's whole advantage
+// is asymptotically fast multiplication, which is orthogonal to the
+// paper's word-level contribution (see DESIGN.md, substitutions).
+package batchgcd
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// one is the shared constant 1.
+var one = big.NewInt(1)
+
+// ProductTree holds the levels of the product tree: level 0 is the input
+// moduli, the last level is the single full product.
+type ProductTree struct {
+	Levels [][]*big.Int
+}
+
+// NewProductTree builds the product tree of the moduli.
+func NewProductTree(moduli []*big.Int) (*ProductTree, error) {
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("batchgcd: empty input")
+	}
+	for i, n := range moduli {
+		if n == nil || n.Sign() <= 0 {
+			return nil, fmt.Errorf("batchgcd: modulus %d is not positive", i)
+		}
+	}
+	level := make([]*big.Int, len(moduli))
+	copy(level, moduli)
+	t := &ProductTree{Levels: [][]*big.Int{level}}
+	for len(level) > 1 {
+		next := make([]*big.Int, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, new(big.Int).Mul(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // odd node promotes unchanged
+			}
+		}
+		t.Levels = append(t.Levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Product returns the root: the product of all moduli.
+func (t *ProductTree) Product() *big.Int {
+	top := t.Levels[len(t.Levels)-1]
+	return top[0]
+}
+
+// remainderTree pushes the root product down the tree, reducing modulo
+// the square of each node, and returns the leaf remainders
+// r_i = P mod n_i^2.
+func (t *ProductTree) remainderTree() []*big.Int {
+	depth := len(t.Levels)
+	cur := []*big.Int{t.Product()}
+	for lvl := depth - 2; lvl >= 0; lvl-- {
+		nodes := t.Levels[lvl]
+		next := make([]*big.Int, len(nodes))
+		for i, n := range nodes {
+			parent := cur[i/2]
+			sq := new(big.Int).Mul(n, n)
+			next[i] = new(big.Int).Mod(parent, sq)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SharedFactors returns, for each modulus, g_i = gcd(n_i, (P/n_i) mod n_i):
+// 1 when n_i shares no factor with any other modulus, the shared factor(s)
+// otherwise, and n_i itself when n_i divides the product of the others
+// (duplicate modulus, or all of n_i's primes shared).
+func SharedFactors(moduli []*big.Int) ([]*big.Int, error) {
+	t, err := NewProductTree(moduli)
+	if err != nil {
+		return nil, err
+	}
+	rems := t.remainderTree()
+	out := make([]*big.Int, len(moduli))
+	for i, n := range moduli {
+		// (P / n_i) mod n_i == (P mod n_i^2) / n_i for n_i | P.
+		q := new(big.Int).Quo(rems[i], n)
+		out[i] = new(big.Int).GCD(nil, nil, q, n)
+	}
+	return out, nil
+}
+
+// Finding is one modulus flagged by the batch run, resolved into a
+// non-trivial factor where possible.
+type Finding struct {
+	// Index is the modulus position.
+	Index int
+	// Factor is a non-trivial divisor of the modulus (1 < Factor < N),
+	// or the modulus itself when only duplicates explain the hit.
+	Factor *big.Int
+	// DuplicateOf is >= 0 when the modulus is identical to another one.
+	DuplicateOf int
+}
+
+// Run executes the complete batch attack: SharedFactors plus the
+// resolution pass that Bernstein's method needs when g_i equals n_i
+// (duplicate moduli, or a modulus both of whose primes are shared). The
+// resolution computes pairwise GCDs only among the flagged moduli, which
+// are few.
+func Run(moduli []*big.Int) ([]Finding, error) {
+	gs, err := SharedFactors(moduli)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	var whole []int // indices with g_i == n_i, resolved below
+	for i, g := range gs {
+		switch {
+		case g.Cmp(one) == 0:
+			// coprime with every other modulus
+		case g.Cmp(moduli[i]) < 0:
+			findings = append(findings, Finding{Index: i, Factor: g, DuplicateOf: -1})
+		default:
+			whole = append(whole, i)
+		}
+	}
+	for _, i := range whole {
+		f := Finding{Index: i, Factor: new(big.Int).Set(moduli[i]), DuplicateOf: -1}
+		// Find a partner among all flagged moduli to extract a proper
+		// factor or identify a duplicate.
+		for _, j := range append(append([]int{}, whole...), properIndices(findings)...) {
+			if j == i {
+				continue
+			}
+			g := new(big.Int).GCD(nil, nil, moduli[i], moduli[j])
+			if g.Cmp(one) == 0 {
+				continue
+			}
+			if g.Cmp(moduli[i]) == 0 && moduli[i].Cmp(moduli[j]) == 0 {
+				if f.DuplicateOf < 0 || j < f.DuplicateOf {
+					f.DuplicateOf = j
+				}
+				continue
+			}
+			if g.Cmp(moduli[i]) < 0 {
+				f.Factor = g
+				break
+			}
+		}
+		findings = append(findings, f)
+	}
+	sort.Slice(findings, func(a, b int) bool { return findings[a].Index < findings[b].Index })
+	return findings, nil
+}
+
+func properIndices(fs []Finding) []int {
+	out := make([]int, len(fs))
+	for i, f := range fs {
+		out[i] = f.Index
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package bulk
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+)
+
+// Factor is one non-trivial GCD found by the all-pairs computation.
+type Factor struct {
+	// I, J are the indices of the moduli sharing the factor, I < J.
+	I, J int
+	// P is gcd(n_I, n_J) > 1.
+	P *mpnat.Nat
+}
+
+// Config controls an all-pairs bulk run.
+type Config struct {
+	// Algorithm selects the GCD algorithm (the paper's GPU kernels use
+	// Approximate; Binary and FastBinary are the baselines of Table V).
+	Algorithm gcd.Algorithm
+
+	// Early enables the early-terminate variant with threshold s/2, where
+	// s is the pair's smaller modulus size. This is the mode the paper
+	// recommends for RSA moduli (Section V).
+	Early bool
+
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS.
+	Workers int
+
+	// GroupSize is the paper's r (threads per CUDA block, 64 there);
+	// 0 means 64. It only affects work partitioning, not results.
+	GroupSize int
+
+	// Progress, when non-nil, receives the number of completed pairs at
+	// block granularity. It must be safe for concurrent use.
+	Progress func(done, total int64)
+}
+
+// Result reports an all-pairs bulk run.
+type Result struct {
+	// Factors lists every pair with gcd > 1, ordered by (I, J).
+	Factors []Factor
+	// Stats aggregates the per-GCD statistics over all pairs.
+	Stats gcd.Stats
+	// Pairs is the number of GCDs computed: m(m-1)/2.
+	Pairs int64
+	// Elapsed is the wall-clock time of the parallel computation.
+	Elapsed time.Duration
+	// Workers is the pool size actually used.
+	Workers int
+}
+
+// PairsPerSecond returns the aggregate GCD throughput.
+func (r *Result) PairsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Pairs) / r.Elapsed.Seconds()
+}
+
+// AllPairs computes the GCD of every pair of moduli with the block
+// decomposition of Section VI executed on a host worker pool. All moduli
+// must be odd and positive (RSA moduli are).
+func AllPairs(moduli []*mpnat.Nat, cfg Config) (*Result, error) {
+	m := len(moduli)
+	if m < 2 {
+		return nil, fmt.Errorf("bulk: need at least 2 moduli, got %d", m)
+	}
+	maxBits := 0
+	for i, n := range moduli {
+		if n == nil || n.IsZero() {
+			return nil, fmt.Errorf("bulk: modulus %d is zero", i)
+		}
+		if n.IsEven() {
+			return nil, fmt.Errorf("bulk: modulus %d is even", i)
+		}
+		if b := n.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	r := cfg.GroupSize
+	if r == 0 {
+		r = 64
+	}
+	if r > m {
+		r = m
+	}
+	sched, err := NewSchedule(m, r)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	blocks := sched.Blocks()
+	var next atomic.Int64
+	var done atomic.Int64
+	total := sched.TotalPairs()
+
+	type workerOut struct {
+		factors []Factor
+		stats   gcd.Stats
+		pairs   int64
+	}
+	outs := make([]workerOut, workers)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := gcd.NewScratch(maxBits)
+			out := &outs[w]
+			for {
+				bi := next.Add(1) - 1
+				if bi >= int64(len(blocks)) {
+					return
+				}
+				blockPairs := int64(0)
+				sched.BlockPairs(blocks[bi], func(a, b int) {
+					x, y := moduli[a], moduli[b]
+					opt := gcd.Options{}
+					if cfg.Early {
+						s := x.BitLen()
+						if yb := y.BitLen(); yb < s {
+							s = yb
+						}
+						opt.EarlyBits = s / 2
+					}
+					g, st := scratch.Compute(cfg.Algorithm, x, y, opt)
+					out.stats.Add(&st)
+					blockPairs++
+					if g != nil && !g.IsOne() {
+						out.factors = append(out.factors, Factor{I: a, J: b, P: g})
+					}
+				})
+				out.pairs += blockPairs
+				if cfg.Progress != nil {
+					cfg.Progress(done.Add(blockPairs), total)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{Elapsed: time.Since(start), Workers: workers}
+	for i := range outs {
+		res.Pairs += outs[i].pairs
+		res.Stats.Add(&outs[i].stats)
+		res.Factors = append(res.Factors, outs[i].factors...)
+	}
+	sortFactors(res.Factors)
+	if res.Pairs != total {
+		return nil, fmt.Errorf("bulk: internal error: computed %d pairs, want %d", res.Pairs, total)
+	}
+	return res, nil
+}
+
+// sortFactors orders factors by (I, J) so results are deterministic
+// regardless of worker interleaving.
+func sortFactors(fs []Factor) {
+	// Insertion sort: the factor list is tiny (weak keys are rare).
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func less(a, b Factor) bool {
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
+}
+
+// Sequential computes the same all-pairs GCDs on a single goroutine; it is
+// the repository's stand-in for the paper's CPU measurements (Table V's
+// Xeon column) and doubles as the oracle for testing AllPairs.
+func Sequential(moduli []*mpnat.Nat, alg gcd.Algorithm, early bool) (*Result, error) {
+	cfg := Config{Algorithm: alg, Early: early, Workers: 1, GroupSize: len(moduli)}
+	return AllPairs(moduli, cfg)
+}

@@ -1,0 +1,112 @@
+package bulk
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+)
+
+// Incremental computes every pair GCD that involves at least one modulus
+// of newModuli: the full cross product new x old plus the new x new
+// triangle. This is the rolling-scan workload of a real weak-key monitor:
+// when a batch of freshly collected keys arrives, the old x old pairs are
+// already known to be clean and need not be recomputed.
+//
+// Factor indices are global: old moduli occupy 0..len(old)-1 and new
+// moduli follow, so reports from successive increments compose.
+func Incremental(old, newModuli []*mpnat.Nat, cfg Config) (*Result, error) {
+	if len(newModuli) == 0 {
+		return nil, fmt.Errorf("bulk: no new moduli")
+	}
+	maxBits := 0
+	for name, set := range map[string][]*mpnat.Nat{"old": old, "new": newModuli} {
+		for i, n := range set {
+			if n == nil || n.IsZero() {
+				return nil, fmt.Errorf("bulk: %s modulus %d is zero", name, i)
+			}
+			if n.IsEven() {
+				return nil, fmt.Errorf("bulk: %s modulus %d is even", name, i)
+			}
+			if b := n.BitLen(); b > maxBits {
+				maxBits = b
+			}
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := int64(len(newModuli))*int64(len(old)) + int64(len(newModuli))*int64(len(newModuli)-1)/2
+
+	type workerOut struct {
+		factors []Factor
+		stats   gcd.Stats
+		pairs   int64
+	}
+	outs := make([]workerOut, workers)
+	var next atomic.Int64
+	var done atomic.Int64
+
+	compute := func(scratch *gcd.Scratch, out *workerOut, a, b int, x, y *mpnat.Nat) {
+		opt := gcd.Options{}
+		if cfg.Early {
+			s := x.BitLen()
+			if yb := y.BitLen(); yb < s {
+				s = yb
+			}
+			opt.EarlyBits = s / 2
+		}
+		g, st := scratch.Compute(cfg.Algorithm, x, y, opt)
+		out.stats.Add(&st)
+		out.pairs++
+		if g != nil && !g.IsOne() {
+			out.factors = append(out.factors, Factor{I: a, J: b, P: g})
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := gcd.NewScratch(maxBits)
+			out := &outs[w]
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(len(newModuli)) {
+					return
+				}
+				nj := newModuli[j]
+				gj := len(old) + int(j) // global index of new modulus j
+				for i := range old {
+					compute(scratch, out, i, gj, old[i], nj)
+				}
+				for k := int(j) + 1; k < len(newModuli); k++ {
+					compute(scratch, out, gj, len(old)+k, nj, newModuli[k])
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(done.Add(int64(len(old)+len(newModuli)-1-int(j))), total)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{Elapsed: time.Since(start), Workers: workers}
+	for i := range outs {
+		res.Pairs += outs[i].pairs
+		res.Stats.Add(&outs[i].stats)
+		res.Factors = append(res.Factors, outs[i].factors...)
+	}
+	sortFactors(res.Factors)
+	if res.Pairs != total {
+		return nil, fmt.Errorf("bulk: internal error: computed %d pairs, want %d", res.Pairs, total)
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+// Package bulk implements the bulk execution of GCD computations over many
+// RSA moduli: the all-pairs block decomposition of Section VI, a
+// host-parallel executor that plays the role of the paper's GPU (one
+// goroutine pool standing in for the streaming multiprocessors, one
+// gcd.Scratch per worker so the hot loop never allocates), and the bridge
+// that replays recorded iteration shapes on the UMM simulator to measure
+// coalescing and simulated GPU time.
+package bulk
+
+import "fmt"
+
+// Block identifies one CUDA block of the paper's decomposition: the m
+// moduli are partitioned into m/r groups of r; block (I, J) computes the
+// GCDs between group I and group J using r threads. Blocks with I > J
+// terminate immediately; block (I, I) computes the triangular half.
+type Block struct {
+	I, J int
+}
+
+// Schedule is the all-pairs decomposition for m moduli in groups of r.
+type Schedule struct {
+	M, R   int
+	Groups int // number of groups: ceil(m/r)
+}
+
+// NewSchedule validates and builds a schedule. r must be in [1, m].
+func NewSchedule(m, r int) (*Schedule, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("bulk: need at least 2 moduli, got %d", m)
+	}
+	if r < 1 || r > m {
+		return nil, fmt.Errorf("bulk: group size %d out of range [1,%d]", r, m)
+	}
+	return &Schedule{M: m, R: r, Groups: (m + r - 1) / r}, nil
+}
+
+// Blocks returns the non-idle blocks (I <= J), the work the paper's
+// (m/r)^2 CUDA grid actually performs.
+func (s *Schedule) Blocks() []Block {
+	var out []Block
+	for i := 0; i < s.Groups; i++ {
+		for j := i; j < s.Groups; j++ {
+			out = append(out, Block{I: i, J: j})
+		}
+	}
+	return out
+}
+
+// index returns the modulus index of member k of group g, or -1 when the
+// slot is beyond m (the final group may be partial).
+func (s *Schedule) index(g, k int) int {
+	idx := g*s.R + k
+	if idx >= s.M {
+		return -1
+	}
+	return idx
+}
+
+// BlockPairs invokes fn for every pair (a, b) of modulus indices computed
+// by block blk, in the exact order of the paper's per-thread loops:
+// thread k of block (I, J) computes gcd(n_{I,k}, n_{J,u}) for u = 0..r-1
+// when I < J, and for u = k+1..r-1 when I = J.
+func (s *Schedule) BlockPairs(blk Block, fn func(a, b int)) {
+	switch {
+	case blk.I > blk.J:
+		return // idle block
+	case blk.I < blk.J:
+		for k := 0; k < s.R; k++ {
+			a := s.index(blk.I, k)
+			if a < 0 {
+				break
+			}
+			for u := 0; u < s.R; u++ {
+				b := s.index(blk.J, u)
+				if b < 0 {
+					break
+				}
+				fn(a, b)
+			}
+		}
+	default:
+		for k := 0; k < s.R; k++ {
+			a := s.index(blk.I, k)
+			if a < 0 {
+				break
+			}
+			for u := k + 1; u < s.R; u++ {
+				b := s.index(blk.I, u)
+				if b < 0 {
+					break
+				}
+				fn(a, b)
+			}
+		}
+	}
+}
+
+// TotalPairs returns m(m-1)/2, the number of GCDs the schedule performs.
+func (s *Schedule) TotalPairs() int64 {
+	m := int64(s.M)
+	return m * (m - 1) / 2
+}

@@ -1,0 +1,123 @@
+package bulk
+
+import (
+	"fmt"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/umm"
+)
+
+// This file bridges the word-level GCD engines to the UMM simulator: it
+// replays recorded iteration shapes (gcd.IterShape) as the exact global-
+// memory address stream of Section IV - read x_i / read y_i / write x_i
+// from the least significant word, with the extra Y pass on the beta > 0
+// path - in the column-wise arrangement of Figure 3. Swaps flip which of
+// the two per-thread arenas plays the role of X, exactly like the pointer
+// exchange in Figure 1; threads that have swapped an uneven number of
+// times therefore touch different arenas, which is one of the two sources
+// of non-coalesced access in the semi-oblivious bulk execution (the other
+// is divergence of operand lengths and iteration counts).
+
+// ShapeProgram converts one thread's iteration shapes into its UMM address
+// stream. p is the bulk width (threads sharing the column-wise arena), j
+// the thread index, and words the per-operand arena size in words.
+func ShapeProgram(shapes []gcd.IterShape, p, j, words int) umm.Program {
+	// Arena 0 occupies logical rows [0, words); arena 1 rows [words, 2*words).
+	// Column-wise: row i of thread j lives at address i*p + j.
+	addr := func(arena, i int) int64 {
+		return umm.ColumnWise(0, p, arena*words+i, j)
+	}
+	var addrs []int64
+	cur := 0 // arena currently holding X
+	for _, sh := range shapes {
+		lx, ly := int(sh.LX), int(sh.LY)
+		switch sh.Branch {
+		case gcd.BranchHalveX:
+			for i := 0; i < lx; i++ {
+				addrs = append(addrs, addr(cur, i), addr(cur, i))
+			}
+		case gcd.BranchHalveY:
+			for i := 0; i < ly; i++ {
+				addrs = append(addrs, addr(1-cur, i), addr(1-cur, i))
+			}
+		default: // BranchFull: single fused pass over X and Y
+			for i := 0; i < lx; i++ {
+				addrs = append(addrs, addr(cur, i))
+				if i < ly {
+					addrs = append(addrs, addr(1-cur, i))
+				}
+				addrs = append(addrs, addr(cur, i))
+			}
+			if sh.ExtraY {
+				for i := 0; i < ly; i++ {
+					addrs = append(addrs, addr(1-cur, i))
+				}
+			}
+		}
+		if sh.Swapped {
+			cur = 1 - cur
+		}
+	}
+	return &umm.SliceProgram{Addrs: addrs}
+}
+
+// SimResult combines the UMM measurement with the GCD statistics of the
+// simulated threads.
+type SimResult struct {
+	// UMM is the simulator's accounting for the bulk execution.
+	UMM umm.RunStats
+	// Stats aggregates the simulated threads' GCD statistics.
+	Stats gcd.Stats
+	// Threads is the bulk width p.
+	Threads int
+	// TimePerGCD is UMM.Time divided by the number of thread programs:
+	// simulated time units per GCD at full occupancy.
+	TimePerGCD float64
+}
+
+// Simulate runs one GCD per thread on the UMM: thread j computes
+// gcd(xs[j], ys[j]) with the given algorithm, and the recorded word-level
+// access stream of all threads is replayed on machine m in column-wise
+// layout. This is the repository's substitute for running the CUDA kernel:
+// it measures the coalesced fraction and the time-unit cost that Section VI
+// reasons about.
+func Simulate(m *umm.Machine, alg gcd.Algorithm, xs, ys []*mpnat.Nat, early bool) (*SimResult, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("bulk: need equal non-empty operand slices, got %d and %d", len(xs), len(ys))
+	}
+	p := len(xs)
+	maxBits := 0
+	for i := range xs {
+		if err := gcd.Validate(xs[i], ys[i]); err != nil {
+			return nil, fmt.Errorf("bulk: thread %d: %w", i, err)
+		}
+		for _, v := range []*mpnat.Nat{xs[i], ys[i]} {
+			if b := v.BitLen(); b > maxBits {
+				maxBits = b
+			}
+		}
+	}
+	words := (maxBits + 31) / 32
+
+	res := &SimResult{Threads: p}
+	progs := make([]umm.Program, p)
+	scratch := gcd.NewScratch(maxBits)
+	for j := 0; j < p; j++ {
+		opt := gcd.Options{RecordShapes: true}
+		if early {
+			s := xs[j].BitLen()
+			if yb := ys[j].BitLen(); yb < s {
+				s = yb
+			}
+			opt.EarlyBits = s / 2
+		}
+		_, st := scratch.Compute(alg, xs[j], ys[j], opt)
+		progs[j] = ShapeProgram(st.Shapes, p, j, words)
+		st.Shapes = nil
+		res.Stats.Add(&st)
+	}
+	res.UMM = m.Run(progs)
+	res.TimePerGCD = float64(res.UMM.Time) / float64(p)
+	return res, nil
+}

@@ -1,0 +1,77 @@
+// Package corpus reads and writes modulus corpora: the on-disk interchange
+// format between the key generator (cmd/keygen) and the attack tool
+// (cmd/rsafactor), standing in for the paper's "encryption keys collected
+// from the Web".
+//
+// The format is line-oriented text:
+//
+//	# any number of comment lines
+//	<modulus in lowercase hex>
+//	<modulus in lowercase hex>
+//	...
+//
+// Blank lines are ignored. The format carries only public information
+// (moduli), like a real collected-key corpus would.
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// Write serializes moduli to w, one hex modulus per line, preceded by a
+// descriptive comment header.
+func Write(w io.Writer, moduli []*mpnat.Nat, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "# %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	for i, n := range moduli {
+		if n == nil {
+			return fmt.Errorf("corpus: modulus %d is nil", i)
+		}
+		if _, err := fmt.Fprintln(bw, n.Hex()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a corpus from r. It rejects zero and even moduli early so
+// the attack layer can assume valid inputs.
+func Read(r io.Reader) ([]*mpnat.Nat, error) {
+	var out []*mpnat.Nat
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := mpnat.ParseHex(line)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", lineNo, err)
+		}
+		if n.IsZero() {
+			return nil, fmt.Errorf("corpus: line %d: zero modulus", lineNo)
+		}
+		if n.IsEven() {
+			return nil, fmt.Errorf("corpus: line %d: even modulus (not an RSA modulus)", lineNo)
+		}
+		out = append(out, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	return out, nil
+}

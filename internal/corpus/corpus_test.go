@@ -1,0 +1,139 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/rsakey"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: 10, Bits: 128, WeakPairs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c.Moduli(), "test corpus\nsecond comment line"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# test corpus\n# second comment line\n") {
+		t.Fatalf("comment header missing:\n%s", out[:80])
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d moduli, want 10", len(got))
+	}
+	for i := range got {
+		if got[i].Cmp(c.Moduli()[i]) != 0 {
+			t.Fatalf("modulus %d mismatch", i)
+		}
+	}
+}
+
+func TestReadSkipsBlanksAndComments(t *testing.T) {
+	in := "# header\n\n   \nff\n# inline comment\n2b\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Uint64() != 0xff || got[1].Uint64() != 0x2b {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad hex":      "zz\n",
+		"zero modulus": "0\n",
+		"even modulus": "10\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadErrorMentionsLine(t *testing.T) {
+	_, err := Read(strings.NewReader("ff\n\nzz\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v does not cite line 3", err)
+	}
+}
+
+func TestWriteNilModulus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []*mpnat.Nat{nil}, ""); err == nil {
+		t.Fatal("nil modulus accepted")
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty corpus read as %d moduli", len(got))
+	}
+}
+
+func TestLargeModulus(t *testing.T) {
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: 2, Bits: 4096, Seed: 4, Pseudo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c.Moduli(), ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].BitLen() != 4096 {
+		t.Fatalf("bit length %d after round trip", got[0].BitLen())
+	}
+}
+
+// FuzzRead exercises the parser on arbitrary input: it must never panic,
+// and anything it accepts must round-trip through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("# comment\nff\n2b\n")
+	f.Add("")
+	f.Add("zz")
+	f.Add("0")
+	f.Add("ff\n\n#x\nab\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ms, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ms, ""); err != nil {
+			t.Fatalf("accepted corpus failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized corpus failed to parse: %v", err)
+		}
+		if len(back) != len(ms) {
+			t.Fatalf("round trip changed corpus size: %d -> %d", len(ms), len(back))
+		}
+		for i := range ms {
+			if back[i].Cmp(ms[i]) != 0 {
+				t.Fatalf("round trip changed modulus %d", i)
+			}
+		}
+	})
+}

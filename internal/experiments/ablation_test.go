@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWordSizeAblation: the approximation overhead must shrink
+// monotonically with d and be negligible at d = 32 (the paper's design
+// point), while small d still computes correct GCDs at measurable extra
+// iteration cost.
+func TestWordSizeAblation(t *testing.T) {
+	res, err := RunWordSizeAblation(512, 40, []int{4, 8, 16, 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e9
+	for _, d := range res.Ds {
+		ov := res.Overhead[d]
+		if ov < -0.001 {
+			t.Errorf("d=%d: negative overhead %.5f", d, ov)
+		}
+		if ov > prev+1e-9 {
+			t.Errorf("overhead not monotone: d=%d has %.5f > previous %.5f", d, ov, prev)
+		}
+		prev = ov
+	}
+	if res.Overhead[4] < 0.001 {
+		t.Errorf("d=4 overhead %.5f suspiciously small", res.Overhead[4])
+	}
+	if res.Overhead[32] > 0.0005 {
+		t.Errorf("d=32 overhead %.5f, want ~0 (paper: ~1e-5)", res.Overhead[32])
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "exact (B)") || !strings.Contains(out, "word size d") {
+		t.Errorf("table wrong:\n%s", out)
+	}
+}
+
+// TestThresholdAblation: higher thresholds terminate earlier; s/2 costs
+// about half the non-terminate run; thresholds above s/2 are flagged
+// unsafe.
+func TestThresholdAblation(t *testing.T) {
+	res, err := RunThresholdAblation(512, 40, []float64{0.25, 0.5, 0.75}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeanIters) != 4 {
+		t.Fatalf("got %d measurements", len(res.MeanIters))
+	}
+	// Mean iterations decrease as the threshold rises.
+	if !(res.MeanIters[2] < res.MeanIters[1] && res.MeanIters[1] < res.MeanIters[0]) {
+		t.Errorf("iteration counts not decreasing with threshold: %v", res.MeanIters)
+	}
+	base := res.MeanIters[3]
+	if ratio := res.MeanIters[1] / base; ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("s/2 threshold ratio %.3f, want ~0.5", ratio)
+	}
+	if !res.SharedPrimeSafe[0] || !res.SharedPrimeSafe[1] || res.SharedPrimeSafe[2] {
+		t.Errorf("safety flags wrong: %v", res.SharedPrimeSafe)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "0.50*s") || !strings.Contains(out, "none") {
+		t.Errorf("table wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/umm"
+)
+
+// TestRunDivergence asserts the Section VII reproduction: Binary pays a
+// substantial divergence penalty, the single-body kernels pay none, and
+// the serialized cycles preserve the (E) < (D) < (C) ranking.
+func TestRunDivergence(t *testing.T) {
+	rs, err := RunDivergence(32, 4, 512, 64, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlg := map[gcd.Algorithm]DivergenceResult{}
+	for _, r := range rs {
+		byAlg[r.Alg] = r
+	}
+	c, d, e := byAlg[gcd.Binary], byAlg[gcd.FastBinary], byAlg[gcd.Approximate]
+	if c.Penalty < 1.5 || c.Penalty > 3.0 {
+		t.Errorf("Binary penalty %.2f outside [1.5, 3.0] (three-way branch)", c.Penalty)
+	}
+	if d.Penalty > 1.01 || e.Penalty > 1.01 {
+		t.Errorf("single-body kernels diverged: D=%.3f E=%.3f", d.Penalty, e.Penalty)
+	}
+	if d.Converged != 1.0 || e.Converged != 1.0 {
+		t.Errorf("D/E converged fractions %.2f/%.2f, want 1.0", d.Converged, e.Converged)
+	}
+	if !(e.CyclesPerGCD < d.CyclesPerGCD && d.CyclesPerGCD < c.CyclesPerGCD) {
+		t.Errorf("cycle ranking violated: E=%.0f D=%.0f C=%.0f",
+			e.CyclesPerGCD, d.CyclesPerGCD, c.CyclesPerGCD)
+	}
+	// With divergence, C/D exceeds the pure iteration ratio (~2).
+	if ratio := c.CyclesPerGCD / d.CyclesPerGCD; ratio < 2.5 {
+		t.Errorf("C/D SIMT ratio %.2f, want > 2.5 (divergence amplifies)", ratio)
+	}
+	out := DivergenceTable(rs).String()
+	if !strings.Contains(out, "divergence penalty") || !strings.Contains(out, "(C) Binary") {
+		t.Errorf("table wrong:\n%s", out)
+	}
+}
+
+func TestRunDivergenceValidation(t *testing.T) {
+	if _, err := RunDivergence(0, 4, 512, 8, true, 1); err == nil {
+		t.Error("warp size 0 accepted")
+	}
+}
+
+// TestRunCrossover asserts the baseline relationship: batch GCD's
+// advantage over all-pairs grows with corpus size (it is the
+// asymptotically faster engine; the paper's contribution is making the
+// embarrassingly parallel engine fast per pair).
+func TestRunCrossover(t *testing.T) {
+	ps, err := RunCrossover(256, []int{16, 64}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("got %d points", len(ps))
+	}
+	r0 := float64(ps[0].AllPairs) / float64(ps[0].Batch)
+	r1 := float64(ps[1].AllPairs) / float64(ps[1].Batch)
+	// Quadrupling the corpus multiplies all-pairs work by ~16x and batch
+	// work by ~4-5x; allow generous slack for timer noise on a loaded box.
+	if r1 <= r0*0.7 {
+		t.Errorf("batch advantage did not grow: %.2f -> %.2f", r0, r1)
+	}
+	if ps[1].Batch >= ps[1].AllPairs {
+		t.Errorf("batch (%v) not faster than all-pairs (%v) at m=64", ps[1].Batch, ps[1].AllPairs)
+	}
+	out := CrossoverTable(ps).String()
+	if !strings.Contains(out, "batch GCD") || !strings.Contains(out, "all-pairs (E)") {
+		t.Errorf("table wrong:\n%s", out)
+	}
+}
+
+// TestRunOccupancySweep: per-GCD time falls monotonically (weakly) with
+// occupancy until latency is hidden, then the bound shifts away from
+// latency.
+func TestRunOccupancySweep(t *testing.T) {
+	ps, err := RunOccupancySweep(nil, gcd.Approximate, 256, 32, []int{1, 4, 16, 64}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 4 {
+		t.Fatalf("got %d points", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].PerGCDMicros > ps[i-1].PerGCDMicros+1e-9 {
+			t.Errorf("occupancy %d slower than %d: %.3f > %.3f",
+				ps[i].ResidentWarps, ps[i-1].ResidentWarps, ps[i].PerGCDMicros, ps[i-1].PerGCDMicros)
+		}
+	}
+	if ps[0].Bound != "latency" {
+		t.Errorf("1 resident warp bounded by %s, want latency", ps[0].Bound)
+	}
+	if ps[len(ps)-1].Bound == "latency" {
+		t.Error("64 resident warps still latency bound")
+	}
+	if !strings.Contains(OccupancyTable(ps).String(), "bounded by") {
+		t.Error("table wrong")
+	}
+}
+
+// TestRunRelatedWork: the model must reproduce the introduction's
+// headline ordering - the paper's Approximate-on-780Ti beats every prior
+// Binary implementation by a wide margin.
+func TestRunRelatedWork(t *testing.T) {
+	rows, err := RunRelatedWork(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	paper := rows[3]
+	if paper.Alg != gcd.Approximate {
+		t.Fatal("last row is not the paper's implementation")
+	}
+	for _, r := range rows[:3] {
+		if paper.ModelUs >= r.ModelUs {
+			t.Errorf("paper (%.3f us) not faster than %s (%.3f us)", paper.ModelUs, r.Name, r.ModelUs)
+		}
+		if ratio := r.ModelUs / paper.ModelUs; ratio < 3 {
+			t.Errorf("%s only %.1fx slower in model; paper reports >9x", r.Name, ratio)
+		}
+	}
+	if !strings.Contains(RelatedWorkTable(rows).String(), "this paper") {
+		t.Error("table wrong")
+	}
+}
+
+// TestRunObliviousTax: the oblivious bulk execution coalesces perfectly;
+// the semi-oblivious Approximate still wins on total time - the paper's
+// design bet, quantified.
+func TestRunObliviousTax(t *testing.T) {
+	m, err := umm.New(32, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunObliviousTax(m, 512, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ObliviousCoalesced != 1.0 {
+		t.Errorf("oblivious bulk not fully coalesced: %.3f", res.ObliviousCoalesced)
+	}
+	if res.ApproxCoalesced >= 1.0 || res.ApproxCoalesced <= 0 {
+		t.Errorf("Approximate coalescing %.3f outside (0,1)", res.ApproxCoalesced)
+	}
+	if res.ObliviousUnits <= res.ApproxUnits {
+		t.Errorf("oblivious (%0.f) unexpectedly cheaper than Approximate (%.0f)",
+			res.ObliviousUnits, res.ApproxUnits)
+	}
+	if tax := res.ObliviousUnits / res.ApproxUnits; tax < 1.5 || tax > 20 {
+		t.Errorf("obliviousness tax %.2fx outside the plausible band", tax)
+	}
+	if !strings.Contains(res.Table().String(), "tax of full obliviousness") {
+		t.Error("table wrong")
+	}
+}

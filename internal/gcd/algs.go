@@ -1,0 +1,277 @@
+package gcd
+
+import (
+	"math/bits"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// The five algorithm loops. Each receives X >= Y > 0, both odd, as pointers
+// that the loop may exchange (the paper's swap(X, Y) is a pointer exchange,
+// Section IV). Each loop runs until Y = 0, or until Y drops below
+// opt.EarlyBits bits when the early-terminate variant is selected, and
+// leaves the result in *X.
+
+// done reports and records loop termination. It returns true when the loop
+// must stop, setting st.EarlyTerminated for threshold stops.
+func done(Y *mpnat.Nat, opt Options, st *Stats) bool {
+	if Y.IsZero() {
+		return true
+	}
+	if opt.EarlyBits > 0 && Y.BitLen() < opt.EarlyBits {
+		st.EarlyTerminated = true
+		return true
+	}
+	return false
+}
+
+// runOriginal is algorithm (A): do { X <- X mod Y; swap } while Y != 0.
+func runOriginal(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+	for {
+		lx, ly := X.Len(), Y.Len()
+		st.MemOps += int64(2*lx + ly)
+		X.Mod(X, Y)
+		X, Y = Y, X // X mod Y < Y always, so the swap is unconditional
+		record(st, opt, lx, ly, BranchFull, false, true)
+		st.Iterations++
+		if done(Y, opt, st) {
+			return X
+		}
+	}
+}
+
+// runFast is algorithm (B). It uses the identity
+//
+//	Q odd:  X - Y*Q       = X mod Y
+//	Q even: X - Y*(Q-1)   = (X mod Y) + Y
+//
+// so the decremented-quotient update needs no multiprecision multiply.
+func runFast(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+	for {
+		lx, ly := X.Len(), Y.Len()
+		st.MemOps += int64(2*lx + ly)
+		q, r := mpnat.DivMod(X, Y)
+		if q.IsEven() {
+			r.Add(r, Y)
+		}
+		X.Set(r)
+		X.RshiftStrip(X)
+		swapped := X.Cmp(Y) < 0
+		if swapped {
+			X, Y = Y, X
+		}
+		record(st, opt, lx, ly, BranchFull, false, swapped)
+		st.Iterations++
+		if done(Y, opt, st) {
+			return X
+		}
+	}
+}
+
+// runBinary is algorithm (C): halve whichever operand is even, else
+// X <- (X-Y)/2.
+func runBinary(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+	for {
+		lx, ly := X.Len(), Y.Len()
+		var br Branch
+		switch {
+		case X.IsEven():
+			br = BranchHalveX
+			st.MemOps += int64(2 * lx)
+			X.Rshift(X, 1)
+		case Y.IsEven():
+			br = BranchHalveY
+			st.MemOps += int64(2 * ly)
+			Y.Rshift(Y, 1)
+		default:
+			br = BranchFull
+			st.MemOps += int64(2*lx + ly)
+			X.Sub(X, Y)
+			X.Rshift(X, 1)
+		}
+		swapped := X.Cmp(Y) < 0
+		if swapped {
+			X, Y = Y, X
+		}
+		record(st, opt, lx, ly, br, false, swapped)
+		st.Iterations++
+		if done(Y, opt, st) {
+			return X
+		}
+	}
+}
+
+// runFastBinary is algorithm (D): X <- rshift(X - Y).
+func runFastBinary(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+	for {
+		lx, ly := X.Len(), Y.Len()
+		st.MemOps += int64(2*lx + ly)
+		X.SubRshift(X, Y)
+		swapped := X.Cmp(Y) < 0
+		if swapped {
+			X, Y = Y, X
+		}
+		record(st, opt, lx, ly, BranchFull, false, swapped)
+		st.Iterations++
+		if done(Y, opt, st) {
+			return X
+		}
+	}
+}
+
+// runApproximate is algorithm (E), the paper's contribution. The quotient
+// approximation costs one 64-bit division on the top two words (approx,
+// Section III); the update is the single-pass fused X <- rshift(X - Y*alpha)
+// of Section IV, or, with probability below 1e-8 for d = 32 (Section V),
+// the beta > 0 update X <- rshift(X - Y*alpha*D^beta + Y).
+func runApproximate(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+	for {
+		if X.Len() <= 2 {
+			// Case 1: both operands fit in 64 bits; finish there.
+			return runApproximate64(X, Y, opt, st)
+		}
+		lx, ly := X.Len(), Y.Len()
+		alpha, beta, caseID := approx(X, Y)
+		st.CaseCounts[caseID]++
+		if beta == 0 {
+			if alpha&1 == 0 { // alpha even: make it odd
+				alpha--
+			}
+			st.MemOps += int64(2*lx + ly)
+			X.SubMulRshift(X, Y, uint32(alpha))
+		} else {
+			st.BetaNonZero++
+			// The extra "+Y" pass makes this the 4*s/d iteration.
+			st.MemOps += int64(2*lx + 2*ly)
+			X.SubMulShiftAddRshift(X, Y, uint32(alpha), beta)
+		}
+		swapped := X.Cmp(Y) < 0
+		if swapped {
+			X, Y = Y, X
+		}
+		record(st, opt, lx, ly, BranchFull, beta != 0, swapped)
+		st.Iterations++
+		if done(Y, opt, st) {
+			return X
+		}
+	}
+}
+
+// runApproximate64 finishes algorithm (E) once both operands have at most
+// two words (approx Case 1: the exact 64-bit quotient is used). It keeps
+// the paper's iteration semantics - decrement even quotients, subtract,
+// strip trailing zeros - so iteration counts remain comparable.
+func runApproximate64(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+	x, y := X.Uint64(), Y.Uint64()
+	for {
+		lx, ly := wordsOf64(x), wordsOf64(y)
+		st.CaseCounts[Case1]++
+		st.MemOps += int64(2*lx + ly)
+		q := x / y
+		r := x - q*y
+		if q&1 == 0 {
+			// Even quotient: effective alpha is q-1, value (X mod Y) + Y.
+			// r + y can carry past 64 bits; the value is even (X, Y odd,
+			// alpha odd), so fold the carry into the strip shift.
+			sum, carry := bits.Add64(r, y, 0)
+			x = stripWithCarry(sum, carry)
+		} else {
+			x = strip64(r)
+		}
+		swapped := x < y
+		if swapped {
+			x, y = y, x
+		}
+		record(st, opt, lx, ly, BranchFull, false, swapped)
+		st.Iterations++
+		if y == 0 {
+			break
+		}
+		if opt.EarlyBits > 0 && bits.Len64(y) < opt.EarlyBits {
+			st.EarlyTerminated = true
+			X.SetUint64(x)
+			return X
+		}
+	}
+	X.SetUint64(x)
+	Y.SetUint64(0)
+	return X
+}
+
+// strip64 removes trailing zero bits (rshift); strip64(0) = 0.
+func strip64(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return v >> uint(bits.TrailingZeros64(v))
+}
+
+// stripWithCarry strips trailing zeros of the 65-bit value carry:sum,
+// which is known to be even and non-zero.
+func stripWithCarry(sum, carry uint64) uint64 {
+	if carry == 0 {
+		return strip64(sum)
+	}
+	if sum == 0 {
+		return 1 // the value is exactly 2^64
+	}
+	tz := uint(bits.TrailingZeros64(sum))
+	return sum>>tz | 1<<(64-tz)
+}
+
+func wordsOf64(v uint64) int {
+	switch {
+	case v == 0:
+		return 0
+	case v>>32 == 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// approx implements Section III's approx(X, Y) for word size d = 32 on
+// normalized mpnat values with X >= Y and X.Len() >= 3. It returns
+// (alpha, beta, case) with alpha * D^beta <= X div Y and alpha < 2^32.
+// Case 1 (X.Len() <= 2) is handled by runApproximate64 and never reaches
+// here.
+func approx(X, Y *mpnat.Nat) (alpha uint64, beta int, caseID int) {
+	lX, lY := X.Len(), Y.Len()
+	switch lY {
+	case 1:
+		x1 := uint64(X.TopWord())
+		y1 := uint64(Y.TopWord())
+		if x1 >= y1 {
+			return x1 / y1, lX - 1, Case2A
+		}
+		return X.Top2() / y1, lX - 2, Case2B
+	case 2:
+		x12 := X.Top2()
+		y12 := Y.Top2()
+		if x12 >= y12 {
+			return x12 / y12, lX - 2, Case3A
+		}
+		return x12 / (uint64(Y.TopWord()) + 1), lX - 3, Case3B
+	default:
+		x12 := X.Top2()
+		y12 := Y.Top2()
+		switch {
+		case x12 > y12:
+			return x12 / (y12 + 1), lX - lY, Case4A
+		case lX > lY:
+			return x12 / (uint64(Y.TopWord()) + 1), lX - lY - 1, Case4B
+		default:
+			return 1, 0, Case4C
+		}
+	}
+}
+
+// record appends an iteration shape when shape recording is enabled.
+func record(st *Stats, opt Options, lx, ly int, br Branch, extraY, swapped bool) {
+	if !opt.RecordShapes {
+		return
+	}
+	st.Shapes = append(st.Shapes, IterShape{
+		LX: uint16(lx), LY: uint16(ly), Branch: br, ExtraY: extraY, Swapped: swapped,
+	})
+}

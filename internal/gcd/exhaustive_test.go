@@ -1,0 +1,113 @@
+package gcd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// euclid64 is the trivially-correct oracle for small inputs.
+func euclid64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TestExhaustiveSmallOddPairs checks every algorithm on every odd pair
+// (x, y) with 1 <= y <= x < 2^9 - 131 thousand GCDs per algorithm - plus
+// a diagonal band around the 32-bit word boundary. This nails the small-
+// number tails (approx Cases 1-3, the 64-bit fast path, rshift(0),
+// equal inputs) that random testing rarely concentrates on.
+func TestExhaustiveSmallOddPairs(t *testing.T) {
+	scratch := NewScratch(64)
+	for x := uint64(1); x < 1<<9; x += 2 {
+		for y := uint64(1); y <= x; y += 2 {
+			want := euclid64(x, y)
+			for _, alg := range Algorithms {
+				g, _ := scratch.Compute(alg, mpnat.New(x), mpnat.New(y), Options{})
+				if g.Uint64() != want {
+					t.Fatalf("%v(%d,%d) = %v, want %d", alg, x, y, g, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWordBoundaryBand sweeps odd pairs straddling the 1-word/2-word and
+// 2-word/3-word representation boundaries, where approx() switches cases.
+func TestWordBoundaryBand(t *testing.T) {
+	scratch := NewScratch(128)
+	bases := []uint64{
+		1<<32 - 9, 1 << 32, 1<<32 + 9,
+		1<<63 - 9, 1 << 63, 1<<63 + 9,
+	}
+	for _, bx := range bases {
+		for dx := uint64(0); dx < 8; dx += 2 {
+			x := bx + dx + 1 - (bx+dx)%2 // odd near the boundary
+			for _, by := range bases {
+				for dy := uint64(0); dy < 8; dy += 2 {
+					y := by + dy + 1 - (by+dy)%2
+					if y > x {
+						continue
+					}
+					want := euclid64(x, y)
+					for _, alg := range Algorithms {
+						g, _ := scratch.Compute(alg, mpnat.New(x), mpnat.New(y), Options{})
+						if g.Uint64() != want {
+							t.Fatalf("%v(%#x,%#x) = %v, want %#x", alg, x, y, g, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Three-word boundary: X just above 2^64 against small and large Y.
+	three := new(big.Int).Lsh(big.NewInt(1), 64)
+	for _, deltaX := range []int64{1, 3, 0xFFF1} {
+		x := new(big.Int).Add(three, big.NewInt(deltaX))
+		for _, y := range []uint64{1, 3, 1<<32 - 1, 1<<32 + 1, 1<<63 + 1} {
+			wantB := new(big.Int).GCD(nil, nil, x, new(big.Int).SetUint64(y))
+			for _, alg := range Algorithms {
+				g, _ := scratch.Compute(alg, mpnat.FromBig(x), mpnat.New(y), Options{})
+				if g.ToBig().Cmp(wantB) != 0 {
+					t.Fatalf("%v(2^64+%d,%#x) = %v, want %v", alg, deltaX, y, g, wantB)
+				}
+			}
+		}
+	}
+}
+
+// TestHotPathAllocations: the per-pair attack loop must not allocate when
+// the pair is coprime and every iteration stays on the beta = 0 path (the
+// case with probability > 1 - 1e-8), so the all-pairs run's allocation
+// count is proportional to factors found, not pairs. The rare beta > 0
+// update is implemented by composition and may allocate; that is a
+// documented design choice (see mpnat.SubMulShiftAddRshift).
+func TestHotPathAllocations(t *testing.T) {
+	scratch := NewScratch(512)
+	r := rand.New(rand.NewSource(77))
+	pairs := make([][2]*mpnat.Nat, 8)
+	opt := Options{EarlyBits: 256}
+	for i := range pairs {
+		x := mpnat.FromBig(randOdd(r, 512))
+		y := mpnat.FromBig(randOdd(r, 512))
+		// Keep only beta-free coprime pairs (all of them, in practice).
+		if g, st := scratch.Compute(Approximate, x, y, opt); g != nil || st.BetaNonZero > 0 {
+			t.Fatalf("pair %d not a plain coprime pair", i)
+		}
+		pairs[i] = [2]*mpnat.Nat{x, y}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		for _, p := range pairs {
+			if g, _ := scratch.Compute(Approximate, p[0], p[1], opt); g != nil {
+				t.Fatal("unexpected factor")
+			}
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("early-terminate coprime GCDs allocate %.2f times per batch of %d, want 0", avg, len(pairs))
+	}
+}

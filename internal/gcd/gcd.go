@@ -1,0 +1,228 @@
+// Package gcd contains the production word-level (d = 32) implementations
+// of the five Euclidean GCD algorithms of the paper, operating on
+// mpnat.Nat values.
+//
+// These are the implementations whose performance the repository measures:
+// they follow the memory discipline of Section IV (each iteration reads X,
+// reads Y and writes X once; swap exchanges pointers only) and they expose
+// the statistics the paper reports (iteration counts for Table IV, the
+// beta > 0 frequency of Section V, word-level memory-operation counts for
+// the Figure 1 analysis).
+//
+// The loops require odd positive inputs, like the paper's pseudo code; the
+// repository's public API performs the even reductions of Section II before
+// reaching this layer. A Scratch value carries reusable buffers so that the
+// bulk all-pairs computation performs no per-pair allocation.
+package gcd
+
+import (
+	"fmt"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// Algorithm identifies one of the five Euclidean algorithms, in the paper's
+// (A)-(E) order. The values match refgcd.Algorithm.
+type Algorithm int
+
+const (
+	// Original is (A): repeated X mod Y.
+	Original Algorithm = iota
+	// Fast is (B): exact quotient, decremented to odd, with rshift.
+	Fast
+	// Binary is (C): subtract-and-halve.
+	Binary
+	// FastBinary is (D): subtract and strip all trailing zero bits.
+	FastBinary
+	// Approximate is (E): the paper's contribution.
+	Approximate
+)
+
+var algNames = [...]string{"Original", "Fast", "Binary", "FastBinary", "Approximate"}
+
+func (a Algorithm) String() string {
+	if a < Original || a > Approximate {
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+	return algNames[a]
+}
+
+// Letter returns the paper's (A)-(E) label.
+func (a Algorithm) Letter() string {
+	if a < Original || a > Approximate {
+		return "?"
+	}
+	return string(rune('A' + int(a)))
+}
+
+// Algorithms lists all five algorithms in (A)-(E) order.
+var Algorithms = []Algorithm{Original, Fast, Binary, FastBinary, Approximate}
+
+// Case indices for Stats.CaseCounts, following Section III's decision tree.
+const (
+	Case1 = iota
+	Case2A
+	Case2B
+	Case3A
+	Case3B
+	Case4A
+	Case4B
+	Case4C
+	numCases
+)
+
+// CaseName returns the paper's label for an approx() case index.
+func CaseName(c int) string {
+	names := [...]string{"1", "2-A", "2-B", "3-A", "3-B", "4-A", "4-B", "4-C"}
+	if c < 0 || c >= len(names) {
+		return "?"
+	}
+	return names[c]
+}
+
+// Options configures a GCD computation.
+type Options struct {
+	// EarlyBits, when positive, early-terminates as soon as Y has fewer
+	// than EarlyBits bits (the paper uses s/2 for s-bit RSA moduli).
+	// The computation then reports coprime inputs without running the
+	// small-number tail.
+	EarlyBits int
+
+	// RecordShapes captures the per-iteration operand shapes in
+	// Stats.Shapes, from which the bulk layer replays the exact word-level
+	// memory access stream on the UMM simulator.
+	RecordShapes bool
+}
+
+// Branch identifies which memory pass an iteration performed, for the UMM
+// replay of Section IV's access pattern.
+type Branch uint8
+
+const (
+	// BranchFull is the read-X/read-Y/write-X pass shared by (A), (B),
+	// (D), (E) and the subtract case of (C).
+	BranchFull Branch = iota
+	// BranchHalveX is (C)'s X-even case: read and write X only.
+	BranchHalveX
+	// BranchHalveY is (C)'s Y-even case: read and write Y only.
+	BranchHalveY
+)
+
+// IterShape records the operand shape of one iteration: everything needed
+// to regenerate the iteration's memory access addresses.
+type IterShape struct {
+	// LX, LY are the word lengths of X and Y at the start of the iteration.
+	LX, LY uint16
+	// Branch selects the memory pass.
+	Branch Branch
+	// ExtraY marks Approximate's beta > 0 path, which re-reads Y.
+	ExtraY bool
+	// Swapped marks a pointer exchange at the end of the iteration.
+	Swapped bool
+}
+
+// Stats reports what one GCD computation did.
+type Stats struct {
+	// Iterations counts executions of the do-while body.
+	Iterations int
+
+	// EarlyTerminated reports that the run stopped on the EarlyBits
+	// threshold with non-zero Y.
+	EarlyTerminated bool
+
+	// BetaNonZero counts Approximate iterations taking the beta > 0 path.
+	BetaNonZero int
+
+	// CaseCounts tallies approx() cases (Approximate only).
+	CaseCounts [numCases]int
+
+	// MemOps counts word-level memory operations per the accounting of
+	// Section IV: one per word of X read, word of Y read and word of X
+	// written in each iteration, plus one extra read pass over Y on the
+	// beta > 0 path. O(1) head-word peeks are not counted.
+	MemOps int64
+
+	// Shapes is the per-iteration trace when Options.RecordShapes is set.
+	Shapes []IterShape
+}
+
+// Add accumulates other into s (used by the bulk layer to aggregate).
+func (s *Stats) Add(other *Stats) {
+	s.Iterations += other.Iterations
+	s.BetaNonZero += other.BetaNonZero
+	s.MemOps += other.MemOps
+	for i := range s.CaseCounts {
+		s.CaseCounts[i] += other.CaseCounts[i]
+	}
+}
+
+// Scratch holds the working storage for GCD computations. A Scratch is not
+// safe for concurrent use; the bulk layer allocates one per worker. Reusing
+// a Scratch across computations avoids all per-pair allocation except for
+// the returned factor (allocated only when a non-trivial factor is found).
+type Scratch struct {
+	x, y mpnat.Nat
+}
+
+// NewScratch returns a Scratch sized for operands up to bits wide.
+func NewScratch(bits int) *Scratch {
+	s := &Scratch{}
+	words := (bits+31)/32 + 2
+	s.x.Grow(words)
+	s.y.Grow(words)
+	return s
+}
+
+// Compute runs algorithm alg on x and y (both odd and positive; x and y are
+// not modified) and returns the gcd. For early-terminated runs the returned
+// gcd is nil, meaning "coprime at RSA scale" (the paper returns 1).
+func (s *Scratch) Compute(alg Algorithm, x, y *mpnat.Nat, opt Options) (*mpnat.Nat, Stats) {
+	X, Y := &s.x, &s.y
+	X.Set(x)
+	Y.Set(y)
+	if X.Cmp(Y) < 0 {
+		X, Y = Y, X
+	}
+	var st Stats
+	var res *mpnat.Nat
+	switch alg {
+	case Original:
+		res = runOriginal(X, Y, opt, &st)
+	case Fast:
+		res = runFast(X, Y, opt, &st)
+	case Binary:
+		res = runBinary(X, Y, opt, &st)
+	case FastBinary:
+		res = runFastBinary(X, Y, opt, &st)
+	case Approximate:
+		res = runApproximate(X, Y, opt, &st)
+	default:
+		panic(fmt.Sprintf("gcd: unknown algorithm %v", alg))
+	}
+	if st.EarlyTerminated {
+		return nil, st
+	}
+	return res.Clone(), st
+}
+
+// Compute is the convenience entry point; it allocates a Scratch per call.
+// Hot paths should hold a Scratch and call its Compute method.
+func Compute(alg Algorithm, x, y *mpnat.Nat, opt Options) (*mpnat.Nat, Stats) {
+	bits := x.BitLen()
+	if yb := y.BitLen(); yb > bits {
+		bits = yb
+	}
+	return NewScratch(bits).Compute(alg, x, y, opt)
+}
+
+// Validate reports whether x and y are acceptable inputs for the core
+// loops: positive and odd.
+func Validate(x, y *mpnat.Nat) error {
+	if x.IsZero() || y.IsZero() {
+		return fmt.Errorf("gcd: inputs must be positive")
+	}
+	if x.IsEven() || y.IsEven() {
+		return fmt.Errorf("gcd: inputs must be odd")
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package gcd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/refgcd"
+)
+
+func randOdd(r *rand.Rand, bits int) *big.Int {
+	if bits < 1 {
+		bits = 1
+	}
+	v := new(big.Int)
+	for v.BitLen() < bits {
+		v.Lsh(v, 32)
+		v.Or(v, new(big.Int).SetUint64(uint64(r.Uint32())))
+	}
+	v.Rsh(v, uint(v.BitLen()-bits))
+	v.SetBit(v, bits-1, 1)
+	v.SetBit(v, 0, 1)
+	return v
+}
+
+func nextPrime(v *big.Int) *big.Int {
+	p := new(big.Int).Set(v)
+	p.SetBit(p, 0, 1)
+	for !p.ProbablyPrime(32) {
+		p.Add(p, big.NewInt(2))
+	}
+	return p
+}
+
+// refAlg maps this package's algorithm ids onto refgcd's.
+func refAlg(a Algorithm) refgcd.Algorithm { return refgcd.Algorithm(a) }
+
+// TestMatchesReferenceOracle cross-checks every algorithm against the
+// math/big reference implementation at d = 32: same gcd, same iteration
+// count, and for Approximate the same beta > 0 count.
+func TestMatchesReferenceOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 250; i++ {
+		x := randOdd(r, 2+r.Intn(700))
+		y := randOdd(r, 2+r.Intn(700))
+		for _, alg := range Algorithms {
+			want, err := refgcd.Run(refAlg(alg), x, y, refgcd.Options{WordBits: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, st := Compute(alg, mpnat.FromBig(x), mpnat.FromBig(y), Options{})
+			if g.ToBig().Cmp(want.GCD) != 0 {
+				t.Fatalf("%v(%v,%v) = %v, want %v", alg, x, y, g, want.GCD)
+			}
+			if st.Iterations != want.Iterations {
+				t.Fatalf("%v(%v,%v): %d iterations, reference %d",
+					alg, x, y, st.Iterations, want.Iterations)
+			}
+			if alg == Approximate && st.BetaNonZero != want.BetaNonZero {
+				t.Fatalf("Approximate(%v,%v): BetaNonZero %d, reference %d",
+					x, y, st.BetaNonZero, want.BetaNonZero)
+			}
+		}
+	}
+}
+
+// TestApproximateCaseCountsMatchReference compares the full approx() case
+// histogram against the reference.
+func TestApproximateCaseCountsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		x := randOdd(r, 64+r.Intn(512))
+		y := randOdd(r, 64+r.Intn(512))
+		want, err := refgcd.Run(refgcd.Approximate, x, y, refgcd.Options{WordBits: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st := Compute(Approximate, mpnat.FromBig(x), mpnat.FromBig(y), Options{})
+		for c := 0; c < numCases; c++ {
+			if st.CaseCounts[c] != want.CaseCounts[CaseName(c)] {
+				t.Fatalf("case %s: count %d, reference %d (inputs %v, %v)",
+					CaseName(c), st.CaseCounts[c], want.CaseCounts[CaseName(c)], x, y)
+			}
+		}
+	}
+}
+
+// TestAgainstBigGCD is an independent correctness check straight against
+// math/big with no intermediary.
+func TestAgainstBigGCD(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		// Mix in inputs with a planted common odd factor.
+		g := randOdd(r, 1+r.Intn(64))
+		x := new(big.Int).Mul(randOdd(r, 2+r.Intn(300)), g)
+		y := new(big.Int).Mul(randOdd(r, 2+r.Intn(300)), g)
+		if x.Bit(0) == 0 || y.Bit(0) == 0 {
+			continue
+		}
+		want := new(big.Int).GCD(nil, nil, x, y)
+		for _, alg := range Algorithms {
+			got, _ := Compute(alg, mpnat.FromBig(x), mpnat.FromBig(y), Options{})
+			if got.ToBig().Cmp(want) != 0 {
+				t.Fatalf("%v(%v,%v) = %v, want %v", alg, x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestSharedPrimeRecovery is the paper's actual use case: two RSA moduli
+// sharing a prime are factored by every algorithm, in both terminate modes.
+func TestSharedPrimeRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, bits := range []int{256, 512} {
+		p := nextPrime(randOdd(r, bits/2))
+		q1 := nextPrime(randOdd(r, bits/2))
+		q2 := nextPrime(randOdd(r, bits/2))
+		n1 := mpnat.FromBig(new(big.Int).Mul(p, q1))
+		n2 := mpnat.FromBig(new(big.Int).Mul(p, q2))
+		for _, alg := range Algorithms {
+			for _, early := range []int{0, bits / 2} {
+				g, st := Compute(alg, n1, n2, Options{EarlyBits: early})
+				if g == nil {
+					t.Fatalf("%v bits=%d early=%d: reported coprime for shared prime", alg, bits, early)
+				}
+				if g.ToBig().Cmp(p) != 0 {
+					t.Fatalf("%v bits=%d early=%d: gcd = %v, want shared prime %v", alg, bits, early, g, p)
+				}
+				if st.EarlyTerminated {
+					t.Fatalf("%v: early-terminated on a shared-prime pair", alg)
+				}
+			}
+		}
+	}
+}
+
+// TestEarlyTerminateCoprime checks that the early variant detects coprime
+// RSA-scale moduli (nil result) in roughly half the iterations, the
+// paper's Table IV observation.
+func TestEarlyTerminateCoprime(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, alg := range Algorithms {
+		fullSum, earlySum := 0, 0
+		for i := 0; i < 10; i++ {
+			x := mpnat.FromBig(randOdd(r, 512))
+			y := mpnat.FromBig(randOdd(r, 512))
+			gF, stF := Compute(alg, x, y, Options{})
+			gE, stE := Compute(alg, x, y, Options{EarlyBits: 256})
+			if gF == nil {
+				t.Fatal("non-terminate run returned nil")
+			}
+			if gE != nil {
+				t.Fatalf("%v: early run returned %v for coprime inputs", alg, gE)
+			}
+			if !stE.EarlyTerminated {
+				t.Fatalf("%v: EarlyTerminated not set", alg)
+			}
+			fullSum += stF.Iterations
+			earlySum += stE.Iterations
+		}
+		ratio := float64(earlySum) / float64(fullSum)
+		if ratio < 0.35 || ratio > 0.65 {
+			t.Errorf("%v: early/full iteration ratio %.3f outside [0.35,0.65]", alg, ratio)
+		}
+	}
+}
+
+// TestIterationProportionality checks Table IV's observation 2: iteration
+// counts are proportional to input length (doubling bits ~doubles counts).
+func TestIterationProportionality(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	mean := func(alg Algorithm, bits, n int) float64 {
+		total := 0
+		for i := 0; i < n; i++ {
+			x := mpnat.FromBig(randOdd(r, bits))
+			y := mpnat.FromBig(randOdd(r, bits))
+			_, st := Compute(alg, x, y, Options{})
+			total += st.Iterations
+		}
+		return float64(total) / float64(n)
+	}
+	for _, alg := range []Algorithm{FastBinary, Approximate} {
+		m256 := mean(alg, 256, 30)
+		m512 := mean(alg, 512, 30)
+		ratio := m512 / m256
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("%v: 512/256 iteration ratio %.2f, want ~2", alg, ratio)
+		}
+	}
+}
+
+// TestIterationRanking checks Table IV's observation 3 on means:
+// (E) ~ (B) < (D) < (C), with (E) about half of (D) and a quarter of (C).
+func TestIterationRanking(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 40
+	var sums [5]float64
+	for i := 0; i < n; i++ {
+		x := randOdd(r, 512)
+		y := randOdd(r, 512)
+		for _, alg := range Algorithms {
+			_, st := Compute(alg, mpnat.FromBig(x), mpnat.FromBig(y), Options{})
+			sums[alg] += float64(st.Iterations) / n
+		}
+	}
+	if !(sums[Approximate] < sums[FastBinary] && sums[FastBinary] < sums[Binary]) {
+		t.Errorf("ranking violated: E=%.1f D=%.1f C=%.1f", sums[Approximate], sums[FastBinary], sums[Binary])
+	}
+	if ratio := sums[FastBinary] / sums[Approximate]; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("D/E iteration ratio %.2f, want ~2", ratio)
+	}
+	if ratio := sums[Binary] / sums[Approximate]; ratio < 3.2 || ratio > 4.5 {
+		t.Errorf("C/E iteration ratio %.2f, want ~4", ratio)
+	}
+	// (E) vs (B): Table IV reports a relative difference around 1e-5; at
+	// this sample size the sign can fluctuate, so assert only magnitude.
+	rel := (sums[Approximate] - sums[Fast]) / sums[Fast]
+	if rel < -0.005 || rel > 0.005 {
+		t.Errorf("(E)-(B) relative difference %.5f, want |diff| < 0.5%%", rel)
+	}
+}
+
+// TestMemOpsPerIteration validates the Section IV accounting: for
+// Approximate on s-bit inputs, memory operations per iteration stay close
+// to 3*s/32 (the fraction of beta>0 iterations is negligible), and below
+// it on average since operands shrink.
+func TestMemOpsPerIteration(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, bits := range []int{512, 1024, 2048} {
+		x := mpnat.FromBig(randOdd(r, bits))
+		y := mpnat.FromBig(randOdd(r, bits))
+		_, st := Compute(Approximate, x, y, Options{})
+		perIter := float64(st.MemOps) / float64(st.Iterations)
+		bound := 3.0 * float64(bits) / 32.0
+		if perIter > bound+4 {
+			t.Errorf("bits=%d: %.1f mem ops/iteration exceeds 3s/d = %.1f", bits, perIter, bound)
+		}
+		if perIter < bound/4 {
+			t.Errorf("bits=%d: %.1f mem ops/iteration implausibly low", bits, perIter)
+		}
+		// Early-terminate keeps operands at >= s/2 bits, so the per-iteration
+		// cost must be at least 3*(s/2)/32 * (2/3 read share)... simply: at
+		// least half the full-size bound.
+		_, stE := Compute(Approximate, x, y, Options{EarlyBits: bits / 2})
+		perIterE := float64(stE.MemOps) / float64(stE.Iterations)
+		if perIterE < bound/2-4 || perIterE > bound+4 {
+			t.Errorf("bits=%d early: %.1f mem ops/iteration outside [%.1f,%.1f]",
+				bits, perIterE, bound/2-4, bound+4)
+		}
+	}
+}
+
+// TestBetaZeroOverwhelming validates Section V's claim that approx()
+// returns beta = 0 with overwhelming probability for d = 32. The paper
+// measures < 1e-8; we assert a conservative bound on a smaller sample.
+func TestBetaZeroOverwhelming(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	totalIters, totalBeta := 0, 0
+	for i := 0; i < 200; i++ {
+		x := mpnat.FromBig(randOdd(r, 512))
+		y := mpnat.FromBig(randOdd(r, 512))
+		_, st := Compute(Approximate, x, y, Options{})
+		totalIters += st.Iterations
+		totalBeta += st.BetaNonZero
+	}
+	if totalIters < 30000 {
+		t.Fatalf("sample too small: %d iterations", totalIters)
+	}
+	if frac := float64(totalBeta) / float64(totalIters); frac > 1e-3 {
+		t.Errorf("beta>0 fraction %.2e, want < 1e-3 (paper: <1e-8)", frac)
+	}
+}
+
+// TestScratchReuse confirms a Scratch computes correctly across many calls
+// and that results are independent of prior state.
+func TestScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	s := NewScratch(512)
+	for i := 0; i < 100; i++ {
+		x := randOdd(r, 2+r.Intn(512))
+		y := randOdd(r, 2+r.Intn(512))
+		want := new(big.Int).GCD(nil, nil, x, y)
+		g, _ := s.Compute(Approximate, mpnat.FromBig(x), mpnat.FromBig(y), Options{})
+		if g.ToBig().Cmp(want) != 0 {
+			t.Fatalf("reused scratch wrong at i=%d", i)
+		}
+	}
+}
+
+// TestComputeDoesNotModifyInputs guards the documented contract.
+func TestComputeDoesNotModifyInputs(t *testing.T) {
+	x := mpnat.New(1043915)
+	y := mpnat.New(768955)
+	for _, alg := range Algorithms {
+		Compute(alg, x, y, Options{})
+		if x.Uint64() != 1043915 || y.Uint64() != 768955 {
+			t.Fatalf("%v modified its inputs", alg)
+		}
+	}
+}
+
+// TestSmallAndDegenerateInputs covers the boundary conditions of the loops.
+func TestSmallAndDegenerateInputs(t *testing.T) {
+	cases := []struct{ x, y, want uint64 }{
+		{1, 1, 1},
+		{3, 1, 1},
+		{1, 3, 1},
+		{9, 3, 3},
+		{39, 9, 3},
+		{15, 7, 1},
+		{0xFFFFFFFF, 3, 3},
+		{982451653, 982451653, 982451653},
+		{1043915, 768955, 5},
+		{1<<63 + 1, 3, 3}, // straddles the 64-bit boundary
+		{0xFFFFFFFFFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF}, // 2^64-1 = (2^32-1)(2^32+1)
+	}
+	for _, c := range cases {
+		for _, alg := range Algorithms {
+			g, _ := Compute(alg, mpnat.New(c.x), mpnat.New(c.y), Options{})
+			if g.Uint64() != c.want {
+				t.Errorf("%v(%d,%d) = %v, want %d", alg, c.x, c.y, g, c.want)
+			}
+		}
+	}
+}
+
+// TestEqualLongInputs exercises the Case 4-C path (identical moduli, the
+// duplicate-key situation): gcd(n, n) = n.
+func TestEqualLongInputs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := mpnat.FromBig(randOdd(r, 1024))
+	for _, alg := range Algorithms {
+		g, _ := Compute(alg, n, n, Options{})
+		if g.Cmp(n) != 0 {
+			t.Errorf("%v: gcd(n,n) != n", alg)
+		}
+	}
+	// Near-equal inputs: top words equal, low words differing.
+	m := n.Clone()
+	mb := m.ToBig()
+	mb.Sub(mb, big.NewInt(2))
+	m = mpnat.FromBig(mb)
+	_, st := Compute(Approximate, n, m, Options{})
+	if st.CaseCounts[Case4C] == 0 {
+		t.Error("near-equal 1024-bit inputs never took Case 4-C")
+	}
+}
+
+// TestCase2And3Reachable drives the non-terminate tail into the short-Y
+// approx cases with crafted inputs (huge X, tiny Y).
+func TestCase2And3Reachable(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	var hit2A, hit2B, hit3A, hit3B bool
+	for i := 0; i < 400 && !(hit2A && hit2B && hit3A && hit3B); i++ {
+		x := randOdd(r, 128+r.Intn(128))
+		y := randOdd(r, 17+r.Intn(80)) // 1-3 word Y
+		want := new(big.Int).GCD(nil, nil, x, y)
+		g, st := Compute(Approximate, mpnat.FromBig(x), mpnat.FromBig(y), Options{})
+		if g.ToBig().Cmp(want) != 0 {
+			t.Fatalf("Approximate(%v,%v) = %v, want %v", x, y, g, want)
+		}
+		hit2A = hit2A || st.CaseCounts[Case2A] > 0
+		hit2B = hit2B || st.CaseCounts[Case2B] > 0
+		hit3A = hit3A || st.CaseCounts[Case3A] > 0
+		hit3B = hit3B || st.CaseCounts[Case3B] > 0
+	}
+	if !hit2A || !hit2B || !hit3A || !hit3B {
+		t.Errorf("approx cases not all reached: 2A=%v 2B=%v 3A=%v 3B=%v", hit2A, hit2B, hit3A, hit3B)
+	}
+}
+
+// TestStatsAdd checks the aggregation helper used by the bulk layer.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Iterations: 3, BetaNonZero: 1, MemOps: 100}
+	a.CaseCounts[Case4A] = 2
+	b := Stats{Iterations: 4, MemOps: 50}
+	b.CaseCounts[Case4A] = 5
+	a.Add(&b)
+	if a.Iterations != 7 || a.BetaNonZero != 1 || a.MemOps != 150 || a.CaseCounts[Case4A] != 7 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	odd := mpnat.New(15)
+	even := mpnat.New(14)
+	zero := &mpnat.Nat{}
+	if Validate(odd, odd) != nil {
+		t.Error("valid inputs rejected")
+	}
+	if Validate(even, odd) == nil || Validate(odd, even) == nil {
+		t.Error("even input accepted")
+	}
+	if Validate(zero, odd) == nil || Validate(odd, zero) == nil {
+		t.Error("zero input accepted")
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	if Approximate.String() != "Approximate" || Binary.Letter() != "C" {
+		t.Error("names wrong")
+	}
+	if Algorithm(42).String() == "" || Algorithm(42).Letter() != "?" {
+		t.Error("out-of-range handling wrong")
+	}
+	if CaseName(Case3B) != "3-B" || CaseName(-1) != "?" {
+		t.Error("case names wrong")
+	}
+}
+
+func benchPair(b *testing.B, bits int) (*mpnat.Nat, *mpnat.Nat) {
+	b.Helper()
+	r := rand.New(rand.NewSource(int64(bits)))
+	return mpnat.FromBig(randOdd(r, bits)), mpnat.FromBig(randOdd(r, bits))
+}
+
+func benchAlg(b *testing.B, alg Algorithm, bits, early int) {
+	x, y := benchPair(b, bits)
+	s := NewScratch(bits)
+	opt := Options{EarlyBits: early}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Compute(alg, x, y, opt)
+	}
+}
+
+func BenchmarkApproximate1024(b *testing.B)      { benchAlg(b, Approximate, 1024, 0) }
+func BenchmarkApproximate1024Early(b *testing.B) { benchAlg(b, Approximate, 1024, 512) }
+func BenchmarkFastBinary1024(b *testing.B)       { benchAlg(b, FastBinary, 1024, 0) }
+func BenchmarkBinary1024(b *testing.B)           { benchAlg(b, Binary, 1024, 0) }
+func BenchmarkFast1024(b *testing.B)             { benchAlg(b, Fast, 1024, 0) }
+func BenchmarkOriginal1024(b *testing.B)         { benchAlg(b, Original, 1024, 0) }

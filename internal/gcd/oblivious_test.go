@@ -1,0 +1,131 @@
+package gcd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// TestObliviousAgainstBig: correctness on random odd inputs.
+func TestObliviousAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(60))
+	s := NewScratch(1024)
+	for i := 0; i < 300; i++ {
+		x := randOdd(r, 2+r.Intn(700))
+		y := randOdd(r, 2+r.Intn(700))
+		want := new(big.Int).GCD(nil, nil, x, y)
+		g, st := s.ComputeOblivious(mpnat.FromBig(x), mpnat.FromBig(y), Options{})
+		if g.ToBig().Cmp(want) != 0 {
+			t.Fatalf("oblivious gcd(%v,%v) = %v, want %v", x, y, g, want)
+		}
+		maxBits := x.BitLen()
+		if yb := y.BitLen(); yb > maxBits {
+			maxBits = yb
+		}
+		if st.Iterations != ObliviousIterations(maxBits) {
+			t.Fatalf("iterations %d, want fixed %d", st.Iterations, ObliviousIterations(maxBits))
+		}
+	}
+}
+
+// TestObliviousSmallExhaustive: every odd pair below 2^8.
+func TestObliviousSmallExhaustive(t *testing.T) {
+	s := NewScratch(64)
+	for x := uint64(1); x < 1<<8; x += 2 {
+		for y := uint64(1); y < 1<<8; y += 2 {
+			want := euclid64(x, y)
+			g, _ := s.ComputeOblivious(mpnat.New(x), mpnat.New(y), Options{})
+			if g.Uint64() != want {
+				t.Fatalf("oblivious gcd(%d,%d) = %v, want %d", x, y, g, want)
+			}
+		}
+	}
+}
+
+// TestObliviousPaperExample: the running example of Tables I-III.
+func TestObliviousPaperExample(t *testing.T) {
+	s := NewScratch(64)
+	g, st := s.ComputeOblivious(mpnat.New(1043915), mpnat.New(768955), Options{})
+	if g.Uint64() != 5 {
+		t.Fatalf("gcd = %v, want 5", g)
+	}
+	if st.Iterations != 2*32 { // 20-bit inputs occupy one 32-bit word
+		t.Fatalf("iterations = %d, want 64", st.Iterations)
+	}
+}
+
+// TestObliviousTraceIsInputIndependent: the defining property. Two
+// arbitrary input pairs of the same width must produce identical
+// iteration-shape traces.
+func TestObliviousTraceIsInputIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	s := NewScratch(512)
+	opt := Options{RecordShapes: true}
+	var ref []IterShape
+	for i := 0; i < 10; i++ {
+		x := randOdd(r, 512)
+		y := randOdd(r, 512)
+		_, st := s.ComputeOblivious(mpnat.FromBig(x), mpnat.FromBig(y), opt)
+		if ref == nil {
+			ref = st.Shapes
+			continue
+		}
+		if len(st.Shapes) != len(ref) {
+			t.Fatalf("trace lengths differ: %d vs %d", len(st.Shapes), len(ref))
+		}
+		for k := range ref {
+			if st.Shapes[k] != ref[k] {
+				t.Fatalf("trace diverges at iteration %d: %+v vs %+v", k, st.Shapes[k], ref[k])
+			}
+		}
+	}
+}
+
+// TestObliviousSharedPrime: the attack use case still works.
+func TestObliviousSharedPrime(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	p := nextPrime(randOdd(r, 128))
+	q1 := nextPrime(randOdd(r, 128))
+	q2 := nextPrime(randOdd(r, 128))
+	n1 := mpnat.FromBig(new(big.Int).Mul(p, q1))
+	n2 := mpnat.FromBig(new(big.Int).Mul(p, q2))
+	s := NewScratch(256)
+	g, _ := s.ComputeOblivious(n1, n2, Options{})
+	if g.ToBig().Cmp(p) != 0 {
+		t.Fatalf("oblivious gcd missed the shared prime")
+	}
+}
+
+// TestObliviousFixedCostVsApproximate quantifies the obliviousness tax:
+// the fixed 2s-iteration full-width loop performs ~5-6x the memory
+// operations of semi-oblivious Approximate (without early termination).
+func TestObliviousFixedCostVsApproximate(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	s := NewScratch(512)
+	var obl, apx int64
+	for i := 0; i < 20; i++ {
+		x := mpnat.FromBig(randOdd(r, 512))
+		y := mpnat.FromBig(randOdd(r, 512))
+		_, stO := s.ComputeOblivious(x, y, Options{})
+		obl += stO.MemOps
+		_, stA := s.Compute(Approximate, x, y, Options{})
+		apx += stA.MemOps
+	}
+	ratio := float64(obl) / float64(apx)
+	if ratio < 3 || ratio > 12 {
+		t.Errorf("obliviousness tax %.1fx outside the expected 3-12x band", ratio)
+	}
+}
+
+func BenchmarkOblivious512(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := mpnat.FromBig(randOdd(r, 512))
+	y := mpnat.FromBig(randOdd(r, 512))
+	s := NewScratch(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ComputeOblivious(x, y, Options{})
+	}
+}

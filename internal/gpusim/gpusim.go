@@ -1,0 +1,275 @@
+// Package gpusim composes the repository's two device models - the UMM
+// global-memory model of Section VI (coalescing, address groups, latency)
+// and the SIMT execution model of Section VII (warp-serialized branch
+// bodies) - into one simulated GPU, so that a bulk GCD kernel can be
+// costed end to end the way the paper's CUDA device executes it.
+//
+// # Model
+//
+// A Device has S streaming multiprocessors. Thread blocks of the kernel
+// are assigned to SMs round-robin (the paper's grid of (m/r)^2 blocks).
+// Every block is split into warps of WarpSize threads. For each warp the
+// simulator derives, from the real per-thread iteration traces:
+//
+//   - compute cycles: the SIMT-serialized branch-body cost (package simt);
+//   - memory transactions: the number of (warp, address-group) pairs its
+//     word accesses occupy in column-wise layout (package umm/bulk);
+//   - memory rounds: the number of dependent memory steps.
+//
+// An SM interleaves ResidentWarps warps to hide memory latency. Its
+// execution time is the throughput maximum of the three resources:
+//
+//	smTime = max( sumCompute,                 // ALU bound
+//	              sumTransactions,            // memory bandwidth bound
+//	              sumRounds * l / Resident )  // latency bound
+//
+// and the device time is the maximum over SMs (SMs run concurrently).
+// This is a standard roofline treatment; the paper's observation that
+// "time for these operations [is] hidden by large memory access latency"
+// corresponds to the latency/bandwidth terms dominating the compute term.
+package gpusim
+
+import (
+	"fmt"
+
+	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/simt"
+	"bulkgcd/internal/umm"
+)
+
+// Device describes the simulated GPU.
+type Device struct {
+	// SMs is the number of streaming multiprocessors (GTX 780 Ti: 15).
+	SMs int
+	// WarpSize is the SIMT width (CUDA: 32).
+	WarpSize int
+	// MemWidth is the UMM address-group width (words per transaction).
+	MemWidth int
+	// MemLatency is the UMM pipeline latency l in cycles.
+	MemLatency int
+	// ResidentWarps is the number of warps an SM interleaves to hide
+	// latency (occupancy).
+	ResidentWarps int
+	// ClockGHz converts cycles to time.
+	ClockGHz float64
+	// BranchOverhead is the fixed per-branch-body dispatch cost.
+	BranchOverhead int64
+}
+
+// GTX780Ti returns a device parameterization inspired by the paper's
+// hardware: 15 SMX, warps of 32, ~0.9 GHz, deep memory pipeline.
+func GTX780Ti() *Device {
+	return &Device{
+		SMs: 15, WarpSize: 32, MemWidth: 32, MemLatency: 400,
+		ResidentWarps: 32, ClockGHz: 0.928, BranchOverhead: 4,
+	}
+}
+
+// validate checks the configuration.
+func (d *Device) validate() error {
+	switch {
+	case d.SMs < 1:
+		return fmt.Errorf("gpusim: SMs %d < 1", d.SMs)
+	case d.WarpSize < 1:
+		return fmt.Errorf("gpusim: warp size %d < 1", d.WarpSize)
+	case d.MemWidth < 1:
+		return fmt.Errorf("gpusim: memory width %d < 1", d.MemWidth)
+	case d.MemLatency < 1:
+		return fmt.Errorf("gpusim: memory latency %d < 1", d.MemLatency)
+	case d.ResidentWarps < 1:
+		return fmt.Errorf("gpusim: resident warps %d < 1", d.ResidentWarps)
+	case d.ClockGHz <= 0:
+		return fmt.Errorf("gpusim: clock %v <= 0", d.ClockGHz)
+	}
+	return nil
+}
+
+// Bound names the resource that limited the simulated execution.
+type Bound string
+
+// The three roofline resources.
+const (
+	ComputeBound Bound = "compute"
+	MemoryBound  Bound = "memory"
+	LatencyBound Bound = "latency"
+)
+
+// Report is the outcome of a simulated kernel execution.
+type Report struct {
+	// Cycles is the device execution time in cycles (max over SMs).
+	Cycles int64
+	// Seconds is Cycles at the device clock.
+	Seconds float64
+	// PerGCDMicros is microseconds per GCD at full device throughput.
+	PerGCDMicros float64
+	// BoundedBy names the dominating resource of the slowest SM.
+	BoundedBy Bound
+	// ComputeCycles, MemTransactions, MemRounds are device-wide totals.
+	ComputeCycles   int64
+	MemTransactions int64
+	MemRounds       int64
+	// DivergencePenalty is the SIMT penalty over all warps.
+	DivergencePenalty float64
+	// GCDs is the number of thread GCDs simulated.
+	GCDs int
+}
+
+// SimulateBulkGCD runs one GCD per thread (thread j computes
+// gcd(xs[j], ys[j])) through the device model, with threads grouped into
+// blocks of blockSize (the paper's r = 64).
+func (d *Device) SimulateBulkGCD(alg gcd.Algorithm, xs, ys []*mpnat.Nat, early bool, blockSize int) (*Report, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("gpusim: need equal non-empty operand slices")
+	}
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	maxBits := 0
+	for i := range xs {
+		if err := gcd.Validate(xs[i], ys[i]); err != nil {
+			return nil, fmt.Errorf("gpusim: thread %d: %w", i, err)
+		}
+		for _, v := range []*mpnat.Nat{xs[i], ys[i]} {
+			if b := v.BitLen(); b > maxBits {
+				maxBits = b
+			}
+		}
+	}
+	words := (maxBits + 31) / 32
+
+	// Record the real traces.
+	scratch := gcd.NewScratch(maxBits)
+	traces := make([][]gcd.IterShape, len(xs))
+	for j := range xs {
+		opt := gcd.Options{RecordShapes: true}
+		if early {
+			s := xs[j].BitLen()
+			if yb := ys[j].BitLen(); yb < s {
+				s = yb
+			}
+			opt.EarlyBits = s / 2
+		}
+		_, st := scratch.Compute(alg, xs[j], ys[j], opt)
+		traces[j] = st.Shapes
+	}
+	return d.simulateTraces(traces, words, blockSize)
+}
+
+// simulateTraces runs the device model over recorded traces.
+func (d *Device) simulateTraces(traces [][]gcd.IterShape, words, blockSize int) (*Report, error) {
+	simtM, err := simt.New(d.WarpSize, d.BranchOverhead)
+	if err != nil {
+		return nil, err
+	}
+	memM, err := umm.New(d.MemWidth, 1) // latency accounted in the roofline
+	if err != nil {
+		return nil, err
+	}
+
+	type smLoad struct {
+		compute int64
+		groups  int64
+		rounds  int64
+	}
+	sms := make([]smLoad, d.SMs)
+	rep := &Report{GCDs: len(traces)}
+	var idealCycles int64
+
+	blockIdx := 0
+	for base := 0; base < len(traces); base += blockSize {
+		end := base + blockSize
+		if end > len(traces) {
+			end = len(traces)
+		}
+		sm := &sms[blockIdx%d.SMs]
+		blockIdx++
+		// Split the block into warps; warps within a block share the SM.
+		for wb := base; wb < end; wb += d.WarpSize {
+			we := wb + d.WarpSize
+			if we > end {
+				we = end
+			}
+			warp := traces[wb:we]
+
+			cres := simtM.Run(warp)
+			sm.compute += cres.Cycles
+			idealCycles += cres.IdealCycles
+			rep.ComputeCycles += cres.Cycles
+
+			// Memory: replay the warp's word accesses column-wise. The
+			// warp's threads index the arena locally (p = warp size), as
+			// each block's arenas are contiguous per the paper's layout.
+			progs := make([]umm.Program, len(warp))
+			for t := range warp {
+				progs[t] = bulk.ShapeProgram(warp[t], len(warp), t, words)
+			}
+			mres := memM.Run(progs)
+			sm.groups += mres.Groups
+			sm.rounds += mres.Rounds
+			rep.MemTransactions += mres.Groups
+			rep.MemRounds += mres.Rounds
+		}
+	}
+
+	// Roofline per SM; device time is the slowest SM.
+	for _, sm := range sms {
+		lat := sm.rounds * int64(d.MemLatency) / int64(d.ResidentWarps)
+		t := sm.compute
+		b := ComputeBound
+		if sm.groups > t {
+			t = sm.groups
+			b = MemoryBound
+		}
+		if lat > t {
+			t = lat
+			b = LatencyBound
+		}
+		if t > rep.Cycles {
+			rep.Cycles = t
+			rep.BoundedBy = b
+		}
+	}
+	rep.Seconds = float64(rep.Cycles) / (d.ClockGHz * 1e9)
+	rep.PerGCDMicros = rep.Seconds * 1e6 / float64(len(traces))
+	if idealCycles > 0 {
+		rep.DivergencePenalty = float64(rep.ComputeCycles) / float64(idealCycles)
+	}
+	return rep, nil
+}
+
+// Device presets for the GPUs of the paper's related-work comparison
+// (Section I). Architectural differences beyond SM count, clock and
+// occupancy are not modelled; the presets exist to reproduce the
+// comparison's ordering, not its absolute figures.
+
+// GTX285 approximates Fujimoto's device [19]: 30 pre-Fermi SMs at a
+// 1.476 GHz shader clock with little latency-hiding capacity.
+func GTX285() *Device {
+	return &Device{
+		SMs: 30, WarpSize: 32, MemWidth: 16, MemLatency: 500,
+		ResidentWarps: 8, ClockGHz: 1.476, BranchOverhead: 8,
+	}
+}
+
+// GTX480 approximates Scharfglass et al.'s device [20]: 15 Fermi SMs at
+// 1.401 GHz.
+func GTX480() *Device {
+	return &Device{
+		SMs: 15, WarpSize: 32, MemWidth: 32, MemLatency: 450,
+		ResidentWarps: 16, ClockGHz: 1.401, BranchOverhead: 6,
+	}
+}
+
+// TeslaK20Xm approximates White's device [21]: 14 Kepler SMX at 0.732 GHz
+// with high occupancy.
+func TeslaK20Xm() *Device {
+	return &Device{
+		SMs: 14, WarpSize: 32, MemWidth: 32, MemLatency: 400,
+		ResidentWarps: 32, ClockGHz: 0.732, BranchOverhead: 4,
+	}
+}

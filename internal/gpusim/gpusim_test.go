@@ -1,0 +1,190 @@
+package gpusim
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+)
+
+func randOddNat(r *rand.Rand, bits int) *mpnat.Nat {
+	v := new(big.Int)
+	for v.BitLen() < bits {
+		v.Lsh(v, 32)
+		v.Or(v, new(big.Int).SetUint64(uint64(r.Uint32())))
+	}
+	v.Rsh(v, uint(v.BitLen()-bits))
+	v.SetBit(v, bits-1, 1)
+	v.SetBit(v, 0, 1)
+	return mpnat.FromBig(v)
+}
+
+func pairs(r *rand.Rand, p, bits int) ([]*mpnat.Nat, []*mpnat.Nat) {
+	xs := make([]*mpnat.Nat, p)
+	ys := make([]*mpnat.Nat, p)
+	for i := range xs {
+		xs[i] = randOddNat(r, bits)
+		ys[i] = randOddNat(r, bits)
+	}
+	return xs, ys
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Device{
+		{SMs: 0, WarpSize: 32, MemWidth: 32, MemLatency: 1, ResidentWarps: 1, ClockGHz: 1},
+		{SMs: 1, WarpSize: 0, MemWidth: 32, MemLatency: 1, ResidentWarps: 1, ClockGHz: 1},
+		{SMs: 1, WarpSize: 32, MemWidth: 0, MemLatency: 1, ResidentWarps: 1, ClockGHz: 1},
+		{SMs: 1, WarpSize: 32, MemWidth: 32, MemLatency: 0, ResidentWarps: 1, ClockGHz: 1},
+		{SMs: 1, WarpSize: 32, MemWidth: 32, MemLatency: 1, ResidentWarps: 0, ClockGHz: 1},
+		{SMs: 1, WarpSize: 32, MemWidth: 32, MemLatency: 1, ResidentWarps: 1, ClockGHz: 0},
+	}
+	r := rand.New(rand.NewSource(1))
+	xs, ys := pairs(r, 4, 64)
+	for i, d := range bad {
+		if _, err := d.SimulateBulkGCD(gcd.Approximate, xs, ys, false, 4); err == nil {
+			t.Errorf("bad device %d accepted", i)
+		}
+	}
+	if _, err := GTX780Ti().SimulateBulkGCD(gcd.Approximate, nil, nil, false, 4); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := GTX780Ti().SimulateBulkGCD(gcd.Approximate,
+		[]*mpnat.Nat{mpnat.New(4)}, []*mpnat.Nat{mpnat.New(3)}, false, 4); err == nil {
+		t.Error("even operand accepted")
+	}
+}
+
+// TestAlgorithmRanking: the integrated device preserves Table V's GPU
+// ranking (E) < (D) < (C) on per-GCD time.
+func TestAlgorithmRanking(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs, ys := pairs(r, 128, 512)
+	d := GTX780Ti()
+	times := map[gcd.Algorithm]float64{}
+	for _, alg := range []gcd.Algorithm{gcd.Binary, gcd.FastBinary, gcd.Approximate} {
+		rep, err := d.SimulateBulkGCD(alg, xs, ys, true, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.PerGCDMicros <= 0 || rep.Cycles <= 0 {
+			t.Fatalf("%v: degenerate report %+v", alg, rep)
+		}
+		times[alg] = rep.PerGCDMicros
+	}
+	if !(times[gcd.Approximate] < times[gcd.FastBinary] && times[gcd.FastBinary] < times[gcd.Binary]) {
+		t.Fatalf("ranking violated: E=%.3f D=%.3f C=%.3f",
+			times[gcd.Approximate], times[gcd.FastBinary], times[gcd.Binary])
+	}
+	// The C/E gap must exceed the iteration ratio alone (divergence +
+	// memory), the paper's Table V signature.
+	if ratio := times[gcd.Binary] / times[gcd.Approximate]; ratio < 3.5 {
+		t.Errorf("C/E device ratio %.2f, want > 3.5", ratio)
+	}
+}
+
+// TestDivergenceShowsUp: Binary's compute cycles carry a divergence
+// penalty; Approximate's do not.
+func TestDivergenceShowsUp(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	xs, ys := pairs(r, 64, 512)
+	d := GTX780Ti()
+	binRep, err := d.SimulateBulkGCD(gcd.Binary, xs, ys, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apxRep, err := d.SimulateBulkGCD(gcd.Approximate, xs, ys, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binRep.DivergencePenalty < 1.5 {
+		t.Errorf("Binary divergence penalty %.2f, want > 1.5", binRep.DivergencePenalty)
+	}
+	if apxRep.DivergencePenalty > 1.01 {
+		t.Errorf("Approximate divergence penalty %.2f, want ~1", apxRep.DivergencePenalty)
+	}
+}
+
+// TestLatencyBoundAtLowOccupancy: with one resident warp and a deep
+// pipeline, the latency term must dominate; raising occupancy removes it.
+func TestLatencyBoundAtLowOccupancy(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	xs, ys := pairs(r, 32, 256)
+	low := &Device{SMs: 1, WarpSize: 32, MemWidth: 32, MemLatency: 1000,
+		ResidentWarps: 1, ClockGHz: 1, BranchOverhead: 4}
+	rep, err := low.SimulateBulkGCD(gcd.Approximate, xs, ys, true, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BoundedBy != LatencyBound {
+		t.Fatalf("low occupancy bounded by %s, want latency", rep.BoundedBy)
+	}
+	high := *low
+	high.ResidentWarps = 1024
+	rep2, err := high.SimulateBulkGCD(gcd.Approximate, xs, ys, true, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.BoundedBy == LatencyBound {
+		t.Fatalf("high occupancy still latency bound")
+	}
+	if rep2.Cycles >= rep.Cycles {
+		t.Fatalf("occupancy did not help: %d vs %d", rep2.Cycles, rep.Cycles)
+	}
+}
+
+// TestMoreSMsFaster: doubling SMs cuts device time roughly in half for a
+// many-block workload.
+func TestMoreSMsFaster(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	xs, ys := pairs(r, 256, 256)
+	small := &Device{SMs: 2, WarpSize: 32, MemWidth: 32, MemLatency: 200,
+		ResidentWarps: 16, ClockGHz: 1, BranchOverhead: 4}
+	big_ := *small
+	big_.SMs = 8
+	repS, err := small.SimulateBulkGCD(gcd.Approximate, xs, ys, true, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := big_.SimulateBulkGCD(gcd.Approximate, xs, ys, true, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(repS.Cycles) / float64(repB.Cycles)
+	if speedup < 3.0 || speedup > 4.5 {
+		t.Fatalf("8/2 SM speedup %.2f, want ~4", speedup)
+	}
+}
+
+// TestEarlyTerminateCheaper on the device too.
+func TestEarlyTerminateCheaper(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	xs, ys := pairs(r, 64, 256)
+	d := GTX780Ti()
+	full, err := d.SimulateBulkGCD(gcd.Approximate, xs, ys, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := d.SimulateBulkGCD(gcd.Approximate, xs, ys, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Cycles >= full.Cycles {
+		t.Fatalf("early (%d) not cheaper than full (%d)", early.Cycles, full.Cycles)
+	}
+}
+
+// TestDefaultBlockSize: blockSize <= 0 falls back to the paper's r = 64.
+func TestDefaultBlockSize(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs, ys := pairs(r, 16, 128)
+	d := GTX780Ti()
+	rep, err := d.SimulateBulkGCD(gcd.Approximate, xs, ys, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GCDs != 16 {
+		t.Fatalf("GCDs = %d", rep.GCDs)
+	}
+}

@@ -1,0 +1,216 @@
+package mpnat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for i := 0; i < 300; i++ {
+		x := randBig(r, 1+r.Intn(600))
+		y := randBig(r, 1+r.Intn(600))
+		got := new(Nat).Mul(FromBig(x), FromBig(y))
+		want := new(big.Int).Mul(x, y)
+		if got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("Mul(%v,%v) wrong", x, y)
+		}
+	}
+	if !new(Nat).Mul(New(0), New(5)).IsZero() || !new(Nat).Mul(New(5), New(0)).IsZero() {
+		t.Fatal("Mul by zero not zero")
+	}
+}
+
+func TestMulAliasing(t *testing.T) {
+	a := New(0xFFFFFFFF)
+	a.Mul(a, a)
+	if a.Uint64() != 0xFFFFFFFE00000001 {
+		t.Fatalf("a.Mul(a,a) = %v", a)
+	}
+	b := New(7)
+	c := New(6)
+	b.Mul(b, c)
+	if b.Uint64() != 42 || c.Uint64() != 6 {
+		t.Fatalf("aliased Mul corrupted: %v %v", b, c)
+	}
+}
+
+func TestSqr(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 50; i++ {
+		x := randBig(r, 1+r.Intn(300))
+		got := new(Nat).Sqr(FromBig(x))
+		want := new(big.Int).Mul(x, x)
+		if got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("Sqr(%v) wrong", x)
+		}
+	}
+}
+
+func TestMulCommutativeQuick(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		x, y := NewFromWords(xs), NewFromWords(ys)
+		a := new(Nat).Mul(x, y)
+		b := new(Nat).Mul(y, x)
+		return a.Cmp(b) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModExpAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 100; i++ {
+		base := randBig(r, 1+r.Intn(256))
+		exp := randBig(r, 1+r.Intn(64))
+		mod := randBig(r, 2+r.Intn(256))
+		if mod.Cmp(big.NewInt(2)) < 0 {
+			continue
+		}
+		got := new(Nat).ModExp(FromBig(base), FromBig(exp), FromBig(mod))
+		want := new(big.Int).Exp(base, exp, mod)
+		if got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("ModExp(%v,%v,%v) = %v, want %v", base, exp, mod, got, want)
+		}
+	}
+}
+
+func TestModExpEdges(t *testing.T) {
+	m := New(97)
+	if got := new(Nat).ModExp(New(5), New(0), m); !got.IsOne() {
+		t.Fatalf("x^0 = %v", got)
+	}
+	if got := new(Nat).ModExp(New(0), New(5), m); !got.IsZero() {
+		t.Fatalf("0^x = %v", got)
+	}
+	if got := new(Nat).ModExp(New(97), New(3), m); !got.IsZero() {
+		t.Fatalf("m^x mod m = %v", got)
+	}
+	// Fermat: a^(p-1) = 1 mod p for prime p.
+	if got := new(Nat).ModExp(New(12345), New(96), m); !got.IsOne() {
+		t.Fatalf("Fermat failed: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("modulus 1 accepted")
+		}
+	}()
+	new(Nat).ModExp(New(2), New(2), New(1))
+}
+
+func TestModInverseAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	checked := 0
+	for i := 0; i < 300; i++ {
+		a := randBig(r, 1+r.Intn(256))
+		m := randBig(r, 2+r.Intn(256))
+		if m.Cmp(big.NewInt(2)) < 0 {
+			continue
+		}
+		want := new(big.Int).ModInverse(a, m)
+		got := new(Nat).ModInverse(FromBig(a), FromBig(m))
+		if want == nil {
+			if got != nil {
+				t.Fatalf("ModInverse(%v,%v) = %v, want nil (not coprime)", a, m, got)
+			}
+			continue
+		}
+		if got == nil || got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("ModInverse(%v,%v) = %v, want %v", a, m, got, want)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d invertible cases exercised", checked)
+	}
+}
+
+func TestModInverseVerifies(t *testing.T) {
+	// a * a^-1 = 1 mod m, for RSA-like sizes.
+	r := rand.New(rand.NewSource(24))
+	for i := 0; i < 20; i++ {
+		m := randBig(r, 512)
+		m.SetBit(m, 0, 1) // odd modulus
+		a := big.NewInt(65537)
+		inv := new(Nat).ModInverse(FromBig(a), FromBig(m))
+		if inv == nil {
+			continue // 65537 | m (essentially impossible, but don't assume)
+		}
+		prod := new(Nat).Mul(inv, FromBig(a))
+		prod.Mod(prod, FromBig(m))
+		if !prod.IsOne() {
+			t.Fatalf("a * inv != 1 mod m")
+		}
+	}
+}
+
+func TestModInverseEdges(t *testing.T) {
+	// a = 1: inverse is 1.
+	if got := new(Nat).ModInverse(New(1), New(7)); got == nil || !got.IsOne() {
+		t.Fatalf("inverse of 1 = %v", got)
+	}
+	// a multiple of m: not invertible.
+	if got := new(Nat).ModInverse(New(14), New(7)); got != nil {
+		t.Fatalf("inverse of 0 mod 7 = %v", got)
+	}
+	// a > m reduces first.
+	got := new(Nat).ModInverse(New(10), New(7)) // 3^-1 mod 7 = 5
+	if got == nil || got.Uint64() != 5 {
+		t.Fatalf("inverse of 10 mod 7 = %v, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("modulus 1 accepted")
+		}
+	}()
+	new(Nat).ModInverse(New(3), New(1))
+}
+
+// TestRSARoundTripOnNat: the full RSA cycle on pure mpnat arithmetic.
+func TestRSARoundTripOnNat(t *testing.T) {
+	// p, q small primes; n = p*q; e = 65537? phi too small - use e = 17.
+	p := New(61)
+	q := New(53)
+	n := new(Nat).Mul(p, q) // 3233
+	phi := New(60 * 52)     // 3120
+	e := New(17)
+	d := new(Nat).ModInverse(e, phi)
+	if d == nil || d.Uint64() != 2753 {
+		t.Fatalf("d = %v, want 2753", d)
+	}
+	msg := New(65)
+	ct := new(Nat).ModExp(msg, e, n)
+	if ct.Uint64() != 2790 {
+		t.Fatalf("ct = %v, want 2790 (textbook RSA example)", ct)
+	}
+	pt := new(Nat).ModExp(ct, d, n)
+	if pt.Cmp(msg) != 0 {
+		t.Fatalf("decrypted %v, want %v", pt, msg)
+	}
+}
+
+func BenchmarkModExp512(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	base := FromBig(randBig(r, 512))
+	exp := FromBig(randBig(r, 512))
+	mod := FromBig(randBig(r, 512))
+	out := new(Nat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.ModExp(base, exp, mod)
+	}
+}
+
+func BenchmarkMul1024(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	x := FromBig(randBig(r, 1024))
+	y := FromBig(randBig(r, 1024))
+	out := new(Nat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Mul(x, y)
+	}
+}

@@ -1,0 +1,147 @@
+package mpnat
+
+import "bulkgcd/internal/word"
+
+// Montgomery arithmetic for odd moduli: the production modular
+// exponentiation of the RSA substrate. Plain ModExp reduces with a full
+// division after every multiply; Montgomery multiplication replaces the
+// division by word-level shifts (one extra multiply-accumulate pass per
+// word), the standard CIOS construction. RSA moduli are odd, so the
+// attack's encrypt/decrypt/recover paths can always use it.
+
+// Montgomery holds the precomputed context for a fixed odd modulus.
+type Montgomery struct {
+	m   []uint32 // modulus words, little-endian, n words
+	n   int      // word count
+	inv uint32   // -m^-1 mod 2^32
+	r2  *Nat     // R^2 mod m, R = 2^(32n)
+	one *Nat     // R mod m (the Montgomery form of 1)
+}
+
+// NewMontgomery prepares a context for the odd modulus m > 1.
+func NewMontgomery(m *Nat) (*Montgomery, error) {
+	if m.IsZero() || m.IsOne() {
+		return nil, errString("mpnat: Montgomery modulus must be > 1")
+	}
+	if m.IsEven() {
+		return nil, errString("mpnat: Montgomery modulus must be odd")
+	}
+	mg := &Montgomery{
+		m: append([]uint32(nil), m.Words()...),
+		n: m.Len(),
+	}
+	mg.inv = negInvWord(mg.m[0])
+	// R mod m and R^2 mod m via the generic division (setup only).
+	r := new(Nat).Lshift(New(1), 32*mg.n)
+	mod := &Nat{w: mg.m}
+	mg.one = new(Nat).Mod(r, mod)
+	r2 := new(Nat).Mul(mg.one, mg.one)
+	mg.r2 = r2.Mod(r2, mod)
+	return mg, nil
+}
+
+// errString is a tiny error type to avoid importing fmt on this hot-path
+// file.
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// negInvWord computes -v^-1 mod 2^32 for odd v by Newton iteration.
+func negInvWord(v uint32) uint32 {
+	x := v // correct mod 2^3
+	for i := 0; i < 4; i++ {
+		x *= 2 - v*x // doubles the number of correct bits
+	}
+	return -x
+}
+
+// mul computes dst = a * b * R^-1 mod m (CIOS). a and b must be in
+// Montgomery form with exactly n significant words of storage (shorter
+// values are treated as zero-padded). dst must have capacity n and not
+// alias a or b.
+func (mg *Montgomery) mul(dst, a, b []uint32) {
+	n := mg.n
+	t := make([]uint32, n+2)
+	for i := 0; i < n; i++ {
+		ai := uint32(0)
+		if i < len(a) {
+			ai = a[i]
+		}
+		// t += ai * b
+		var carry uint32
+		for j := 0; j < n; j++ {
+			bj := uint32(0)
+			if j < len(b) {
+				bj = b[j]
+			}
+			hi, lo := word.MulAdd(ai, bj, t[j], carry)
+			t[j] = lo
+			carry = hi
+		}
+		var c2 uint32
+		t[n], c2 = word.Add32(t[n], carry, 0)
+		t[n+1] += c2
+
+		// u = t[0] * inv mod 2^32; t += u*m; t >>= 32 (one word)
+		u := t[0] * mg.inv
+		hi, _ := word.MulAdd(u, mg.m[0], t[0], 0) // low word becomes 0
+		carry = hi
+		for j := 1; j < n; j++ {
+			hi, lo := word.MulAdd(u, mg.m[j], t[j], carry)
+			t[j-1] = lo
+			carry = hi
+		}
+		t[n-1], c2 = word.Add32(t[n], carry, 0)
+		t[n] = t[n+1] + c2
+		t[n+1] = 0
+	}
+	// Conditional subtraction: t may be in [0, 2m).
+	if t[n] != 0 || geWords(t[:n], mg.m) {
+		var borrow uint32
+		for j := 0; j < n; j++ {
+			t[j], borrow = word.Sub32(t[j], mg.m[j], borrow)
+		}
+		// borrow absorbs t[n] when it was 1
+	}
+	copy(dst, t[:n])
+}
+
+// geWords reports a >= b for equal-length little-endian word slices.
+func geWords(a, b []uint32) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		switch {
+		case a[i] > b[i]:
+			return true
+		case a[i] < b[i]:
+			return false
+		}
+	}
+	return true
+}
+
+// ModExp returns base^exp mod m using Montgomery multiplication.
+func (mg *Montgomery) ModExp(base, exp *Nat) *Nat {
+	mod := &Nat{w: mg.m}
+	b := new(Nat).Mod(base, mod)
+	// Convert to Montgomery form: bR = mont(b, R^2).
+	bw := make([]uint32, mg.n)
+	mg.mul(bw, b.w, mg.r2.w)
+	// acc = 1 in Montgomery form (R mod m).
+	acc := make([]uint32, mg.n)
+	copy(acc, mg.one.w)
+	tmp := make([]uint32, mg.n)
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		mg.mul(tmp, acc, acc)
+		acc, tmp = tmp, acc
+		if exp.Bit(i) == 1 {
+			mg.mul(tmp, acc, bw)
+			acc, tmp = tmp, acc
+		}
+	}
+	// Convert out of Montgomery form: mont(acc, 1).
+	one := []uint32{1}
+	mg.mul(tmp, acc, one)
+	out := &Nat{w: append([]uint32(nil), tmp...)}
+	out.norm()
+	return out
+}

@@ -1,0 +1,157 @@
+package mpnat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMontgomeryValidation(t *testing.T) {
+	if _, err := NewMontgomery(New(0)); err == nil {
+		t.Error("zero modulus accepted")
+	}
+	if _, err := NewMontgomery(New(1)); err == nil {
+		t.Error("modulus 1 accepted")
+	}
+	if _, err := NewMontgomery(New(100)); err == nil {
+		t.Error("even modulus accepted")
+	}
+	if _, err := NewMontgomery(New(97)); err != nil {
+		t.Errorf("valid modulus rejected: %v", err)
+	}
+}
+
+func TestNegInvWord(t *testing.T) {
+	for _, v := range []uint32{1, 3, 5, 0xFFFFFFFF, 0x12345679, 0xDEADBEEF | 1} {
+		inv := negInvWord(v)
+		// Defining property: v * inv == -1 mod 2^32.
+		if v*inv != 0xFFFFFFFF {
+			t.Errorf("negInvWord(%#x) = %#x: v*inv = %#x, want 0xffffffff", v, inv, v*inv)
+		}
+	}
+}
+
+func TestMontgomeryModExpAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	for i := 0; i < 150; i++ {
+		mod := randBig(r, 2+r.Intn(512))
+		mod.SetBit(mod, 0, 1) // odd
+		if mod.Cmp(big.NewInt(3)) < 0 {
+			continue
+		}
+		mg, err := NewMontgomery(FromBig(mod))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			base := randBig(r, 1+r.Intn(600)) // may exceed the modulus
+			exp := randBig(r, 1+r.Intn(128))
+			got := mg.ModExp(FromBig(base), FromBig(exp))
+			want := new(big.Int).Exp(base, exp, mod)
+			if got.ToBig().Cmp(want) != 0 {
+				t.Fatalf("Montgomery ModExp(%v,%v,%v) = %v, want %v", base, exp, mod, got, want)
+			}
+		}
+	}
+}
+
+func TestMontgomeryMatchesPlainModExp(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		mod := FromBig(randBig(r, 256))
+		if mod.IsEven() {
+			mb := mod.ToBig()
+			mb.SetBit(mb, 0, 1)
+			mod = FromBig(mb)
+		}
+		mg, err := NewMontgomery(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := FromBig(randBig(r, 256))
+		exp := FromBig(randBig(r, 64))
+		a := mg.ModExp(base, exp)
+		b := new(Nat).ModExp(base, exp, mod)
+		if a.Cmp(b) != 0 {
+			t.Fatalf("Montgomery %v != plain %v", a, b)
+		}
+	}
+}
+
+func TestMontgomeryEdges(t *testing.T) {
+	mg, err := NewMontgomery(New(97))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mg.ModExp(New(5), New(0)); !got.IsOne() {
+		t.Fatalf("x^0 = %v", got)
+	}
+	if got := mg.ModExp(New(0), New(5)); !got.IsZero() {
+		t.Fatalf("0^x = %v", got)
+	}
+	if got := mg.ModExp(New(12345), New(96)); !got.IsOne() {
+		t.Fatalf("Fermat failed: %v", got)
+	}
+	// Single-word and word-boundary moduli.
+	for _, m := range []uint64{3, 0xFFFFFFFF, 0x100000001, 0xFFFFFFFFFFFFFFFF} {
+		mg, err := NewMontgomery(New(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mg.ModExp(New(0xABCDEF), New(31))
+		want := new(big.Int).Exp(big.NewInt(0xABCDEF), big.NewInt(31), new(big.Int).SetUint64(m))
+		if got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("m=%#x: got %v want %v", m, got, want)
+		}
+	}
+}
+
+// TestMontgomeryRSA: a full textbook RSA cycle through Montgomery.
+func TestMontgomeryRSA(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	p := FromBig(randBig(r, 128))
+	// Use the repository's own helpers to build a semiprime directly.
+	pb := p.ToBig()
+	pb.SetBit(pb, 0, 1)
+	for !pb.ProbablyPrime(20) {
+		pb.Add(pb, big.NewInt(2))
+	}
+	qb := new(big.Int).Add(pb, big.NewInt(1000))
+	qb.SetBit(qb, 0, 1)
+	for !qb.ProbablyPrime(20) {
+		qb.Add(qb, big.NewInt(2))
+	}
+	n := new(big.Int).Mul(pb, qb)
+	phi := new(big.Int).Mul(new(big.Int).Sub(pb, big.NewInt(1)), new(big.Int).Sub(qb, big.NewInt(1)))
+	e := big.NewInt(65537)
+	d := new(big.Int).ModInverse(e, phi)
+	if d == nil {
+		t.Skip("e divides phi for this seed")
+	}
+	mg, err := NewMontgomery(FromBig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := FromBig(big.NewInt(0xC0FFEE))
+	ct := mg.ModExp(msg, FromBig(e))
+	pt := mg.ModExp(ct, FromBig(d))
+	if pt.Cmp(msg) != 0 {
+		t.Fatalf("RSA round trip failed: %v != %v", pt, msg)
+	}
+}
+
+func BenchmarkMontgomeryModExp512(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	mod := randBig(r, 512)
+	mod.SetBit(mod, 0, 1)
+	mg, err := NewMontgomery(FromBig(mod))
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := FromBig(randBig(r, 512))
+	exp := FromBig(randBig(r, 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg.ModExp(base, exp)
+	}
+}

@@ -1,0 +1,512 @@
+// Package mpnat implements multiprecision natural numbers stored in 32-bit
+// words, together with the fused update operations that the Euclidean
+// algorithms of the paper perform on them.
+//
+// Representation. A Nat stores its magnitude little-endian: word 0 is the
+// least significant d-bit word. This matches Figure 1 of the paper read
+// right-to-left; the paper's x1 (most significant word) is Words()[Len()-1]
+// here. A Nat is always normalized: the top word of a non-zero Nat is
+// non-zero, and zero is represented by an empty word slice.
+//
+// The package deliberately does not depend on math/big for its arithmetic
+// (conversions to and from big.Int are provided for tests and I/O only);
+// the point of the reproduction is the word-level implementation described
+// in Section IV of the paper, including the exact per-iteration memory
+// operation counts 3*s/d + O(1).
+package mpnat
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"bulkgcd/internal/word"
+)
+
+// Nat is a multiprecision natural number in base D = 2^32.
+// The zero value is the number zero and is ready to use.
+type Nat struct {
+	w []uint32 // little-endian words, normalized (no trailing high zeros)
+}
+
+// New returns a Nat holding the given uint64 value.
+func New(v uint64) *Nat {
+	n := &Nat{}
+	n.SetUint64(v)
+	return n
+}
+
+// NewFromWords returns a Nat from little-endian words, copying and
+// normalizing the slice.
+func NewFromWords(ws []uint32) *Nat {
+	n := &Nat{w: append([]uint32(nil), ws...)}
+	n.norm()
+	return n
+}
+
+// norm strips leading (most significant) zero words.
+func (n *Nat) norm() {
+	i := len(n.w)
+	for i > 0 && n.w[i-1] == 0 {
+		i--
+	}
+	n.w = n.w[:i]
+}
+
+// Len returns l_X, the number of significant d-bit words (0 for zero).
+func (n *Nat) Len() int { return len(n.w) }
+
+// Words exposes the normalized little-endian word slice. The slice aliases
+// the Nat's storage and must not be modified by callers.
+func (n *Nat) Words() []uint32 { return n.w }
+
+// IsZero reports whether n == 0.
+func (n *Nat) IsZero() bool { return len(n.w) == 0 }
+
+// IsOne reports whether n == 1.
+func (n *Nat) IsOne() bool { return len(n.w) == 1 && n.w[0] == 1 }
+
+// IsEven reports whether n is even. Zero is even.
+func (n *Nat) IsEven() bool { return len(n.w) == 0 || n.w[0]&1 == 0 }
+
+// BitLen returns the number of bits in the minimal binary representation
+// of n (0 for zero).
+func (n *Nat) BitLen() int {
+	if len(n.w) == 0 {
+		return 0
+	}
+	return (len(n.w)-1)*word.Bits + word.Len32(n.w[len(n.w)-1])
+}
+
+// Bit returns bit i of n (0 or 1). Bits beyond BitLen are zero.
+func (n *Nat) Bit(i int) uint {
+	wi := i / word.Bits
+	if wi >= len(n.w) {
+		return 0
+	}
+	return uint(n.w[wi]>>(i%word.Bits)) & 1
+}
+
+// Grow ensures n has storage capacity for at least words words without
+// changing its value, so that subsequent operations up to that size do not
+// allocate.
+func (n *Nat) Grow(words int) *Nat {
+	if cap(n.w) < words {
+		old := n.w
+		n.w = make([]uint32, len(old), words)
+		copy(n.w, old)
+	}
+	return n
+}
+
+// Set copies the value of x into n and returns n.
+func (n *Nat) Set(x *Nat) *Nat {
+	n.w = append(n.w[:0], x.w...)
+	return n
+}
+
+// SetUint64 sets n to v and returns n.
+func (n *Nat) SetUint64(v uint64) *Nat {
+	n.w = n.w[:0]
+	if lo := uint32(v); lo != 0 || v>>word.Bits != 0 {
+		n.w = append(n.w, lo)
+	}
+	if hi := uint32(v >> word.Bits); hi != 0 {
+		n.w = append(n.w, hi)
+	}
+	return n
+}
+
+// Uint64 returns the value of n, which must fit in 64 bits (Len <= 2).
+// It panics otherwise; callers guard with Len().
+func (n *Nat) Uint64() uint64 {
+	switch len(n.w) {
+	case 0:
+		return 0
+	case 1:
+		return uint64(n.w[0])
+	case 2:
+		return word.Join(n.w[1], n.w[0])
+	}
+	panic(fmt.Sprintf("mpnat: Uint64 on %d-word Nat", len(n.w)))
+}
+
+// Clone returns a fresh copy of n with its own storage.
+func (n *Nat) Clone() *Nat {
+	return &Nat{w: append([]uint32(nil), n.w...)}
+}
+
+// Cmp compares n and x, returning -1, 0 or +1. Lengths are compared first
+// and only on equal lengths are words inspected from the most significant
+// end, exactly the "X < Y" procedure of Section IV.
+func (n *Nat) Cmp(x *Nat) int {
+	switch {
+	case len(n.w) < len(x.w):
+		return -1
+	case len(n.w) > len(x.w):
+		return +1
+	}
+	for i := len(n.w) - 1; i >= 0; i-- {
+		switch {
+		case n.w[i] < x.w[i]:
+			return -1
+		case n.w[i] > x.w[i]:
+			return +1
+		}
+	}
+	return 0
+}
+
+// Top2 returns the integer <x1 x2> formed by the two most significant words
+// of n (just x1 when n has a single word), i.e. the operand of the paper's
+// 64-bit approximate division. n must be non-zero.
+func (n *Nat) Top2() uint64 {
+	l := len(n.w)
+	switch {
+	case l == 0:
+		panic("mpnat: Top2 of zero")
+	case l == 1:
+		return uint64(n.w[0])
+	default:
+		return word.Join(n.w[l-1], n.w[l-2])
+	}
+}
+
+// TopWord returns the most significant word x1 of n. n must be non-zero.
+func (n *Nat) TopWord() uint32 {
+	if len(n.w) == 0 {
+		panic("mpnat: TopWord of zero")
+	}
+	return n.w[len(n.w)-1]
+}
+
+// TrailingZeroBits returns the number of consecutive zero bits at the least
+// significant end of n (0 for odd n; 0 for zero by convention).
+func (n *Nat) TrailingZeroBits() int {
+	for i, w := range n.w {
+		if w != 0 {
+			return i*word.Bits + word.TrailingZeros32(w)
+		}
+	}
+	return 0
+}
+
+// Add sets n = x + y and returns n. Aliasing among n, x, y is allowed.
+func (n *Nat) Add(x, y *Nat) *Nat {
+	if len(x.w) < len(y.w) {
+		x, y = y, x
+	}
+	out := n.w
+	if cap(out) < len(x.w)+1 {
+		out = make([]uint32, 0, len(x.w)+1)
+	}
+	out = out[:len(x.w)]
+	var c uint32
+	for i := range x.w {
+		yi := uint32(0)
+		if i < len(y.w) {
+			yi = y.w[i]
+		}
+		// x may alias out; read x.w[i] before the write below.
+		out[i], c = word.Add32(x.w[i], yi, c)
+	}
+	if c != 0 {
+		out = append(out, c)
+	}
+	n.w = out
+	n.norm()
+	return n
+}
+
+// Sub sets n = x - y and returns n. It panics if x < y.
+// Aliasing among n, x, y is allowed.
+func (n *Nat) Sub(x, y *Nat) *Nat {
+	if len(y.w) > len(x.w) {
+		panic("mpnat: Sub underflow")
+	}
+	out := n.w
+	if cap(out) < len(x.w) {
+		out = make([]uint32, 0, len(x.w))
+	}
+	out = out[:len(x.w)]
+	var b uint32
+	for i := range x.w {
+		yi := uint32(0)
+		if i < len(y.w) {
+			yi = y.w[i]
+		}
+		out[i], b = word.Sub32(x.w[i], yi, b)
+	}
+	if b != 0 {
+		panic("mpnat: Sub underflow")
+	}
+	n.w = out
+	n.norm()
+	return n
+}
+
+// Rshift sets n = x >> k and returns n. Aliasing n == x is allowed.
+func (n *Nat) Rshift(x *Nat, k int) *Nat {
+	if k < 0 {
+		panic("mpnat: negative shift")
+	}
+	drop := k / word.Bits
+	bit := uint(k % word.Bits)
+	if drop >= len(x.w) {
+		n.w = n.w[:0]
+		return n
+	}
+	src := x.w[drop:]
+	out := n.w
+	if cap(out) < len(src) {
+		out = make([]uint32, 0, len(src))
+	}
+	out = out[:len(src)]
+	if bit == 0 {
+		copy(out, src)
+	} else {
+		for i := 0; i < len(src); i++ {
+			lo := src[i] >> bit
+			if i+1 < len(src) {
+				lo |= src[i+1] << (uint(word.Bits) - bit)
+			}
+			out[i] = lo
+		}
+	}
+	n.w = out
+	n.norm()
+	return n
+}
+
+// Lshift sets n = x << k and returns n. Aliasing n == x is allowed.
+func (n *Nat) Lshift(x *Nat, k int) *Nat {
+	if k < 0 {
+		panic("mpnat: negative shift")
+	}
+	if x.IsZero() {
+		n.w = n.w[:0]
+		return n
+	}
+	grow := k / word.Bits
+	bit := uint(k % word.Bits)
+	oldLen := len(x.w)
+	out := make([]uint32, oldLen+grow+1)
+	if bit == 0 {
+		copy(out[grow:], x.w)
+	} else {
+		var carry uint32
+		for i := 0; i < oldLen; i++ {
+			out[grow+i] = x.w[i]<<bit | carry
+			carry = x.w[i] >> (uint(word.Bits) - bit)
+		}
+		out[grow+oldLen] = carry
+	}
+	n.w = out
+	n.norm()
+	return n
+}
+
+// RshiftStrip sets n = rshift(x): x with all trailing zero bits removed,
+// the paper's rshift() function. rshift(0) = 0. Aliasing n == x is allowed.
+func (n *Nat) RshiftStrip(x *Nat) *Nat {
+	if x.IsZero() {
+		n.w = n.w[:0]
+		return n
+	}
+	return n.Rshift(x, x.TrailingZeroBits())
+}
+
+// Mod sets n = x mod y and returns n, using schoolbook long division.
+// y must be non-zero. This is the costly per-iteration operation of the
+// Original Euclidean algorithm (algorithm A); it exists so that the
+// baseline is faithfully "modulo computation of large numbers".
+func (n *Nat) Mod(x, y *Nat) *Nat {
+	_, r := divmod(x, y)
+	n.w = r.w
+	return n
+}
+
+// Div sets n = x div y (floor) and returns n. y must be non-zero.
+func (n *Nat) Div(x, y *Nat) *Nat {
+	q, _ := divmod(x, y)
+	n.w = q.w
+	return n
+}
+
+// DivMod returns (x div y, x mod y) as fresh Nats. y must be non-zero.
+func DivMod(x, y *Nat) (q, r *Nat) {
+	return divmod(x, y)
+}
+
+// divmod implements schoolbook base-2^32 long division (Knuth Algorithm D
+// with a per-digit correction loop). It returns fresh Nats.
+func divmod(x, y *Nat) (q, r *Nat) {
+	if y.IsZero() {
+		panic("mpnat: division by zero")
+	}
+	if x.Cmp(y) < 0 {
+		return &Nat{}, x.Clone()
+	}
+	if len(y.w) == 1 {
+		return divmodWord(x, y.w[0])
+	}
+	// Normalize so the divisor's top bit is set.
+	shift := word.LeadingZeros32(y.w[len(y.w)-1])
+	u := new(Nat).Lshift(x, shift)
+	v := new(Nat).Lshift(y, shift)
+	nn := len(v.w)
+	m := len(u.w) - nn
+	// Ensure u has an extra high word for the first quotient digit.
+	uw := append(append([]uint32(nil), u.w...), 0)
+	vw := v.w
+	qw := make([]uint32, m+1)
+	vTop := uint64(vw[nn-1])
+	vNext := uint64(vw[nn-2])
+	for j := m; j >= 0; j-- {
+		// Estimate the quotient digit from the top two words.
+		num := word.Join(uw[j+nn], uw[j+nn-1])
+		qh := num / vTop
+		rh := num % vTop
+		for qh >= word.Base || qh*vNext > (rh<<word.Bits|uint64(uw[j+nn-2])) {
+			qh--
+			rh += vTop
+			if rh >= word.Base {
+				break
+			}
+		}
+		// Multiply-subtract: uw[j..j+nn] -= qh * vw.
+		var borrow uint32
+		var mulCarry uint32
+		for i := 0; i < nn; i++ {
+			hi, lo := word.MulAdd(uint32(qh), vw[i], mulCarry, 0)
+			uw[j+i], borrow = word.Sub32(uw[j+i], lo, borrow)
+			mulCarry = hi
+		}
+		uw[j+nn], borrow = word.Sub32(uw[j+nn], mulCarry, borrow)
+		if borrow != 0 {
+			// qh was one too large: add back.
+			qh--
+			var c uint32
+			for i := 0; i < nn; i++ {
+				uw[j+i], c = word.Add32(uw[j+i], vw[i], c)
+			}
+			uw[j+nn] += c
+		}
+		qw[j] = uint32(qh)
+	}
+	q = &Nat{w: qw}
+	q.norm()
+	rem := &Nat{w: uw[:nn]}
+	rem.norm()
+	r = new(Nat).Rshift(rem, shift)
+	return q, r
+}
+
+// divmodWord divides x by a single non-zero word.
+func divmodWord(x *Nat, y uint32) (q, r *Nat) {
+	qw := make([]uint32, len(x.w))
+	var rem uint64
+	for i := len(x.w) - 1; i >= 0; i-- {
+		cur := rem<<word.Bits | uint64(x.w[i])
+		qw[i] = uint32(cur / uint64(y))
+		rem = cur % uint64(y)
+	}
+	q = &Nat{w: qw}
+	q.norm()
+	return q, New(rem)
+}
+
+// ToBig returns the value of n as a fresh big.Int.
+func (n *Nat) ToBig() *big.Int {
+	out := new(big.Int)
+	for i := len(n.w) - 1; i >= 0; i-- {
+		out.Lsh(out, word.Bits)
+		out.Or(out, big.NewInt(int64(n.w[i])))
+	}
+	return out
+}
+
+// FromBig returns a Nat holding the value of b, which must be non-negative.
+func FromBig(b *big.Int) *Nat {
+	if b.Sign() < 0 {
+		panic("mpnat: FromBig of negative value")
+	}
+	t := new(big.Int).Set(b)
+	mask := big.NewInt(int64(word.Mask))
+	var ws []uint32
+	for t.Sign() != 0 {
+		ws = append(ws, uint32(new(big.Int).And(t, mask).Uint64()))
+		t.Rsh(t, word.Bits)
+	}
+	return &Nat{w: ws}
+}
+
+// String formats n in decimal.
+func (n *Nat) String() string { return n.ToBig().String() }
+
+// Hex formats n as lowercase hexadecimal without leading zeros ("0" for 0).
+func (n *Nat) Hex() string {
+	if n.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%x", n.w[len(n.w)-1])
+	for i := len(n.w) - 2; i >= 0; i-- {
+		fmt.Fprintf(&b, "%08x", n.w[i])
+	}
+	return b.String()
+}
+
+// ParseHex parses a hexadecimal string (no prefix) into a Nat.
+func ParseHex(s string) (*Nat, error) {
+	if s == "" {
+		return nil, fmt.Errorf("mpnat: empty hex string")
+	}
+	b, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		return nil, fmt.Errorf("mpnat: invalid hex string %q", s)
+	}
+	if b.Sign() < 0 {
+		return nil, fmt.Errorf("mpnat: negative hex string %q", s)
+	}
+	return FromBig(b), nil
+}
+
+// Bytes returns the big-endian byte representation of n (empty for zero),
+// the interchange form used by key encodings.
+func (n *Nat) Bytes() []byte {
+	if n.IsZero() {
+		return nil
+	}
+	out := make([]byte, len(n.w)*4)
+	for i, w := range n.w {
+		base := len(out) - 4*i - 4
+		out[base] = byte(w >> 24)
+		out[base+1] = byte(w >> 16)
+		out[base+2] = byte(w >> 8)
+		out[base+3] = byte(w)
+	}
+	// Trim leading zero bytes of the top word.
+	i := 0
+	for i < len(out)-1 && out[i] == 0 {
+		i++
+	}
+	return out[i:]
+}
+
+// SetBytes sets n from big-endian bytes and returns n.
+func (n *Nat) SetBytes(b []byte) *Nat {
+	words := (len(b) + 3) / 4
+	n.w = n.w[:0]
+	n.Grow(words)
+	n.w = n.w[:words]
+	for i := range n.w {
+		n.w[i] = 0
+	}
+	for i := 0; i < len(b); i++ {
+		// b[len-1-i] is byte i counting from the least significant end.
+		n.w[i/4] |= uint32(b[len(b)-1-i]) << (8 * (i % 4))
+	}
+	n.norm()
+	return n
+}

@@ -1,0 +1,129 @@
+// Package pemkeys bridges the attack to real-world key material: it
+// extracts RSA moduli from PEM streams (the format in which "encryption
+// keys collected from the Web" actually arrive - PKIX/PKCS#1 public keys
+// and X.509 certificates) and exports recovered private keys as standard
+// PKCS#1 PEM blocks that openssl and ssh can consume.
+//
+// Everything is standard library: encoding/pem, crypto/x509, crypto/rsa.
+package pemkeys
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Source describes where a modulus in a PEM stream came from.
+type Source struct {
+	// BlockType is the PEM block type ("RSA PUBLIC KEY", "PUBLIC KEY",
+	// "CERTIFICATE").
+	BlockType string
+	// Index is the block's position in the stream (0-based, counting
+	// only blocks that yielded a modulus).
+	Index int
+	// E is the public exponent.
+	E uint64
+}
+
+// ReadModuli extracts every RSA modulus from a PEM stream. Supported
+// block types: PKCS#1 public keys ("RSA PUBLIC KEY"), PKIX public keys
+// ("PUBLIC KEY") and X.509 certificates ("CERTIFICATE") with RSA subject
+// keys. Non-RSA and unparseable blocks are skipped and reported in skipped.
+func ReadModuli(r io.Reader) (moduli []*big.Int, sources []Source, skipped int, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("pemkeys: %w", err)
+	}
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		pub := parseBlock(block)
+		if pub == nil {
+			skipped++
+			continue
+		}
+		moduli = append(moduli, pub.N)
+		sources = append(sources, Source{
+			BlockType: block.Type,
+			Index:     len(moduli) - 1,
+			E:         uint64(pub.E),
+		})
+	}
+	if len(moduli) == 0 && skipped == 0 {
+		return nil, nil, 0, fmt.Errorf("pemkeys: no PEM blocks found")
+	}
+	return moduli, sources, skipped, nil
+}
+
+// parseBlock extracts an RSA public key from one PEM block, or nil.
+func parseBlock(block *pem.Block) *rsa.PublicKey {
+	switch block.Type {
+	case "RSA PUBLIC KEY":
+		if k, err := x509.ParsePKCS1PublicKey(block.Bytes); err == nil {
+			return k
+		}
+	case "PUBLIC KEY":
+		if k, err := x509.ParsePKIXPublicKey(block.Bytes); err == nil {
+			if rk, ok := k.(*rsa.PublicKey); ok {
+				return rk
+			}
+		}
+	case "CERTIFICATE":
+		if cert, err := x509.ParseCertificate(block.Bytes); err == nil {
+			if rk, ok := cert.PublicKey.(*rsa.PublicKey); ok {
+				return rk
+			}
+		}
+	}
+	return nil
+}
+
+// WritePublicKey writes one modulus as a PKIX "PUBLIC KEY" PEM block.
+func WritePublicKey(w io.Writer, n *big.Int, e uint64) error {
+	if n == nil || n.Sign() <= 0 {
+		return fmt.Errorf("pemkeys: modulus must be positive")
+	}
+	if e == 0 || e > 1<<31 {
+		return fmt.Errorf("pemkeys: exponent %d out of range", e)
+	}
+	der, err := x509.MarshalPKIXPublicKey(&rsa.PublicKey{N: n, E: int(e)})
+	if err != nil {
+		return fmt.Errorf("pemkeys: %w", err)
+	}
+	return pem.Encode(w, &pem.Block{Type: "PUBLIC KEY", Bytes: der})
+}
+
+// AssemblePrivateKey builds a complete, validated *rsa.PrivateKey from the
+// attack's output (n = p*q, e, and the recovered d). It recomputes the
+// CRT values via Precompute and runs the stdlib consistency check, so a
+// caller can only obtain a key that actually works.
+func AssemblePrivateKey(n, p, q, d *big.Int, e uint64) (*rsa.PrivateKey, error) {
+	if new(big.Int).Mul(p, q).Cmp(n) != 0 {
+		return nil, fmt.Errorf("pemkeys: p*q != n")
+	}
+	key := &rsa.PrivateKey{
+		PublicKey: rsa.PublicKey{N: n, E: int(e)},
+		D:         d,
+		Primes:    []*big.Int{p, q},
+	}
+	if err := key.Validate(); err != nil {
+		return nil, fmt.Errorf("pemkeys: recovered key invalid: %w", err)
+	}
+	key.Precompute()
+	return key, nil
+}
+
+// WritePrivateKey writes a recovered key as a PKCS#1 "RSA PRIVATE KEY"
+// PEM block - the artifact proving the break, directly usable by openssl.
+func WritePrivateKey(w io.Writer, key *rsa.PrivateKey) error {
+	return pem.Encode(w, &pem.Block{
+		Type:  "RSA PRIVATE KEY",
+		Bytes: x509.MarshalPKCS1PrivateKey(key),
+	})
+}

@@ -1,0 +1,230 @@
+package pemkeys
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"math/big"
+	mrand "math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"bulkgcd/internal/rsakey"
+)
+
+// genKey returns a deterministic RSA key via the repository's own keygen.
+func genKey(t *testing.T, bits int, seed int64) *rsa.PrivateKey {
+	t.Helper()
+	k, err := rsakey.GenerateKey(mrand.New(mrand.NewSource(seed)), bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := AssemblePrivateKey(k.N.ToBig(), k.P, k.Q, k.D, k.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestWriteReadPublicKey(t *testing.T) {
+	key := genKey(t, 512, 1)
+	var buf bytes.Buffer
+	if err := WritePublicKey(&buf, key.N, uint64(key.E)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BEGIN PUBLIC KEY") {
+		t.Fatalf("not PEM:\n%s", buf.String())
+	}
+	moduli, sources, skipped, err := ReadModuli(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(moduli) != 1 {
+		t.Fatalf("read %d moduli, %d skipped", len(moduli), skipped)
+	}
+	if moduli[0].Cmp(key.N) != 0 {
+		t.Fatal("modulus mismatch")
+	}
+	if sources[0].BlockType != "PUBLIC KEY" || sources[0].E != uint64(key.E) {
+		t.Fatalf("source = %+v", sources[0])
+	}
+}
+
+func TestReadPKCS1PublicKey(t *testing.T) {
+	key := genKey(t, 512, 2)
+	var buf bytes.Buffer
+	if err := pem.Encode(&buf, &pem.Block{
+		Type:  "RSA PUBLIC KEY",
+		Bytes: x509.MarshalPKCS1PublicKey(&key.PublicKey),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	moduli, sources, _, err := ReadModuli(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moduli) != 1 || moduli[0].Cmp(key.N) != 0 {
+		t.Fatal("PKCS#1 public key not read")
+	}
+	if sources[0].BlockType != "RSA PUBLIC KEY" {
+		t.Fatalf("source = %+v", sources[0])
+	}
+}
+
+func TestReadCertificate(t *testing.T) {
+	key := genKey(t, 512, 3)
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "weak.example"},
+		NotBefore:    time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC), // IPDPSW 2015
+		NotAfter:     time.Date(2035, 5, 1, 0, 0, 0, 0, time.UTC),
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pem.Encode(&buf, &pem.Block{Type: "CERTIFICATE", Bytes: der}); err != nil {
+		t.Fatal(err)
+	}
+	moduli, sources, _, err := ReadModuli(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moduli) != 1 || moduli[0].Cmp(key.N) != 0 {
+		t.Fatal("certificate modulus not read")
+	}
+	if sources[0].BlockType != "CERTIFICATE" {
+		t.Fatalf("source = %+v", sources[0])
+	}
+}
+
+func TestReadMixedStreamSkipsGarbage(t *testing.T) {
+	k1 := genKey(t, 512, 4)
+	k2 := genKey(t, 512, 5)
+	var buf bytes.Buffer
+	if err := WritePublicKey(&buf, k1.N, uint64(k1.E)); err != nil {
+		t.Fatal(err)
+	}
+	// A non-RSA block (random bytes labelled as EC) must be skipped.
+	if err := pem.Encode(&buf, &pem.Block{Type: "EC PRIVATE KEY", Bytes: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted PUBLIC KEY block must be skipped too.
+	if err := pem.Encode(&buf, &pem.Block{Type: "PUBLIC KEY", Bytes: []byte{9, 9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePublicKey(&buf, k2.N, uint64(k2.E)); err != nil {
+		t.Fatal(err)
+	}
+	moduli, _, skipped, err := ReadModuli(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moduli) != 2 || skipped != 2 {
+		t.Fatalf("moduli %d skipped %d, want 2/2", len(moduli), skipped)
+	}
+	if moduli[0].Cmp(k1.N) != 0 || moduli[1].Cmp(k2.N) != 0 {
+		t.Fatal("order not preserved")
+	}
+}
+
+func TestReadNoPEM(t *testing.T) {
+	if _, _, _, err := ReadModuli(strings.NewReader("not pem at all")); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestAssemblePrivateKeyRoundTrip(t *testing.T) {
+	k, err := rsakey.GenerateKey(mrand.New(mrand.NewSource(6)), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := AssemblePrivateKey(k.N.ToBig(), k.P, k.Q, k.D, k.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The assembled key must interoperate with crypto/rsa.
+	msg := []byte("broken by bulk gcd")
+	ct, err := rsa.EncryptPKCS1v15(rand.Reader, &key.PublicKey, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := rsa.DecryptPKCS1v15(nil, key, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("decryption mismatch")
+	}
+	// PEM export parses back.
+	var buf bytes.Buffer
+	if err := WritePrivateKey(&buf, key); err != nil {
+		t.Fatal(err)
+	}
+	block, _ := pem.Decode(buf.Bytes())
+	if block == nil || block.Type != "RSA PRIVATE KEY" {
+		t.Fatal("private key PEM wrong")
+	}
+	back, err := x509.ParsePKCS1PrivateKey(block.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.D.Cmp(key.D) != 0 {
+		t.Fatal("exported key mismatch")
+	}
+}
+
+func TestAssemblePrivateKeyRejectsBadFactors(t *testing.T) {
+	k, err := rsakey.GenerateKey(mrand.New(mrand.NewSource(7)), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AssemblePrivateKey(k.N.ToBig(), k.P, k.P, k.D, k.E); err == nil {
+		t.Fatal("p*p != n accepted")
+	}
+	if _, err := AssemblePrivateKey(k.N.ToBig(), k.P, k.Q, big.NewInt(3), k.E); err == nil {
+		t.Fatal("wrong d accepted")
+	}
+}
+
+func TestWritePublicKeyValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePublicKey(&buf, nil, 65537); err == nil {
+		t.Error("nil modulus accepted")
+	}
+	if err := WritePublicKey(&buf, big.NewInt(-5), 65537); err == nil {
+		t.Error("negative modulus accepted")
+	}
+	if err := WritePublicKey(&buf, big.NewInt(15), 0); err == nil {
+		t.Error("zero exponent accepted")
+	}
+	if err := WritePublicKey(&buf, big.NewInt(15), 1<<33); err == nil {
+		t.Error("huge exponent accepted")
+	}
+}
+
+// FuzzReadModuli: the PEM scanner must never panic on arbitrary bytes.
+func FuzzReadModuli(f *testing.F) {
+	f.Add([]byte("-----BEGIN PUBLIC KEY-----\nAAAA\n-----END PUBLIC KEY-----\n"))
+	f.Add([]byte("not pem"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		moduli, sources, _, err := ReadModuli(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(moduli) != len(sources) {
+			t.Fatalf("moduli/sources length mismatch: %d vs %d", len(moduli), len(sources))
+		}
+		for i, m := range moduli {
+			if m == nil || m.Sign() <= 0 {
+				t.Fatalf("modulus %d not positive", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,339 @@
+// Package refgcd contains reference implementations of the five Euclidean
+// GCD algorithms of the paper, written over math/big with a configurable
+// word size d.
+//
+// These implementations favour clarity and fidelity to the paper's pseudo
+// code over speed. They serve three purposes:
+//
+//  1. With d = 4 they regenerate the paper's worked examples (Tables I-III),
+//     step for step, including the (alpha, beta) pairs and case labels of
+//     the Approximate Euclidean algorithm.
+//  2. With d = 32 they are the oracle against which the production word-level
+//     implementations in package gcd are property-tested.
+//  3. They record full step traces, which the examples and the tabfmt
+//     package turn into the paper's table layout.
+//
+// All algorithms require odd inputs, as in Section II of the paper; the
+// public API in the repository root handles even inputs by the standard
+// factor-of-two reductions before reaching this layer.
+package refgcd
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Algorithm identifies one of the five Euclidean algorithms of the paper,
+// labelled (A)-(E) as in Tables IV and V.
+type Algorithm int
+
+const (
+	// Original is (A): repeated X mod Y.
+	Original Algorithm = iota
+	// Fast is (B): exact quotient, decremented to odd, with rshift.
+	Fast
+	// Binary is (C): Stein's subtract-and-halve algorithm.
+	Binary
+	// FastBinary is (D): subtract and strip all trailing zeros.
+	FastBinary
+	// Approximate is (E): the paper's contribution; quotient approximated
+	// by alpha*D^beta from one 2d-bit division.
+	Approximate
+)
+
+var algNames = [...]string{"Original", "Fast", "Binary", "FastBinary", "Approximate"}
+
+// Letter returns the paper's label (A)-(E) for the algorithm.
+func (a Algorithm) Letter() string {
+	if a < Original || a > Approximate {
+		return "?"
+	}
+	return string(rune('A' + int(a)))
+}
+
+func (a Algorithm) String() string {
+	if a < Original || a > Approximate {
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+	return algNames[a]
+}
+
+// Algorithms lists all five algorithms in the paper's (A)-(E) order.
+var Algorithms = []Algorithm{Original, Fast, Binary, FastBinary, Approximate}
+
+// Options configures a reference run.
+type Options struct {
+	// WordBits is the word size d. It must be between 2 and 32.
+	// The paper uses d = 4 in its worked examples and d = 32 on hardware.
+	WordBits int
+
+	// EarlyTerminateBits, when positive, stops the algorithm as soon as Y
+	// has fewer than this many bits (the paper's early-terminate variant
+	// with threshold s/2). The result is then 1 (coprime) unless Y reached
+	// exactly zero, in which case X holds the shared factor.
+	EarlyTerminateBits int
+
+	// RecordSteps captures a per-iteration trace in Result.Steps.
+	RecordSteps bool
+
+	// MaxIterations aborts runaway loops (0 means the 4*s safety default).
+	MaxIterations int
+}
+
+// Step records the state of one do-while iteration, as the paper's tables
+// print it: X and Y at the start of the iteration, plus the quotient
+// information the iteration used.
+type Step struct {
+	X, Y *big.Int
+
+	// Q is the exact quotient used by Original and Fast (nil otherwise).
+	Q *big.Int
+
+	// Alpha is the multiplier actually applied by Approximate, after the
+	// even-to-odd decrement when beta == 0 (the paper's Table III prints
+	// this post-decrement value). Nil for the other algorithms.
+	Alpha *big.Int
+
+	// Beta is Approximate's word-shift exponent.
+	Beta int
+
+	// Case is Approximate's approx() case label: "1", "2-A", ... "4-C".
+	Case string
+}
+
+// Result reports a reference run.
+type Result struct {
+	Algorithm Algorithm
+
+	// GCD is the computed value: the true gcd for non-terminate runs, and
+	// for early-terminate runs either the shared factor (Y reached 0) or 1.
+	GCD *big.Int
+
+	// Iterations counts executions of the do-while body.
+	Iterations int
+
+	// EarlyTerminated reports that the run stopped on the bit-length
+	// threshold with a non-zero Y (inputs coprime for RSA moduli).
+	EarlyTerminated bool
+
+	// BetaNonZero counts Approximate iterations that took the beta > 0
+	// path (Section V measures this at < 1e-8 for d = 32).
+	BetaNonZero int
+
+	// CaseCounts tallies Approximate's approx() case labels.
+	CaseCounts map[string]int
+
+	// Steps is the trace when Options.RecordSteps was set.
+	Steps []Step
+}
+
+// Run executes the reference algorithm alg on x and y.
+// Both inputs must be positive and odd; they are not modified.
+func Run(alg Algorithm, x, y *big.Int, opt Options) (*Result, error) {
+	if opt.WordBits == 0 {
+		opt.WordBits = 32
+	}
+	if opt.WordBits < 2 || opt.WordBits > 32 {
+		return nil, fmt.Errorf("refgcd: word size d = %d out of range [2,32]", opt.WordBits)
+	}
+	if x.Sign() <= 0 || y.Sign() <= 0 {
+		return nil, fmt.Errorf("refgcd: inputs must be positive")
+	}
+	if x.Bit(0) == 0 || y.Bit(0) == 0 {
+		return nil, fmt.Errorf("refgcd: inputs must be odd (got even input)")
+	}
+	X := new(big.Int).Set(x)
+	Y := new(big.Int).Set(y)
+	if X.Cmp(Y) < 0 {
+		X, Y = Y, X
+	}
+	maxIter := opt.MaxIterations
+	if maxIter == 0 {
+		maxIter = 4*X.BitLen() + 16
+	}
+	res := &Result{Algorithm: alg, CaseCounts: map[string]int{}}
+	run := stepFuncs[alg]
+	if run == nil {
+		return nil, fmt.Errorf("refgcd: unknown algorithm %v", alg)
+	}
+	for {
+		if opt.RecordSteps {
+			res.Steps = append(res.Steps, Step{X: new(big.Int).Set(X), Y: new(big.Int).Set(Y)})
+		}
+		var step *Step
+		if opt.RecordSteps {
+			step = &res.Steps[len(res.Steps)-1]
+		}
+		run(X, Y, opt.WordBits, res, step)
+		if X.Cmp(Y) < 0 {
+			X, Y = Y, X
+		}
+		res.Iterations++
+		if res.Iterations > maxIter {
+			return nil, fmt.Errorf("refgcd: %v exceeded %d iterations", alg, maxIter)
+		}
+		if Y.Sign() == 0 {
+			break
+		}
+		if opt.EarlyTerminateBits > 0 && Y.BitLen() < opt.EarlyTerminateBits {
+			res.EarlyTerminated = true
+			res.GCD = big.NewInt(1)
+			return res, nil
+		}
+	}
+	res.GCD = X
+	return res, nil
+}
+
+// stepFuncs holds the per-iteration body of each algorithm. Each function
+// updates X in place (Y is read-only within a step; the caller swaps).
+var stepFuncs = map[Algorithm]func(X, Y *big.Int, d int, res *Result, step *Step){
+	Original:    stepOriginal,
+	Fast:        stepFast,
+	Binary:      stepBinary,
+	FastBinary:  stepFastBinary,
+	Approximate: stepApproximate,
+}
+
+func stepOriginal(X, Y *big.Int, _ int, _ *Result, step *Step) {
+	q, r := new(big.Int).QuoRem(X, Y, new(big.Int))
+	if step != nil {
+		step.Q = q
+	}
+	X.Set(r)
+}
+
+func stepFast(X, Y *big.Int, _ int, _ *Result, step *Step) {
+	q := new(big.Int).Quo(X, Y)
+	if q.Bit(0) == 0 { // Q even: decrement so X - Y*Q is even
+		q.Sub(q, big.NewInt(1))
+	}
+	if step != nil {
+		step.Q = new(big.Int).Set(q)
+	}
+	X.Sub(X, q.Mul(q, Y))
+	rshiftStrip(X)
+}
+
+func stepBinary(X, Y *big.Int, _ int, _ *Result, _ *Step) {
+	switch {
+	case X.Bit(0) == 0:
+		X.Rsh(X, 1)
+	case Y.Bit(0) == 0:
+		Y.Rsh(Y, 1)
+	default:
+		X.Sub(X, Y)
+		X.Rsh(X, 1)
+	}
+}
+
+func stepFastBinary(X, Y *big.Int, _ int, _ *Result, _ *Step) {
+	X.Sub(X, Y)
+	rshiftStrip(X)
+}
+
+func stepApproximate(X, Y *big.Int, d int, res *Result, step *Step) {
+	alpha, beta, label := ApproxBig(X, Y, d)
+	if res != nil {
+		res.CaseCounts[label]++
+	}
+	if beta == 0 {
+		if alpha.Bit(0) == 0 { // alpha even: make it odd
+			alpha.Sub(alpha, big.NewInt(1))
+		}
+		// X <- rshift(X - Y*alpha)
+		X.Sub(X, new(big.Int).Mul(Y, alpha))
+		rshiftStrip(X)
+	} else {
+		if res != nil {
+			res.BetaNonZero++
+		}
+		// X <- rshift(X - Y*alpha*D^beta + Y); alpha*D^beta is even, so
+		// this subtracts the odd alpha*D^beta - 1 and the result is even.
+		t := new(big.Int).Mul(Y, alpha)
+		t.Lsh(t, uint(beta*d))
+		X.Sub(X, t)
+		X.Add(X, Y)
+		rshiftStrip(X)
+	}
+	if step != nil {
+		step.Alpha = new(big.Int).Set(alpha)
+		step.Beta = beta
+		step.Case = label
+	}
+}
+
+// rshiftStrip removes all trailing zero bits in place (the paper's rshift).
+func rshiftStrip(v *big.Int) {
+	if v.Sign() == 0 {
+		return
+	}
+	k := 0
+	for v.Bit(k) == 0 {
+		k++
+	}
+	v.Rsh(v, uint(k))
+}
+
+// WordsOf returns l_X, the number of d-bit words of v (0 for zero).
+func WordsOf(v *big.Int, d int) int {
+	return (v.BitLen() + d - 1) / d
+}
+
+// topWords returns the integer formed by the k most significant d-bit words
+// of v, the paper's <x1 x2 ... xk>. v must have at least k words.
+func topWords(v *big.Int, k, d int) uint64 {
+	l := WordsOf(v, d)
+	if l < k {
+		panic("refgcd: topWords on too-short value")
+	}
+	return new(big.Int).Rsh(v, uint((l-k)*d)).Uint64()
+}
+
+// ApproxBig is the reference implementation of the paper's approx(X, Y)
+// function (Section III) for word size d. It returns a pair (alpha, beta)
+// such that alpha * D^beta <= X div Y approximates the quotient, together
+// with the case label the decision tree took. It requires X >= Y > 0.
+//
+// In every case except Case 1 the returned alpha fits in d bits; in Case 1
+// it is the exact quotient of two values of at most 2d bits each.
+func ApproxBig(X, Y *big.Int, d int) (alpha *big.Int, beta int, label string) {
+	lX, lY := WordsOf(X, d), WordsOf(Y, d)
+	switch {
+	case lX <= 2:
+		// Case 1: X (and hence Y) has at most 2 words: exact quotient.
+		return new(big.Int).Quo(X, Y), 0, "1"
+
+	case lY == 1:
+		x1 := topWords(X, 1, d)
+		y1 := topWords(Y, 1, d)
+		if x1 >= y1 {
+			return quot(x1, y1), lX - 1, "2-A"
+		}
+		return quot(topWords(X, 2, d), y1), lX - 2, "2-B"
+
+	case lY == 2:
+		x12 := topWords(X, 2, d)
+		y12 := topWords(Y, 2, d)
+		if x12 >= y12 {
+			return quot(x12, y12), lX - 2, "3-A"
+		}
+		return quot(x12, topWords(Y, 1, d)+1), lX - 3, "3-B"
+
+	default:
+		x12 := topWords(X, 2, d)
+		y12 := topWords(Y, 2, d)
+		switch {
+		case x12 > y12:
+			return quot(x12, y12+1), lX - lY, "4-A"
+		case lX > lY:
+			return quot(x12, topWords(Y, 1, d)+1), lX - lY - 1, "4-B"
+		default:
+			return big.NewInt(1), 0, "4-C"
+		}
+	}
+}
+
+func quot(a, b uint64) *big.Int {
+	return new(big.Int).SetUint64(a / b)
+}

@@ -1,0 +1,405 @@
+package refgcd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// The paper's running example: X = 1111,1110,1101,1100,1011 (1043915),
+// Y = 1011,1011,1011,1011,1011 (768955), gcd = 0101 (5).
+const (
+	paperX = 1043915
+	paperY = 768955
+	paperG = 5
+)
+
+func run(t *testing.T, alg Algorithm, x, y int64, opt Options) *Result {
+	t.Helper()
+	res, err := Run(alg, big.NewInt(x), big.NewInt(y), opt)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", alg, err)
+	}
+	return res
+}
+
+// TestPaperTableI reproduces Table I: Binary Euclidean takes 24 iterations
+// and Fast Binary 16 on the running example.
+func TestPaperTableI(t *testing.T) {
+	opt := Options{WordBits: 4, RecordSteps: true}
+
+	bin := run(t, Binary, paperX, paperY, opt)
+	if bin.Iterations != 24 {
+		t.Errorf("Binary iterations = %d, want 24", bin.Iterations)
+	}
+	if bin.GCD.Int64() != paperG {
+		t.Errorf("Binary gcd = %v, want %d", bin.GCD, paperG)
+	}
+	// Row 2 of the table: X = 768955, Y = 0010,0001,1001,0000,1000 (137480).
+	if got := bin.Steps[1]; got.X.Int64() != paperY || got.Y.Int64() != 137480 {
+		t.Errorf("Binary step 2 = (%v,%v), want (768955,137480)", got.X, got.Y)
+	}
+	// Row 3: Y = 0001,0000,1100,1000,0100 (68740).
+	if got := bin.Steps[2]; got.Y.Int64() != 68740 {
+		t.Errorf("Binary step 3 Y = %v, want 68740", got.Y)
+	}
+
+	fb := run(t, FastBinary, paperX, paperY, opt)
+	if fb.Iterations != 16 {
+		t.Errorf("FastBinary iterations = %d, want 16", fb.Iterations)
+	}
+	if fb.GCD.Int64() != paperG {
+		t.Errorf("FastBinary gcd = %v, want %d", fb.GCD, paperG)
+	}
+	// Row 2: X = 768955, Y = 0100,0011,0010,0001 (17185).
+	if got := fb.Steps[1]; got.X.Int64() != paperY || got.Y.Int64() != 17185 {
+		t.Errorf("FastBinary step 2 = (%v,%v), want (768955,17185)", got.X, got.Y)
+	}
+	// Row 3: X = 0101,1011,1100,0100,1101 (375885).
+	if got := fb.Steps[2]; got.X.Int64() != 375885 {
+		t.Errorf("FastBinary step 3 X = %v, want 375885", got.X)
+	}
+}
+
+// TestPaperTableII reproduces Table II: Original takes 11 iterations with
+// quotients 1,2,1,3,1,10,1,83,1,4,2 and Fast takes 8 with quotients
+// 1,43,9,11,1,1,1,5.
+func TestPaperTableII(t *testing.T) {
+	opt := Options{WordBits: 4, RecordSteps: true}
+
+	orig := run(t, Original, paperX, paperY, opt)
+	if orig.Iterations != 11 {
+		t.Errorf("Original iterations = %d, want 11", orig.Iterations)
+	}
+	if orig.GCD.Int64() != paperG {
+		t.Errorf("Original gcd = %v", orig.GCD)
+	}
+	wantQ := []int64{1, 2, 1, 3, 1, 10, 1, 83, 1, 4, 2}
+	for i, q := range wantQ {
+		if got := orig.Steps[i].Q.Int64(); got != q {
+			t.Errorf("Original step %d Q = %d, want %d", i+1, got, q)
+		}
+	}
+
+	fast := run(t, Fast, paperX, paperY, opt)
+	if fast.Iterations != 8 {
+		t.Errorf("Fast iterations = %d, want 8", fast.Iterations)
+	}
+	if fast.GCD.Int64() != paperG {
+		t.Errorf("Fast gcd = %v", fast.GCD)
+	}
+	wantQ = []int64{1, 43, 9, 11, 1, 1, 1, 5}
+	for i, q := range wantQ {
+		if got := fast.Steps[i].Q.Int64(); got != q {
+			t.Errorf("Fast step %d Q = %d, want %d", i+1, got, q)
+		}
+	}
+}
+
+// TestPaperTableIII reproduces Table III: Approximate Euclidean with d = 4
+// takes 9 iterations on the running example, with the printed (alpha, beta)
+// pairs (post even-decrement) and approx() case labels.
+func TestPaperTableIII(t *testing.T) {
+	opt := Options{WordBits: 4, RecordSteps: true}
+	res := run(t, Approximate, paperX, paperY, opt)
+
+	if res.Iterations != 9 {
+		t.Fatalf("Approximate iterations = %d, want 9", res.Iterations)
+	}
+	if res.GCD.Int64() != paperG {
+		t.Fatalf("Approximate gcd = %v, want %d", res.GCD, paperG)
+	}
+	want := []struct {
+		x, y  int64
+		alpha int64
+		beta  int
+		label string
+	}{
+		{1043915, 768955, 1, 0, "4-A"},
+		{768955, 17185, 2, 1, "4-A"},
+		{59055, 17185, 3, 0, "4-A"},
+		{17185, 1875, 7, 0, "4-B"},
+		{1875, 1015, 1, 0, "4-A"},
+		{1015, 215, 3, 0, "3-B"},
+		{215, 185, 1, 0, "1"},
+		{185, 15, 11, 0, "1"},
+		{15, 5, 3, 0, "1"},
+	}
+	for i, w := range want {
+		s := res.Steps[i]
+		if s.X.Int64() != w.x || s.Y.Int64() != w.y {
+			t.Errorf("step %d state = (%v,%v), want (%d,%d)", i+1, s.X, s.Y, w.x, w.y)
+		}
+		if s.Alpha.Int64() != w.alpha || s.Beta != w.beta || s.Case != w.label {
+			t.Errorf("step %d (alpha,beta,case) = (%v,%d,%s), want (%d,%d,%s)",
+				i+1, s.Alpha, s.Beta, s.Case, w.alpha, w.beta, w.label)
+		}
+	}
+	if res.BetaNonZero != 1 {
+		t.Errorf("BetaNonZero = %d, want 1 (step 2 only)", res.BetaNonZero)
+	}
+	if res.CaseCounts["4-A"] != 4 || res.CaseCounts["1"] != 3 {
+		t.Errorf("case counts = %v", res.CaseCounts)
+	}
+}
+
+// TestApproxBigPaperExamples checks every worked example the paper gives
+// for the individual approx() cases (Section III, d = 4).
+func TestApproxBigPaperExamples(t *testing.T) {
+	cases := []struct {
+		x, y  int64
+		alpha int64
+		beta  int
+		label string
+	}{
+		{223, 45, 4, 0, "1"},        // Case 1: 223 div 45 = 4
+		{2345, 4, 2, 2, "2-A"},      // x1=9 >= y1=4: (9 div 4, 3-1)
+		{1234, 12, 6, 1, "2-B"},     // x1=4 < y1=12: (77 div 12, 3-2)
+		{2345, 59, 2, 1, "3-A"},     // x1x2=146 >= y1y2=59: (146 div 59, 3-2)
+		{2345, 231, 9, 0, "3-B"},    // x1x2=146 < y1y2=231: (146 div 15, 0)
+		{54321, 1234, 2, 1, "4-A"},  // (212 div 78, 4-3)
+		{54321, 4000, 13, 0, "4-B"}, // (212 div 16, 4-3-1)
+		{55555, 1234, 2, 1, "4-A"},  // Section III's lead example
+	}
+	for _, c := range cases {
+		alpha, beta, label := ApproxBig(big.NewInt(c.x), big.NewInt(c.y), 4)
+		if alpha.Int64() != c.alpha || beta != c.beta || label != c.label {
+			t.Errorf("approx(%d,%d) = (%v,%d,%s), want (%d,%d,%s)",
+				c.x, c.y, alpha, beta, label, c.alpha, c.beta, c.label)
+		}
+	}
+}
+
+// TestApproxCase4C exercises the equal-top-words branch.
+func TestApproxCase4C(t *testing.T) {
+	x, _ := new(big.Int).SetString("fff000000001", 16)
+	y, _ := new(big.Int).SetString("fff000000000", 16) // same top words, same length
+	alpha, beta, label := ApproxBig(x, y, 4)
+	if alpha.Int64() != 1 || beta != 0 || label != "4-C" {
+		t.Fatalf("got (%v,%d,%s), want (1,0,4-C)", alpha, beta, label)
+	}
+}
+
+// TestApproxInvariants property-checks the two guarantees Section III
+// claims: alpha*D^beta <= X div Y, and (except Case 1) alpha < D.
+func TestApproxInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, d := range []int{4, 8, 16, 32} {
+		D := new(big.Int).Lsh(big.NewInt(1), uint(d))
+		for i := 0; i < 2000; i++ {
+			x := randOdd(r, 8+r.Intn(200))
+			y := randOdd(r, 1+r.Intn(x.BitLen()))
+			if x.Cmp(y) < 0 {
+				x, y = y, x
+			}
+			alpha, beta, label := ApproxBig(x, y, d)
+			approx := new(big.Int).Lsh(alpha, uint(beta*d))
+			q := new(big.Int).Quo(x, y)
+			if approx.Cmp(q) > 0 {
+				t.Fatalf("d=%d approx(%v,%v) case %s: %v * D^%d > quotient %v",
+					d, x, y, label, alpha, beta, q)
+			}
+			if alpha.Sign() <= 0 {
+				t.Fatalf("d=%d approx(%v,%v) case %s: alpha = %v not positive",
+					d, x, y, label, alpha)
+			}
+			if label != "1" && alpha.Cmp(D) >= 0 {
+				t.Fatalf("d=%d case %s: alpha = %v has more than d bits", d, label, alpha)
+			}
+		}
+	}
+}
+
+// nextPrime returns the smallest probable prime >= v.
+func nextPrime(v *big.Int) *big.Int {
+	p := new(big.Int).Set(v)
+	p.SetBit(p, 0, 1)
+	for !p.ProbablyPrime(32) {
+		p.Add(p, big.NewInt(2))
+	}
+	return p
+}
+
+func randOdd(r *rand.Rand, bits int) *big.Int {
+	if bits < 1 {
+		bits = 1
+	}
+	v := new(big.Int)
+	for v.BitLen() < bits {
+		v.Lsh(v, 32)
+		v.Or(v, new(big.Int).SetUint64(uint64(r.Uint32())))
+	}
+	v.Rsh(v, uint(v.BitLen()-bits))
+	v.SetBit(v, bits-1, 1)
+	v.SetBit(v, 0, 1)
+	return v
+}
+
+// TestAllAlgorithmsAgainstBigGCD property-checks every algorithm against
+// math/big's GCD on random odd inputs at several word sizes.
+func TestAllAlgorithmsAgainstBigGCD(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for _, d := range []int{4, 13, 32} {
+		for i := 0; i < 300; i++ {
+			x := randOdd(r, 2+r.Intn(160))
+			y := randOdd(r, 2+r.Intn(160))
+			want := new(big.Int).GCD(nil, nil, x, y)
+			for _, alg := range Algorithms {
+				res, err := Run(alg, x, y, Options{WordBits: d})
+				if err != nil {
+					t.Fatalf("d=%d %v(%v,%v): %v", d, alg, x, y, err)
+				}
+				if res.GCD.Cmp(want) != 0 {
+					t.Fatalf("d=%d %v(%v,%v) = %v, want %v", d, alg, x, y, res.GCD, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedFactorRecovered plants a shared prime and checks every
+// algorithm recovers exactly it, in both terminate modes.
+func TestSharedFactorRecovered(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	p := nextPrime(randOdd(r, 128))
+	q1 := nextPrime(randOdd(r, 128))
+	q2 := nextPrime(randOdd(r, 128))
+	n1 := new(big.Int).Mul(p, q1)
+	n2 := new(big.Int).Mul(p, q2)
+	for _, alg := range Algorithms {
+		for _, early := range []int{0, 128} {
+			res, err := Run(alg, n1, n2, Options{EarlyTerminateBits: early})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.GCD.Cmp(p) != 0 {
+				t.Errorf("%v early=%d: gcd = %v, want shared prime", alg, early, res.GCD)
+			}
+			if res.EarlyTerminated {
+				t.Errorf("%v: shared-prime run must not early-terminate", alg)
+			}
+		}
+	}
+}
+
+// TestEarlyTerminateCoprime verifies the early-terminate variant returns 1
+// quickly for coprime inputs and reports the termination.
+func TestEarlyTerminateCoprime(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 20; i++ {
+		x := randOdd(r, 256)
+		y := randOdd(r, 256)
+		if new(big.Int).GCD(nil, nil, x, y).BitLen() > 64 {
+			continue // astronomically unlikely; skip to keep the invariant clean
+		}
+		for _, alg := range Algorithms {
+			full, err := Run(alg, x, y, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			early, err := Run(alg, x, y, Options{EarlyTerminateBits: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if early.GCD.Int64() != 1 || !early.EarlyTerminated {
+				t.Errorf("%v: early run = (%v, terminated=%v)", alg, early.GCD, early.EarlyTerminated)
+			}
+			if early.Iterations >= full.Iterations {
+				t.Errorf("%v: early (%d iters) not faster than full (%d)", alg, early.Iterations, full.Iterations)
+			}
+		}
+	}
+}
+
+// TestEqualInputs checks the degenerate duplicate-modulus case: gcd(n, n) = n.
+func TestEqualInputs(t *testing.T) {
+	n := big.NewInt(982451653)
+	for _, alg := range Algorithms {
+		res, err := Run(alg, n, n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GCD.Cmp(n) != 0 {
+			t.Errorf("%v: gcd(n,n) = %v, want n", alg, res.GCD)
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	odd := big.NewInt(15)
+	if _, err := Run(Approximate, big.NewInt(14), odd, Options{}); err == nil {
+		t.Error("even X accepted")
+	}
+	if _, err := Run(Approximate, odd, big.NewInt(0), Options{}); err == nil {
+		t.Error("zero Y accepted")
+	}
+	if _, err := Run(Approximate, big.NewInt(-3), odd, Options{}); err == nil {
+		t.Error("negative X accepted")
+	}
+	if _, err := Run(Approximate, odd, odd, Options{WordBits: 1}); err == nil {
+		t.Error("d = 1 accepted")
+	}
+	if _, err := Run(Approximate, odd, odd, Options{WordBits: 64}); err == nil {
+		t.Error("d = 64 accepted")
+	}
+	if _, err := Run(Algorithm(99), odd, odd, Options{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestIterationOrdering checks the qualitative claims of Section II:
+// on the running example Fast <= Original and FastBinary <= Binary,
+// and (E) tracks (B) almost exactly (Table IV: difference ~0.001%).
+func TestIterationOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	sumB, sumE := 0, 0
+	for i := 0; i < 100; i++ {
+		x := randOdd(r, 512)
+		y := randOdd(r, 512)
+		var iters [5]int
+		for _, alg := range Algorithms {
+			res, err := Run(alg, x, y, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters[alg] = res.Iterations
+		}
+		if iters[FastBinary] > iters[Binary] {
+			t.Errorf("FastBinary (%d) > Binary (%d)", iters[FastBinary], iters[Binary])
+		}
+		sumB += iters[Fast]
+		sumE += iters[Approximate]
+	}
+	// (E) and (B) must agree to well under 1% on average.
+	diff := float64(sumE-sumB) / float64(sumB)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.01 {
+		t.Errorf("mean iterations: Approximate deviates from Fast by %.3f%%", diff*100)
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if Original.Letter() != "A" || Approximate.Letter() != "E" {
+		t.Error("letters wrong")
+	}
+	if Approximate.String() != "Approximate" {
+		t.Error("name wrong")
+	}
+	if Algorithm(99).Letter() != "?" {
+		t.Error("out-of-range letter")
+	}
+}
+
+func BenchmarkReferenceApproximate512(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randOdd(r, 512)
+	y := randOdd(r, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Approximate, x, y, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package rsakey
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// CorpusSpec describes a synthetic key corpus.
+type CorpusSpec struct {
+	// Count is the number of moduli.
+	Count int
+	// Bits is the modulus size (512, 1024, 2048, 4096 in the paper).
+	Bits int
+	// WeakPairs is the number of planted weak pairs: for each, two distinct
+	// moduli are generated sharing one prime, emulating the bad-randomness
+	// keys found in the Web-collected corpora the paper targets.
+	WeakPairs int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Pseudo selects fast pseudo-moduli: uniformly random odd values with
+	// the top bit set instead of true semiprimes. Iteration-count and
+	// timing statistics (Tables IV and V) are indistinguishable, while
+	// generation is ~10^4 times faster at 4096 bits; the attack-pipeline
+	// tests and examples use real semiprimes. Pseudo corpora cannot plant
+	// weak pairs with recoverable structure, so WeakPairs still works by
+	// multiplying a shared prime into two pseudo cofactors.
+	Pseudo bool
+}
+
+// PlantedPair records ground truth for one planted weak pair.
+type PlantedPair struct {
+	I, J int      // indices into Corpus.Keys
+	P    *big.Int // the shared prime
+}
+
+// Corpus is a generated set of RSA keys with attack ground truth.
+type Corpus struct {
+	Spec    CorpusSpec
+	Keys    []*Key
+	Planted []PlantedPair
+}
+
+// Moduli returns the moduli as a slice ready for the bulk GCD engines.
+func (c *Corpus) Moduli() []*mpnat.Nat {
+	out := make([]*mpnat.Nat, len(c.Keys))
+	for i, k := range c.Keys {
+		out[i] = k.N
+	}
+	return out
+}
+
+// GenerateCorpus builds a corpus per spec. Weak pairs are placed at
+// uniformly random distinct positions; a modulus participates in at most
+// one planted pair so ground truth stays unambiguous.
+func GenerateCorpus(spec CorpusSpec) (*Corpus, error) {
+	if spec.Count < 1 {
+		return nil, fmt.Errorf("rsakey: corpus count %d < 1", spec.Count)
+	}
+	if spec.Bits < 16 || spec.Bits%2 != 0 {
+		return nil, fmt.Errorf("rsakey: corpus bits %d must be even and >= 16", spec.Bits)
+	}
+	if 2*spec.WeakPairs > spec.Count {
+		return nil, fmt.Errorf("rsakey: %d weak pairs need %d slots, corpus has %d",
+			spec.WeakPairs, 2*spec.WeakPairs, spec.Count)
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	c := &Corpus{Spec: spec, Keys: make([]*Key, spec.Count)}
+
+	// Choose 2*WeakPairs distinct victim slots.
+	perm := r.Perm(spec.Count)
+	for w := 0; w < spec.WeakPairs; w++ {
+		i, j := perm[2*w], perm[2*w+1]
+		if i > j {
+			i, j = j, i
+		}
+		p := GeneratePrime(r, spec.Bits/2)
+		ki, err := keyWithPrime(r, spec, p)
+		if err != nil {
+			return nil, err
+		}
+		kj, err := keyWithPrime(r, spec, p)
+		if err != nil {
+			return nil, err
+		}
+		c.Keys[i], c.Keys[j] = ki, kj
+		c.Planted = append(c.Planted, PlantedPair{I: i, J: j, P: p})
+	}
+
+	for i := range c.Keys {
+		if c.Keys[i] != nil {
+			continue
+		}
+		k, err := generateOne(r, spec)
+		if err != nil {
+			return nil, err
+		}
+		c.Keys[i] = k
+	}
+	return c, nil
+}
+
+// generateOne produces a non-weak corpus member.
+func generateOne(r *rand.Rand, spec CorpusSpec) (*Key, error) {
+	if spec.Pseudo {
+		n := randBits(r, spec.Bits)
+		n.SetBit(n, spec.Bits-1, 1)
+		n.SetBit(n, spec.Bits-2, 1)
+		n.SetBit(n, 0, 1)
+		return &Key{N: mpnat.FromBig(n), E: DefaultExponent}, nil
+	}
+	return GenerateKey(r, spec.Bits)
+}
+
+// keyWithPrime produces a key whose modulus contains the given prime. In
+// pseudo mode the cofactor is a random odd value of the right size (the
+// gcd structure is identical; only primality of the cofactor is faked).
+func keyWithPrime(r *rand.Rand, spec CorpusSpec, p *big.Int) (*Key, error) {
+	if spec.Pseudo {
+		q := randBits(r, spec.Bits/2)
+		q.SetBit(q, spec.Bits/2-1, 1)
+		q.SetBit(q, spec.Bits/2-2, 1)
+		q.SetBit(q, 0, 1)
+		n := new(big.Int).Mul(p, q)
+		return &Key{N: mpnat.FromBig(n), E: DefaultExponent, P: p, Q: q}, nil
+	}
+	for {
+		q := GeneratePrime(r, spec.Bits/2)
+		if q.Cmp(p) == 0 {
+			continue
+		}
+		k, err := NewKey(p, q, DefaultExponent)
+		if err != nil {
+			continue
+		}
+		return k, nil
+	}
+}

@@ -1,0 +1,172 @@
+// Package simt models SIMT (Single Instruction Multiple Threads)
+// execution of the bulk GCD kernels, the effect Section VII of the paper
+// uses to explain why Binary Euclidean degrades on the GPU:
+//
+//	"if CUDA C program has a branch using a if-else statement, then the
+//	instructions for the true case are executed first and then those for
+//	the false case are executed. [...] Binary Euclidean algorithm has a
+//	if-else if-else statement to select one of the three cases [...] the
+//	branch divergence degenerates the performance."
+//
+// The model: threads are grouped into warps; the iteration stream of each
+// thread is the recorded gcd.IterShape trace; in every round, each warp
+// executes the union of the branch bodies its active threads need, one
+// body after another (inactive threads are masked). The cost of a body is
+// its word work - the same accounting as Section IV - taken over the
+// longest operands of the threads executing it, plus a fixed dispatch
+// overhead. A fully converged warp therefore pays for exactly one body
+// per round; a diverged warp for up to three (Binary) or two
+// (Approximate's beta branch, which in practice never diverges: the
+// beta > 0 probability is below 1e-8).
+package simt
+
+import (
+	"fmt"
+
+	"bulkgcd/internal/gcd"
+)
+
+// Machine is a SIMT configuration.
+type Machine struct {
+	// WarpSize is the number of threads executing in lockstep (32 on CUDA).
+	WarpSize int
+	// BranchOverhead is the fixed instruction cost charged per branch body
+	// a warp executes in a round (dispatch, compare, mask bookkeeping).
+	BranchOverhead int64
+}
+
+// New validates and returns a Machine.
+func New(warpSize int, branchOverhead int64) (*Machine, error) {
+	if warpSize < 1 {
+		return nil, fmt.Errorf("simt: warp size %d < 1", warpSize)
+	}
+	if branchOverhead < 0 {
+		return nil, fmt.Errorf("simt: negative branch overhead")
+	}
+	return &Machine{WarpSize: warpSize, BranchOverhead: branchOverhead}, nil
+}
+
+// variant identifies a branch body: the Branch plus Approximate's ExtraY
+// distinction (the beta > 0 body is longer).
+type variant struct {
+	branch gcd.Branch
+	extraY bool
+}
+
+// bodyCost is the word work of one branch body executed over the longest
+// operands among the threads taking it - Section IV's counting.
+func bodyCost(v variant, maxLX, maxLY int64) int64 {
+	switch v.branch {
+	case gcd.BranchHalveX:
+		return 2 * maxLX
+	case gcd.BranchHalveY:
+		return 2 * maxLY
+	default:
+		c := 2*maxLX + maxLY
+		if v.extraY {
+			c += maxLY
+		}
+		return c
+	}
+}
+
+// Result reports a SIMT simulation.
+type Result struct {
+	// Cycles is the total serialized cost over all warps and rounds.
+	Cycles int64
+	// IdealCycles is the cost if branch bodies within a round executed
+	// concurrently (max instead of sum): the no-divergence floor.
+	IdealCycles int64
+	// Rounds counts warp-rounds executed (a warp active in a round = 1).
+	Rounds int64
+	// ConvergedRounds counts warp-rounds where all active threads took
+	// the same branch body.
+	ConvergedRounds int64
+	// Bodies counts branch bodies executed; Bodies - Rounds is the number
+	// of extra serialized bodies caused by divergence.
+	Bodies int64
+	// Threads and GCDs record the workload size.
+	Threads int
+}
+
+// DivergencePenalty is Cycles / IdealCycles: 1.0 for perfectly converged
+// execution, approaching the branch count of the kernel when every warp
+// diverges every round.
+func (r Result) DivergencePenalty() float64 {
+	if r.IdealCycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.IdealCycles)
+}
+
+// ConvergedFraction is the fraction of warp-rounds with no divergence.
+func (r Result) ConvergedFraction() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.ConvergedRounds) / float64(r.Rounds)
+}
+
+// Run simulates the SIMT execution of one iteration-shape trace per
+// thread.
+func (m *Machine) Run(traces [][]gcd.IterShape) Result {
+	res := Result{Threads: len(traces)}
+	for base := 0; base < len(traces); base += m.WarpSize {
+		end := base + m.WarpSize
+		if end > len(traces) {
+			end = len(traces)
+		}
+		m.runWarp(traces[base:end], &res)
+	}
+	return res
+}
+
+// runWarp accumulates one warp's serialized execution into res.
+func (m *Machine) runWarp(warp [][]gcd.IterShape, res *Result) {
+	// Find the longest thread; rounds run until all threads retire.
+	maxIters := 0
+	for _, tr := range warp {
+		if len(tr) > maxIters {
+			maxIters = len(tr)
+		}
+	}
+	for round := 0; round < maxIters; round++ {
+		// Gather the branch-body variants of the active threads and the
+		// maximal operand lengths per variant.
+		type ext struct{ lx, ly int64 }
+		variants := map[variant]ext{}
+		for _, tr := range warp {
+			if round >= len(tr) {
+				continue
+			}
+			sh := tr[round]
+			v := variant{branch: sh.Branch, extraY: sh.ExtraY}
+			e := variants[v]
+			if int64(sh.LX) > e.lx {
+				e.lx = int64(sh.LX)
+			}
+			if int64(sh.LY) > e.ly {
+				e.ly = int64(sh.LY)
+			}
+			variants[v] = e
+		}
+		if len(variants) == 0 {
+			continue
+		}
+		res.Rounds++
+		if len(variants) == 1 {
+			res.ConvergedRounds++
+		}
+		var sum, max int64
+		for v, e := range variants {
+			c := bodyCost(v, e.lx, e.ly) + m.BranchOverhead
+			sum += c
+			if c > max {
+				max = c
+			}
+			res.Bodies++
+		}
+		res.Cycles += sum
+		res.IdealCycles += max
+	}
+}

@@ -1,0 +1,180 @@
+package simt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("warp size 0 accepted")
+	}
+	if _, err := New(32, -1); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	if _, err := New(32, 4); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+}
+
+func mustNew(t *testing.T, w int, ov int64) *Machine {
+	t.Helper()
+	m, err := New(w, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestConvergedWarp: identical traces never diverge and pay the ideal cost.
+func TestConvergedWarp(t *testing.T) {
+	m := mustNew(t, 4, 2)
+	trace := []gcd.IterShape{
+		{LX: 4, LY: 4, Branch: gcd.BranchFull},
+		{LX: 3, LY: 3, Branch: gcd.BranchFull},
+	}
+	traces := [][]gcd.IterShape{trace, trace, trace, trace}
+	res := m.Run(traces)
+	if res.ConvergedFraction() != 1.0 {
+		t.Fatalf("identical traces diverged: %+v", res)
+	}
+	if res.DivergencePenalty() != 1.0 {
+		t.Fatalf("penalty %v, want 1.0", res.DivergencePenalty())
+	}
+	// Round 1: 2*4+4 + 2 = 14; round 2: 2*3+3 + 2 = 11.
+	if res.Cycles != 25 || res.IdealCycles != 25 {
+		t.Fatalf("cycles = %d/%d, want 25/25", res.Cycles, res.IdealCycles)
+	}
+	if res.Rounds != 2 || res.Bodies != 2 {
+		t.Fatalf("rounds/bodies = %d/%d, want 2/2", res.Rounds, res.Bodies)
+	}
+}
+
+// TestDivergedWarp: three different branch bodies serialize.
+func TestDivergedWarp(t *testing.T) {
+	m := mustNew(t, 4, 0)
+	traces := [][]gcd.IterShape{
+		{{LX: 4, LY: 4, Branch: gcd.BranchFull}},   // cost 12
+		{{LX: 4, LY: 4, Branch: gcd.BranchHalveX}}, // cost 8
+		{{LX: 4, LY: 4, Branch: gcd.BranchHalveY}}, // cost 8
+		{{LX: 2, LY: 2, Branch: gcd.BranchHalveX}}, // merges with HalveX, max lx=4
+	}
+	res := m.Run(traces)
+	if res.Cycles != 12+8+8 {
+		t.Fatalf("cycles = %d, want 28", res.Cycles)
+	}
+	if res.IdealCycles != 12 {
+		t.Fatalf("ideal = %d, want 12", res.IdealCycles)
+	}
+	if res.Bodies != 3 || res.ConvergedRounds != 0 {
+		t.Fatalf("bodies = %d converged = %d", res.Bodies, res.ConvergedRounds)
+	}
+	if p := res.DivergencePenalty(); p < 2.3 || p > 2.4 {
+		t.Fatalf("penalty = %v, want 28/12", p)
+	}
+}
+
+// TestExtraYIsADistinctBody: beta > 0 threads force a second body.
+func TestExtraYIsADistinctBody(t *testing.T) {
+	m := mustNew(t, 2, 0)
+	traces := [][]gcd.IterShape{
+		{{LX: 4, LY: 4, Branch: gcd.BranchFull}},
+		{{LX: 4, LY: 4, Branch: gcd.BranchFull, ExtraY: true}},
+	}
+	res := m.Run(traces)
+	// Bodies: 12 and 16 serialized.
+	if res.Cycles != 28 || res.Bodies != 2 {
+		t.Fatalf("cycles/bodies = %d/%d, want 28/2", res.Cycles, res.Bodies)
+	}
+}
+
+// TestUnevenThreadLengths: retired threads stop contributing.
+func TestUnevenThreadLengths(t *testing.T) {
+	m := mustNew(t, 2, 0)
+	traces := [][]gcd.IterShape{
+		{{LX: 2, LY: 2, Branch: gcd.BranchFull}, {LX: 1, LY: 1, Branch: gcd.BranchFull}},
+		{{LX: 2, LY: 2, Branch: gcd.BranchFull}},
+	}
+	res := m.Run(traces)
+	// Round 1 converged (cost 6); round 2 only thread 0 (cost 3).
+	if res.Cycles != 9 || res.Rounds != 2 || res.ConvergedRounds != 2 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestMultipleWarps(t *testing.T) {
+	m := mustNew(t, 2, 0)
+	full := []gcd.IterShape{{LX: 1, LY: 1, Branch: gcd.BranchFull}}
+	halve := []gcd.IterShape{{LX: 1, LY: 1, Branch: gcd.BranchHalveX}}
+	// Warp 0: {full, full} converged; warp 1: {full, halve} diverged.
+	res := m.Run([][]gcd.IterShape{full, full, full, halve})
+	if res.Rounds != 2 || res.ConvergedRounds != 1 {
+		t.Fatalf("got %+v", res)
+	}
+	// Warp 0: 3; warp 1: 3 + 2.
+	if res.Cycles != 8 {
+		t.Fatalf("cycles = %d, want 8", res.Cycles)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	m := mustNew(t, 32, 4)
+	res := m.Run(nil)
+	if res.Cycles != 0 || res.DivergencePenalty() != 0 || res.ConvergedFraction() != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+func randOddNat(r *rand.Rand, bits int) *mpnat.Nat {
+	v := new(big.Int)
+	for v.BitLen() < bits {
+		v.Lsh(v, 32)
+		v.Or(v, new(big.Int).SetUint64(uint64(r.Uint32())))
+	}
+	v.Rsh(v, uint(v.BitLen()-bits))
+	v.SetBit(v, bits-1, 1)
+	v.SetBit(v, 0, 1)
+	return mpnat.FromBig(v)
+}
+
+// TestPaperSectionVIIDivergence is the reproduction of the paper's
+// branch-divergence observation: on real traces, Binary Euclidean (three
+// branch bodies) pays a substantially higher divergence penalty than
+// FastBinary and Approximate (one body each, the beta body never taken).
+func TestPaperSectionVIIDivergence(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const p = 64
+	m := mustNew(t, 32, 4)
+	scratch := gcd.NewScratch(512)
+	penalties := map[gcd.Algorithm]float64{}
+	converged := map[gcd.Algorithm]float64{}
+	for _, alg := range []gcd.Algorithm{gcd.Binary, gcd.FastBinary, gcd.Approximate} {
+		traces := make([][]gcd.IterShape, p)
+		for j := 0; j < p; j++ {
+			x := randOddNat(r, 512)
+			y := randOddNat(r, 512)
+			_, st := scratch.Compute(alg, x, y, gcd.Options{EarlyBits: 256, RecordShapes: true})
+			traces[j] = st.Shapes
+		}
+		res := m.Run(traces)
+		penalties[alg] = res.DivergencePenalty()
+		converged[alg] = res.ConvergedFraction()
+	}
+	if penalties[gcd.Binary] < 1.5 {
+		t.Errorf("Binary divergence penalty %.2f, expected > 1.5 (three-way branch)", penalties[gcd.Binary])
+	}
+	if penalties[gcd.Approximate] > 1.05 {
+		t.Errorf("Approximate divergence penalty %.2f, expected ~1 (single body)", penalties[gcd.Approximate])
+	}
+	if penalties[gcd.FastBinary] > 1.05 {
+		t.Errorf("FastBinary divergence penalty %.2f, expected ~1", penalties[gcd.FastBinary])
+	}
+	if converged[gcd.Binary] >= converged[gcd.Approximate] {
+		t.Errorf("Binary converged fraction %.2f not below Approximate %.2f",
+			converged[gcd.Binary], converged[gcd.Approximate])
+	}
+}

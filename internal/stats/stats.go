@@ -1,0 +1,135 @@
+// Package stats provides the small statistical accumulators the experiment
+// harness uses to aggregate per-pair measurements into the means the
+// paper's tables report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Acc accumulates scalar observations.
+type Acc struct {
+	n          int64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (a *Acc) Add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n++
+	a.sum += v
+	a.sumSq += v * v
+}
+
+// AddN records n copies of v (for pre-aggregated counts).
+func (a *Acc) AddN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n += n
+	a.sum += v * float64(n)
+	a.sumSq += v * v * float64(n)
+}
+
+// N returns the number of observations.
+func (a *Acc) N() int64 { return a.n }
+
+// Sum returns the total.
+func (a *Acc) Sum() float64 { return a.sum }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min and Max return the extremes (0 with no observations).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest observation.
+func (a *Acc) Max() float64 { return a.max }
+
+// StdDev returns the population standard deviation.
+func (a *Acc) StdDev() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumSq/float64(a.n) - m*m
+	if v < 0 {
+		v = 0 // numeric noise
+	}
+	return math.Sqrt(v)
+}
+
+// String summarizes the accumulator.
+func (a *Acc) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f",
+		a.n, a.Mean(), a.min, a.max, a.StdDev())
+}
+
+// Merge folds other into a.
+func (a *Acc) Merge(other *Acc) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *other
+		return
+	}
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+	a.n += other.n
+	a.sum += other.sum
+	a.sumSq += other.sumSq
+}
+
+// Quantiles computes the requested quantiles (each in [0,1]) of a sample.
+// The input slice is not modified.
+func Quantiles(sample []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(sample) == 0 {
+		return out
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = s[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = s[len(s)-1]
+			continue
+		}
+		pos := q * float64(len(s)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 < len(s) {
+			out[i] = s[lo]*(1-frac) + s[lo+1]*frac
+		} else {
+			out[i] = s[lo]
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N() != 8 || a.Sum() != 40 {
+		t.Fatalf("n=%d sum=%v", a.N(), a.Sum())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min=%v max=%v", a.Min(), a.Max())
+	}
+	if sd := a.StdDev(); math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", sd)
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestAccAddN(t *testing.T) {
+	var a, b Acc
+	for i := 0; i < 5; i++ {
+		a.Add(3.5)
+	}
+	b.AddN(3.5, 5)
+	b.AddN(1, 0)  // no-op
+	b.AddN(1, -2) // no-op
+	if a.Mean() != b.Mean() || a.N() != b.N() || a.StdDev() != b.StdDev() {
+		t.Fatalf("AddN mismatch: %v vs %v", a.String(), b.String())
+	}
+}
+
+func TestAccMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var whole, left, right Acc
+	for i := 0; i < 1000; i++ {
+		v := r.NormFloat64()*3 + 10
+		whole.Add(v)
+		if i%2 == 0 {
+			left.Add(v)
+		} else {
+			right.Add(v)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatal("merged count wrong")
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatal("merged mean wrong")
+	}
+	if math.Abs(left.StdDev()-whole.StdDev()) > 1e-9 {
+		t.Fatal("merged stddev wrong")
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged extremes wrong")
+	}
+	// Merging into empty copies.
+	var empty Acc
+	empty.Merge(&whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Fatal("merge into empty wrong")
+	}
+	before := whole.N()
+	whole.Merge(&Acc{})
+	if whole.N() != before {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestMeanProperty(t *testing.T) {
+	f := func(vs []float64) bool {
+		var a Acc
+		sum := 0.0
+		ok := true
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				ok = false
+				break
+			}
+			a.Add(v)
+			sum += v
+		}
+		if !ok || len(vs) == 0 {
+			return true
+		}
+		want := sum / float64(len(vs))
+		return math.Abs(a.Mean()-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	sample := []float64{5, 1, 4, 2, 3}
+	qs := Quantiles(sample, 0, 0.5, 1, -0.5, 2)
+	want := []float64{1, 3, 5, 1, 5}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Fatalf("quantile %d = %v, want %v", i, qs[i], want[i])
+		}
+	}
+	// Interpolation.
+	q := Quantiles([]float64{0, 10}, 0.25)[0]
+	if q != 2.5 {
+		t.Fatalf("interpolated quantile = %v, want 2.5", q)
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatal("empty sample quantile not 0")
+	}
+	// Input not modified.
+	if sample[0] != 5 {
+		t.Fatal("Quantiles sorted the caller's slice")
+	}
+}

@@ -1,0 +1,125 @@
+// Package tabfmt formats numbers and tables the way the paper prints them:
+// binary values in comma-separated 4-bit groups ("1101,1111 (223)") and
+// fixed-width experiment tables.
+package tabfmt
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Binary formats v in base 2 with a comma every groupBits bits, most
+// significant group first and not zero-padded, as in the paper's tables:
+// Binary(big.NewInt(223), 4) = "1101,1111".
+func Binary(v *big.Int, groupBits int) string {
+	if v.Sign() == 0 {
+		return "0"
+	}
+	if groupBits < 1 {
+		groupBits = 4
+	}
+	s := v.Text(2)
+	// Pad to a multiple of groupBits, then group and trim the pad.
+	pad := (groupBits - len(s)%groupBits) % groupBits
+	s = strings.Repeat("0", pad) + s
+	var groups []string
+	for i := 0; i < len(s); i += groupBits {
+		groups = append(groups, s[i:i+groupBits])
+	}
+	groups[0] = strings.TrimLeft(groups[0], "0")
+	if groups[0] == "" {
+		groups = groups[1:]
+	}
+	return strings.Join(groups, ",")
+}
+
+// BinaryDecimal formats v as the paper's combined notation,
+// "1101,1111 (223)".
+func BinaryDecimal(v *big.Int, groupBits int) string {
+	return fmt.Sprintf("%s (%s)", Binary(v, groupBits), v.String())
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of preformatted cells.
+func (t *Table) AddRowF(cells ...string) {
+	t.rows = append(t.rows, append([]string(nil), cells...))
+}
+
+// String renders the table with right-aligned numeric-looking columns and
+// a separator under the header.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for i, w := range width {
+			total += w
+			if i > 0 {
+				total += 2
+			}
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

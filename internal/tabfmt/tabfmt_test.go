@@ -1,0 +1,72 @@
+package tabfmt
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestBinaryPaperNotation(t *testing.T) {
+	cases := []struct {
+		v     int64
+		group int
+		want  string
+	}{
+		{223, 4, "1101,1111"},
+		{1043915, 4, "1111,1110,1101,1100,1011"},
+		{768955, 4, "1011,1011,1011,1011,1011"},
+		{5, 4, "101"},
+		{0, 4, "0"},
+		{17185, 4, "100,0011,0010,0001"},
+		{255, 8, "11111111"},
+		{256, 8, "1,00000000"},
+	}
+	for _, c := range cases {
+		if got := Binary(big.NewInt(c.v), c.group); got != c.want {
+			t.Errorf("Binary(%d,%d) = %q, want %q", c.v, c.group, got, c.want)
+		}
+	}
+	// Invalid group size falls back to 4.
+	if Binary(big.NewInt(9), 0) != "1001" {
+		t.Error("group fallback wrong")
+	}
+}
+
+func TestBinaryDecimal(t *testing.T) {
+	if got := BinaryDecimal(big.NewInt(223), 4); got != "1101,1111 (223)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("alg", "iters", "time")
+	tb.AddRow("Approximate", 190.5, 42)
+	tb.AddRowF("Binary", "722.2", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "alg") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "190.5") || !strings.Contains(lines[2], "42") {
+		t.Errorf("row wrong: %q", lines[2])
+	}
+	// Columns align: the "iters" column is right-aligned.
+	if !strings.Contains(lines[3], "722.2") {
+		t.Errorf("row wrong: %q", lines[3])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow("x", "extra", "cells")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "cells") {
+		t.Errorf("ragged row dropped cells:\n%s", out)
+	}
+}

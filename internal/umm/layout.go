@@ -1,0 +1,47 @@
+package umm
+
+// Layout helpers for the bulk-execution memory arrangements of Section VI.
+//
+// The bulk execution stores p copies of a logical array b of size n, one
+// per thread. Two physical arrangements matter:
+//
+//   - Column-wise (Figure 3): element i of thread j lives at address
+//     i*p + j, so when all p threads touch the same logical index the
+//     requests land on consecutive addresses and every aligned warp hits
+//     exactly one address group (fully coalesced).
+//   - Row-wise (the naive layout): element i of thread j lives at
+//     j*n + i, so lockstep threads touch addresses n apart and every
+//     request of a warp lands in its own address group (w-fold slower on
+//     the UMM whenever n >= w).
+
+// ColumnWise returns the physical address of element i of thread j when p
+// threads each hold an array laid out column-wise starting at base.
+func ColumnWise(base int64, p, i, j int) int64 {
+	return base + int64(i)*int64(p) + int64(j)
+}
+
+// RowWise returns the physical address of element i of thread j when each
+// thread's array of size n is stored contiguously starting at base.
+func RowWise(base int64, n, i, j int) int64 {
+	return base + int64(j)*int64(n) + int64(i)
+}
+
+// ColumnProgram builds the address stream of thread j executing an
+// oblivious algorithm whose memory trace is the logical index sequence
+// idxs, in column-wise layout.
+func ColumnProgram(base int64, p, j int, idxs []int) Program {
+	addrs := make([]int64, len(idxs))
+	for k, i := range idxs {
+		addrs[k] = ColumnWise(base, p, i, j)
+	}
+	return &SliceProgram{Addrs: addrs}
+}
+
+// RowProgram builds the same stream in row-wise layout.
+func RowProgram(base int64, n, j int, idxs []int) Program {
+	addrs := make([]int64, len(idxs))
+	for k, i := range idxs {
+		addrs[k] = RowWise(base, n, i, j)
+	}
+	return &SliceProgram{Addrs: addrs}
+}

@@ -1,0 +1,269 @@
+package umm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, w, l int) *Machine {
+	t.Helper()
+	m, err := New(w, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("latency 0 accepted")
+	}
+	if _, err := New(4, 5); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+}
+
+// TestPaperFigure2Example reproduces Section VI's worked example: on the
+// UMM with w = 4 and l = 5, a round where warp W(0)'s requests span three
+// address groups and W(1)'s span one completes in 3 + 1 + 5 - 1 = 8 time
+// units.
+func TestPaperFigure2Example(t *testing.T) {
+	m := mustNew(t, 4, 5)
+	// W(0): addresses in groups 0, 1, 2; W(1): all in group 3.
+	addrs := []int64{0, 5, 9, 2, 12, 13, 14, 15}
+	b := m.Batch(addrs)
+	if b.Groups != 4 {
+		t.Errorf("Groups = %d, want 4 (3 for W(0) + 1 for W(1))", b.Groups)
+	}
+	if b.Time != 8 {
+		t.Errorf("Time = %d, want 8", b.Time)
+	}
+	if b.Warps != 2 || b.Coalesced {
+		t.Errorf("Warps = %d Coalesced = %v, want 2,false", b.Warps, b.Coalesced)
+	}
+}
+
+func TestBatchCoalesced(t *testing.T) {
+	m := mustNew(t, 4, 5)
+	// Two warps, each hitting a single group: 2 + 5 - 1 = 6.
+	b := m.Batch([]int64{0, 1, 2, 3, 8, 9, 10, 11})
+	if b.Time != 6 || !b.Coalesced || b.Groups != 2 {
+		t.Errorf("got %+v, want time 6, coalesced, groups 2", b)
+	}
+}
+
+func TestBatchIdleWarpsNotDispatched(t *testing.T) {
+	m := mustNew(t, 4, 5)
+	// Second warp entirely idle: only W(0) dispatched.
+	b := m.Batch([]int64{0, 1, Idle, 3, Idle, Idle, Idle, Idle})
+	if b.Warps != 1 || b.Groups != 1 || b.Time != 5 {
+		t.Errorf("got %+v, want warps 1, groups 1, time 5", b)
+	}
+	// Fully idle round.
+	b = m.Batch([]int64{Idle, Idle})
+	if b.Time != 0 || b.Warps != 0 {
+		t.Errorf("idle round cost %+v", b)
+	}
+}
+
+func TestBatchPartialWarp(t *testing.T) {
+	m := mustNew(t, 4, 2)
+	// 6 threads: one full warp (1 group) and one partial warp (2 groups).
+	b := m.Batch([]int64{0, 1, 2, 3, 4, 100})
+	if b.Warps != 2 || b.Groups != 3 || b.Time != 4 {
+		t.Errorf("got %+v, want warps 2, groups 3, time 4", b)
+	}
+}
+
+func TestBatchWorstCase(t *testing.T) {
+	m := mustNew(t, 4, 5)
+	// Every thread in its own group: w groups per warp.
+	b := m.Batch([]int64{0, 4, 8, 12})
+	if b.Groups != 4 || b.Time != 8 {
+		t.Errorf("got %+v, want groups 4, time 8", b)
+	}
+}
+
+func TestGroupAndNegativeAddressPanics(t *testing.T) {
+	m := mustNew(t, 8, 1)
+	if m.Group(0) != 0 || m.Group(7) != 0 || m.Group(8) != 1 || m.Group(63) != 7 {
+		t.Error("Group arithmetic wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative address accepted")
+		}
+	}()
+	m.Group(-1)
+}
+
+// TestTheorem1Bound validates Theorem 1: the bulk execution of an
+// oblivious algorithm (all threads touch the same logical index each
+// round) in column-wise layout costs exactly (p/w + l - 1) * t time units.
+func TestTheorem1Bound(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		w := 1 << (1 + r.Intn(4))  // 2..16
+		l := 1 + r.Intn(20)        // 1..20
+		p := w * (1 + r.Intn(16))  // multiple of w
+		steps := 1 + r.Intn(40)    // t
+		n := 1 + r.Intn(30)        // logical array size
+		idxs := make([]int, steps) // one shared oblivious index sequence
+		for i := range idxs {
+			idxs[i] = r.Intn(n)
+		}
+		m := mustNew(t, w, l)
+		progs := make([]Program, p)
+		for j := 0; j < p; j++ {
+			progs[j] = ColumnProgram(0, p, j, idxs)
+		}
+		st := m.Run(progs)
+		want := m.ObliviousTime(int64(p), int64(steps))
+		if st.Time != want {
+			t.Fatalf("w=%d l=%d p=%d t=%d: time %d, Theorem 1 says %d",
+				w, l, p, steps, st.Time, want)
+		}
+		if st.CoalescedFraction() != 1.0 {
+			t.Fatalf("oblivious column-wise run not fully coalesced: %v", st.CoalescedFraction())
+		}
+		if st.Accesses != int64(p*steps) {
+			t.Fatalf("accesses = %d, want %d", st.Accesses, p*steps)
+		}
+	}
+}
+
+// TestColumnWiseCoalesced is the Figure 3 experiment: the same oblivious
+// access pattern is w times cheaper column-wise than row-wise (ignoring
+// the latency term).
+func TestColumnWiseCoalesced(t *testing.T) {
+	const (
+		w     = 8
+		l     = 4
+		p     = 64
+		n     = 16
+		steps = 32
+	)
+	r := rand.New(rand.NewSource(2))
+	idxs := make([]int, steps)
+	for i := range idxs {
+		idxs[i] = r.Intn(n)
+	}
+	m := mustNew(t, w, l)
+
+	col := make([]Program, p)
+	row := make([]Program, p)
+	for j := 0; j < p; j++ {
+		col[j] = ColumnProgram(0, p, j, idxs)
+		row[j] = RowProgram(0, n, j, idxs)
+	}
+	colStats := m.Run(col)
+	rowStats := m.Run(row)
+
+	if colStats.Groups*int64(w) != rowStats.Groups {
+		t.Errorf("row-wise groups = %d, want w * column-wise = %d",
+			rowStats.Groups, colStats.Groups*int64(w))
+	}
+	if colStats.CoalescedFraction() != 1.0 {
+		t.Error("column-wise not fully coalesced")
+	}
+	if rowStats.CoalescedFraction() != 0.0 {
+		t.Error("row-wise unexpectedly coalesced")
+	}
+	if rowStats.Time <= colStats.Time {
+		t.Errorf("row-wise (%d) not slower than column-wise (%d)", rowStats.Time, colStats.Time)
+	}
+}
+
+// TestRunUnevenPrograms checks lockstep rounds with threads finishing at
+// different times (the semi-oblivious bulk GCD situation).
+func TestRunUnevenPrograms(t *testing.T) {
+	m := mustNew(t, 2, 3)
+	progs := []Program{
+		&SliceProgram{Addrs: []int64{0, 2, 4}},
+		&SliceProgram{Addrs: []int64{1}},
+	}
+	st := m.Run(progs)
+	// Round 1: {0,1} one group -> 1+3-1 = 3.
+	// Round 2: {2,idle} -> 3. Round 3: {4,idle} -> 3.
+	if st.Rounds != 3 || st.Time != 9 || st.Accesses != 4 {
+		t.Errorf("got %+v, want rounds 3, time 9, accesses 4", st)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	m := mustNew(t, 4, 5)
+	st := m.Run(nil)
+	if st.Time != 0 || st.Rounds != 0 {
+		t.Errorf("empty run cost %+v", st)
+	}
+	st = m.Run([]Program{&SliceProgram{}})
+	if st.Time != 0 {
+		t.Errorf("all-empty programs cost %+v", st)
+	}
+	if st.CoalescedFraction() != 0 {
+		t.Error("CoalescedFraction of empty run should be 0")
+	}
+}
+
+func TestFuncProgram(t *testing.T) {
+	n := 0
+	p := FuncProgram(func() (int64, bool) {
+		if n >= 3 {
+			return 0, false
+		}
+		n++
+		return int64(n), true
+	})
+	m := mustNew(t, 4, 1)
+	st := m.Run([]Program{p})
+	if st.Accesses != 3 {
+		t.Errorf("FuncProgram served %d accesses, want 3", st.Accesses)
+	}
+}
+
+// TestBatchTimeMonotonic property-checks that adding requests never
+// reduces a round's cost.
+func TestBatchTimeMonotonic(t *testing.T) {
+	m := mustNew(t, 4, 5)
+	f := func(raw []uint16, extra uint16) bool {
+		addrs := make([]int64, len(raw))
+		for i, v := range raw {
+			addrs[i] = int64(v)
+		}
+		base := m.Batch(addrs).Time
+		grown := m.Batch(append(append([]int64{}, addrs...), int64(extra))).Time
+		return grown >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLayoutAddresses pins the two layout formulas.
+func TestLayoutAddresses(t *testing.T) {
+	if ColumnWise(0, 8, 3, 5) != 29 {
+		t.Error("ColumnWise(0,8,3,5) != 3*8+5")
+	}
+	if RowWise(0, 16, 3, 5) != 83 {
+		t.Error("RowWise(0,16,3,5) != 5*16+3")
+	}
+	if ColumnWise(100, 8, 0, 0) != 100 {
+		t.Error("base offset ignored")
+	}
+}
+
+func BenchmarkBatch1024Threads(b *testing.B) {
+	m := &Machine{Width: 32, Latency: 100}
+	addrs := make([]int64, 1024)
+	for i := range addrs {
+		addrs[i] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Batch(addrs)
+	}
+}
