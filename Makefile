@@ -13,10 +13,13 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
+# Every package with its own goroutine pool: the bulk all-pairs executor,
+# the batch-GCD tree engine, the attack pipeline that drives both, and
+# the public facade.
 race:
-	$(GO) test -race ./internal/bulk/ ./internal/attack/ .
+	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ .
 
 cover:
 	$(GO) test -cover ./...

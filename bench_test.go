@@ -323,7 +323,9 @@ func BenchmarkSectionVII_Divergence(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Baseline: Bernstein batch GCD over the same corpus as the all-pairs
-// bench (compare ns/GCD-equivalent directly with GPUPar above).
+// bench (compare ns/GCD-equivalent directly with GPUPar above). Run uses
+// a GOMAXPROCS-sized pool, matching GPUPar's default, so this stays
+// pool-vs-pool; internal/batchgcd's BenchmarkBatchGCD sweeps pool sizes.
 
 func BenchmarkBaseline_BatchGCD96x1024(b *testing.B) {
 	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{

@@ -161,17 +161,19 @@ type AttackOptions struct {
 	// only useful for measurement; early termination never misses a
 	// shared prime of RSA moduli.
 	DisableEarlyTerminate bool
-	// Workers is the parallelism (default: GOMAXPROCS).
+	// Workers is the parallelism of whichever engine runs, all-pairs or
+	// batch GCD (default: GOMAXPROCS).
 	Workers int
 	// Exponent is the RSA public exponent for key recovery (default 65537).
 	Exponent uint64
-	// Progress, when non-nil, receives completed/total pair counts
-	// (all-pairs mode only).
+	// Progress, when non-nil, receives completed/total counts: pairs in
+	// all-pairs mode, tree operations in batch mode.
 	Progress func(done, total int64)
-	// BatchGCD switches to the Bernstein product-tree batch GCD baseline
-	// instead of the paper's all-pairs computation. Algorithm and the
-	// other tuning fields are ignored; the report's Pairs and Stats are
-	// zero (batch GCD has no per-pair accounting).
+	// BatchGCD switches to the Bernstein product-tree batch GCD engine
+	// instead of the paper's all-pairs computation. Algorithm and
+	// DisableEarlyTerminate are ignored; Workers and Progress are
+	// honored. The report's Pairs and Stats are zero (batch GCD has no
+	// per-pair accounting).
 	BatchGCD bool
 }
 

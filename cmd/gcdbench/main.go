@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -49,6 +50,7 @@ func run(args []string, stdout, stderrW io.Writer) error {
 		clock     = fs.Float64("clock", 1.0, "simulated clock in GHz for unit->time conversion")
 		sms       = fs.Int("sms", 15, "simulated streaming multiprocessors (independent UMM units)")
 		early     = fs.Bool("early", true, "use early-terminate variants (Table V)")
+		workers   = fs.Int("workers", 0, "worker-pool size for both crossover engines (0 = all CPUs)")
 		seed      = fs.Int64("seed", 1, "deterministic seed")
 		sizesStr  = fs.String("sizes", "512,1024,2048,4096", "comma-separated modulus sizes")
 	)
@@ -115,8 +117,12 @@ func run(args []string, stdout, stderrW io.Writer) error {
 	if *crossover {
 		ran = true
 		size := sizes[0]
-		fmt.Fprintf(stdout, "Baseline comparison at %d bits: all-pairs Approximate (this paper) vs batch GCD (Bernstein)\n\n", size)
-		ps, err := experiments.RunCrossover(size, nil, *seed)
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(stdout, "Baseline comparison at %d bits, %d workers per engine: all-pairs Approximate (this paper) vs batch GCD (Bernstein)\n\n", size, w)
+		ps, err := experiments.RunCrossover(size, nil, w, *seed)
 		if err != nil {
 			return err
 		}

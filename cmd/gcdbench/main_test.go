@@ -75,13 +75,17 @@ func TestRunErrors(t *testing.T) {
 func TestCrossover(t *testing.T) {
 	var out bytes.Buffer
 	// Default crossover sweep is sized for real measurement; here we just
-	// exercise the path with the smallest size.
-	err := run([]string{"-crossover", "-sizes", "256"}, &out, &bytes.Buffer{})
+	// exercise the path with the smallest size and an explicit pool size
+	// shared by both engines.
+	err := run([]string{"-crossover", "-sizes", "256", "-workers", "2"}, &out, &bytes.Buffer{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "batch GCD") {
 		t.Fatalf("crossover output wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "2 workers per engine") {
+		t.Fatalf("crossover header missing pool size:\n%s", out.String())
 	}
 }
 

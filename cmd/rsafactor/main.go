@@ -5,7 +5,8 @@
 // Usage:
 //
 //	rsafactor -in corpus.txt [-alg approximate] [-no-early] [-workers N] [-v]
-//	rsafactor -in corpus.txt -batch          # Bernstein batch-GCD baseline
+//	rsafactor -in corpus.txt -batch          # Bernstein batch-GCD engine
+//	                                         # (-workers and -v apply here too)
 //	rsafactor -in corpus.txt -truth truth.txt # verify against ground truth
 //
 // Output lists, per broken key, the corpus index, the prime factors and
@@ -118,8 +119,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		BatchGCD:  *batch,
 	}
 	if *verbose {
+		unit := "pairs"
+		if *batch {
+			unit = "tree ops"
+		}
 		opt.Progress = func(done, total int64) {
-			fmt.Fprintf(stderr, "\rprogress: %d/%d pairs", done, total)
+			fmt.Fprintf(stderr, "\rprogress: %d/%d %s", done, total, unit)
 		}
 	}
 	var rep *attack.Report
@@ -141,8 +146,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "corpus: %d moduli, %d bits\n", rep.Moduli, moduli[0].BitLen())
 	if *batch {
-		fmt.Fprintf(stdout, "method: batch GCD (product/remainder tree) in %v\n",
-			rep.Bulk.Elapsed.Round(1000))
+		fmt.Fprintf(stdout, "method: batch GCD (product/remainder tree, %d workers) in %v\n",
+			rep.Bulk.Workers, rep.Bulk.Elapsed.Round(1000))
 	} else {
 		fmt.Fprintf(stdout, "pairs: %d computed with %s (%d workers) in %v (%.0f pairs/s)\n",
 			rep.Bulk.Pairs, alg, rep.Bulk.Workers, rep.Bulk.Elapsed.Round(1000),

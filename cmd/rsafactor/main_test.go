@@ -107,6 +107,43 @@ func TestRunAllAlgorithmsAndBatch(t *testing.T) {
 	}
 }
 
+// TestRunBatchWorkers: batch mode honors -workers, reports the pool
+// size, and finds the same keys at every pool size (the key lines of the
+// output are identical; only the timing line may differ).
+func TestRunBatchWorkers(t *testing.T) {
+	dir := t.TempDir()
+	cp, _ := writeCorpus(t, dir, 12, 128, 2, 17)
+	keyLines := func(s string) string {
+		var kept []string
+		for _, ln := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(ln, "method:") {
+				kept = append(kept, ln)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	var base string
+	for _, w := range []string{"1", "4"} {
+		var out, errs bytes.Buffer
+		if err := run([]string{"-in", cp, "-batch", "-workers", w, "-v"}, nil, &out, &errs); err != nil {
+			t.Fatalf("workers %s: %v", w, err)
+		}
+		if !strings.Contains(out.String(), w+" workers") {
+			t.Fatalf("workers %s: pool size not reported:\n%s", w, out.String())
+		}
+		if !strings.Contains(errs.String(), "tree ops") {
+			t.Fatalf("workers %s: batch progress missing:\n%s", w, errs.String())
+		}
+		if base == "" {
+			base = keyLines(out.String())
+			continue
+		}
+		if got := keyLines(out.String()); got != base {
+			t.Fatalf("workers %s: findings differ:\n%s\nvs\n%s", w, got, base)
+		}
+	}
+}
+
 func TestRunCleanCorpus(t *testing.T) {
 	dir := t.TempDir()
 	cp, _ := writeCorpus(t, dir, 6, 128, 0, 10)

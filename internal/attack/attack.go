@@ -29,20 +29,24 @@ type Options struct {
 	// DefaultOptions; it is safe for RSA moduli and halves the work).
 	Early bool
 
-	// Workers and GroupSize are passed to the bulk executor.
+	// Workers sizes the worker pool of whichever engine runs: the bulk
+	// all-pairs executor, or the batch-GCD tree engine in BatchGCD mode.
+	// 0 means GOMAXPROCS. GroupSize is passed to the bulk executor only.
 	Workers   int
 	GroupSize int
 
 	// Exponent is the public exponent for private-key recovery.
 	Exponent uint64
 
-	// Progress, when non-nil, receives pair-completion updates
-	// (all-pairs mode only).
+	// Progress, when non-nil, receives completion updates: pair counts in
+	// all-pairs mode, tree-operation counts in batch mode. It must be
+	// safe for concurrent use.
 	Progress func(done, total int64)
 
 	// BatchGCD switches from the paper's all-pairs computation to the
-	// Bernstein product-tree batch GCD baseline. Algorithm, Early,
-	// Workers and GroupSize are ignored in this mode.
+	// Bernstein product-tree batch GCD baseline. Algorithm, Early and
+	// GroupSize are ignored in this mode; Workers and Progress are
+	// honored.
 	BatchGCD bool
 }
 
@@ -187,16 +191,20 @@ func runBatch(moduli []*mpnat.Nat, opt Options) (*Report, error) {
 		}
 		big_[i] = m.ToBig()
 	}
+	cfg := batchgcd.Config{Workers: opt.Workers, Progress: opt.Progress}
 	start := time.Now()
-	findings, err := batchgcd.Run(big_)
+	findings, err := batchgcd.RunConfig(big_, cfg)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
 		Moduli: len(moduli),
-		Bulk:   &bulk.Result{Elapsed: time.Since(start), Workers: 1},
+		Bulk:   &bulk.Result{Elapsed: time.Since(start), Workers: cfg.EffectiveWorkers()},
 	}
-	dupSeen := map[[2]int]bool{}
+	// A finding records only its smallest duplicate partner, so regroup
+	// identical moduli into classes and emit every pair within a class,
+	// matching what the all-pairs engine reports for the same corpus.
+	dupClass := map[string][]int{}
 	for _, f := range findings {
 		n := big_[f.Index]
 		if f.Factor.Cmp(n) < 0 {
@@ -205,16 +213,16 @@ func runBatch(moduli []*mpnat.Nat, opt Options) (*Report, error) {
 				return nil, fmt.Errorf("attack: modulus %d: %w", f.Index, err)
 			}
 			rep.Broken = append(rep.Broken, bk)
-			continue
 		}
 		if f.DuplicateOf >= 0 {
-			lo, hi := f.Index, f.DuplicateOf
-			if lo > hi {
-				lo, hi = hi, lo
-			}
-			if !dupSeen[[2]int{lo, hi}] {
-				dupSeen[[2]int{lo, hi}] = true
-				rep.Duplicates = append(rep.Duplicates, [2]int{lo, hi})
+			key := n.Text(16)
+			dupClass[key] = append(dupClass[key], f.Index)
+		}
+	}
+	for _, class := range dupClass {
+		for a := 0; a < len(class); a++ {
+			for b := a + 1; b < len(class); b++ {
+				rep.Duplicates = append(rep.Duplicates, [2]int{class[a], class[b]})
 			}
 		}
 	}

@@ -1,0 +1,194 @@
+package attack
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/rsakey"
+)
+
+// differentialCorpus builds a seeded corpus exercising every finding
+// class the engines must agree on: planted shared-prime pairs, a prime
+// shared across three moduli, a duplicated modulus, and coprime fillers.
+func differentialCorpus(t *testing.T, seed int64) []*mpnat.Nat {
+	t.Helper()
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: 14, Bits: 128, WeakPairs: 2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduli := c.Moduli()
+
+	// Extend planted pair 0 into a shared-prime triple.
+	r := rand.New(rand.NewSource(seed + 1000))
+	p := c.Planted[0].P
+	q := rsakey.GeneratePrime(r, 64)
+	moduli = append(moduli, mpnat.FromBig(new(big.Int).Mul(p, q)))
+
+	// Duplicate a clean modulus (one outside every planted pair).
+	planted := map[int]bool{}
+	for _, pp := range c.Planted {
+		planted[pp.I] = true
+		planted[pp.J] = true
+	}
+	for i := range c.Keys {
+		if !planted[i] {
+			moduli = append(moduli, moduli[i])
+			break
+		}
+	}
+	return moduli
+}
+
+// naiveReference is the brute-force all-pairs math/big oracle: for every
+// pair it computes gcd(n_i, n_j) directly and classifies the outcome the
+// way Report does.
+func naiveReference(moduli []*mpnat.Nat) (broken map[int]*big.Int, dups [][2]int) {
+	bigs := make([]*big.Int, len(moduli))
+	for i, m := range moduli {
+		bigs[i] = m.ToBig()
+	}
+	broken = map[int]*big.Int{}
+	for i := 0; i < len(bigs); i++ {
+		for j := i + 1; j < len(bigs); j++ {
+			g := new(big.Int).GCD(nil, nil, bigs[i], bigs[j])
+			if g.Cmp(big.NewInt(1)) == 0 {
+				continue
+			}
+			if g.Cmp(bigs[i]) == 0 && g.Cmp(bigs[j]) == 0 {
+				dups = append(dups, [2]int{i, j})
+				continue
+			}
+			for _, side := range []int{i, j} {
+				if g.Cmp(bigs[side]) < 0 {
+					if prev, ok := broken[side]; ok && prev.Cmp(g) != 0 {
+						// Corpus must keep shared structure unambiguous.
+						panic(fmt.Sprintf("modulus %d shares different factors", side))
+					}
+					broken[side] = g
+				}
+			}
+		}
+	}
+	return broken, dups
+}
+
+// TestDifferentialEngines runs every engine combination — the five GCD
+// algorithms with early termination on and off, plus the batch-GCD
+// engine at two pool sizes — over the same corpus, cross-checks each
+// report against the naive all-pairs reference, and asserts all reports
+// are identical to one another (FoundWith excepted: batch GCD has no
+// notion of a revealing pair).
+func TestDifferentialEngines(t *testing.T) {
+	for seed := int64(60); seed < 63; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			moduli := differentialCorpus(t, seed)
+			wantBroken, wantDups := naiveReference(moduli)
+
+			type combo struct {
+				name string
+				opt  Options
+			}
+			var combos []combo
+			for _, alg := range gcd.Algorithms {
+				for _, early := range []bool{false, true} {
+					combos = append(combos, combo{
+						name: fmt.Sprintf("%s/early=%v", alg, early),
+						opt: Options{
+							Algorithm: alg, Early: early, Workers: 2,
+							Exponent: rsakey.DefaultExponent,
+						},
+					})
+				}
+			}
+			for _, w := range []int{1, 3} {
+				combos = append(combos, combo{
+					name: fmt.Sprintf("batch/workers=%d", w),
+					opt: Options{
+						BatchGCD: true, Workers: w,
+						Exponent: rsakey.DefaultExponent,
+					},
+				})
+			}
+
+			var base *Report
+			for _, cb := range combos {
+				cb := cb
+				t.Run(cb.name, func(t *testing.T) {
+					rep, err := Run(moduli, cb.opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkAgainstNaive(t, moduli, rep, wantBroken, wantDups)
+					if base == nil {
+						base = rep
+						return
+					}
+					checkReportsIdentical(t, base, rep)
+				})
+			}
+		})
+	}
+}
+
+// checkAgainstNaive verifies one engine's report against the brute-force
+// oracle: the same set of broken indices, each factored consistently with
+// the naive shared factor, and the same duplicate pairs.
+func checkAgainstNaive(t *testing.T, moduli []*mpnat.Nat, rep *Report, wantBroken map[int]*big.Int, wantDups [][2]int) {
+	t.Helper()
+	if len(rep.Broken) != len(wantBroken) {
+		t.Fatalf("broke %d keys, naive reference says %d", len(rep.Broken), len(wantBroken))
+	}
+	for _, bk := range rep.Broken {
+		g, ok := wantBroken[bk.Index]
+		if !ok {
+			t.Fatalf("key %d broken but coprime per the naive reference", bk.Index)
+		}
+		if bk.P.Cmp(g) != 0 && bk.Q.Cmp(g) != 0 {
+			t.Errorf("key %d: neither factor equals the naive shared factor", bk.Index)
+		}
+		n := moduli[bk.Index].ToBig()
+		if new(big.Int).Mul(bk.P, bk.Q).Cmp(n) != 0 {
+			t.Errorf("key %d: P*Q != N", bk.Index)
+		}
+	}
+	if len(rep.Duplicates) != len(wantDups) {
+		t.Fatalf("duplicates = %v, naive reference %v", rep.Duplicates, wantDups)
+	}
+	for i, d := range rep.Duplicates {
+		if d != wantDups[i] {
+			t.Errorf("duplicate %d = %v, want %v", i, d, wantDups[i])
+		}
+	}
+}
+
+// checkReportsIdentical asserts two engines produced the same findings
+// (everything except FoundWith, which only all-pairs mode defines).
+func checkReportsIdentical(t *testing.T, a, b *Report) {
+	t.Helper()
+	if len(a.Broken) != len(b.Broken) {
+		t.Fatalf("broken count differs: %d vs %d", len(a.Broken), len(b.Broken))
+	}
+	for i := range a.Broken {
+		x, y := a.Broken[i], b.Broken[i]
+		if x.Index != y.Index || x.P.Cmp(y.P) != 0 || x.Q.Cmp(y.Q) != 0 {
+			t.Fatalf("broken key %d differs between engines", i)
+		}
+		if (x.D == nil) != (y.D == nil) || (x.D != nil && x.D.Cmp(y.D) != 0) {
+			t.Fatalf("broken key %d: private exponents differ", i)
+		}
+	}
+	if len(a.Duplicates) != len(b.Duplicates) {
+		t.Fatalf("duplicate count differs: %v vs %v", a.Duplicates, b.Duplicates)
+	}
+	for i := range a.Duplicates {
+		if a.Duplicates[i] != b.Duplicates[i] {
+			t.Fatalf("duplicate %d differs: %v vs %v", i, a.Duplicates[i], b.Duplicates[i])
+		}
+	}
+}

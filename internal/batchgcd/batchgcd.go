@@ -17,16 +17,114 @@
 // cost. It is implemented over math/big: the baseline's whole advantage
 // is asymptotically fast multiplication, which is orthogonal to the
 // paper's word-level contribution (see DESIGN.md, substitutions).
+//
+// The engine is level-parallel: within each product-tree level the node
+// multiplications are independent, as are each remainder-tree level's
+// P mod n_i^2 reductions and the leaf GCD extractions, so all three fan
+// out over a worker pool sized by Config.Workers. The tree shape and all
+// scan orders are deterministic, so every Workers setting produces the
+// identical Finding list; Workers: 1 is the provably-equivalent serial
+// path (it runs inline on the caller's goroutine).
 package batchgcd
 
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // one is the shared constant 1.
 var one = big.NewInt(1)
+
+// Config controls a batch-GCD run, mirroring bulk.Config for the
+// all-pairs engine so the two attack paths are tuned the same way.
+type Config struct {
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS. The result
+	// is identical for every setting: workers only split independent node
+	// computations within a tree level.
+	Workers int
+
+	// Progress, when non-nil, receives completion counts in
+	// tree-operation units: product-tree multiplications, remainder-tree
+	// reductions and leaf GCD extractions. (The output-sensitive
+	// resolution pass over the handful of flagged moduli is not counted.)
+	// It must be safe for concurrent use.
+	Progress func(done, total int64)
+}
+
+// EffectiveWorkers resolves the pool size a run with this Config uses.
+func (cfg Config) EffectiveWorkers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// tracker carries the shared progress state of one run.
+type tracker struct {
+	done     atomic.Int64
+	total    int64
+	progress func(done, total int64)
+}
+
+func newTracker(total int64, progress func(done, total int64)) *tracker {
+	return &tracker{total: total, progress: progress}
+}
+
+// tick records one completed unit and notifies the callback.
+func (t *tracker) tick() {
+	if t == nil || t.progress == nil {
+		return
+	}
+	t.progress(t.done.Add(1), t.total)
+}
+
+// treeUnits counts the work units of a full run over m moduli:
+// product-tree multiplications, remainder-tree reductions, and the m
+// leaf GCD extractions.
+func treeUnits(m int) (mults, reductions, leaves int64) {
+	for l := m; l > 1; l = (l + 1) / 2 {
+		mults += int64(l / 2)
+		reductions += int64(l)
+	}
+	return mults, reductions, int64(m)
+}
+
+// parallelEach runs fn(i, worker) for every i in [0, n) on up to workers
+// goroutines, handing items out one at a time through an atomic counter
+// (every item is a multi-precision operation, so counter contention is
+// negligible against the work it dispenses). With one worker or one item
+// it runs inline on the caller's goroutine.
+func parallelEach(n, workers int, fn func(i, worker int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
 
 // ProductTree holds the levels of the product tree: level 0 is the input
 // moduli, the last level is the single full product.
@@ -34,32 +132,55 @@ type ProductTree struct {
 	Levels [][]*big.Int
 }
 
-// NewProductTree builds the product tree of the moduli.
+// NewProductTree builds the product tree of the moduli on the default
+// (GOMAXPROCS-sized) worker pool.
 func NewProductTree(moduli []*big.Int) (*ProductTree, error) {
+	return NewProductTreeConfig(moduli, Config{})
+}
+
+// NewProductTreeConfig builds the product tree with the given pool size;
+// Progress counts the multiplications performed.
+func NewProductTreeConfig(moduli []*big.Int, cfg Config) (*ProductTree, error) {
+	if err := validate(moduli); err != nil {
+		return nil, err
+	}
+	mults, _, _ := treeUnits(len(moduli))
+	return buildTree(moduli, cfg.EffectiveWorkers(), newTracker(mults, cfg.Progress)), nil
+}
+
+func validate(moduli []*big.Int) error {
 	if len(moduli) == 0 {
-		return nil, fmt.Errorf("batchgcd: empty input")
+		return fmt.Errorf("batchgcd: empty input")
 	}
 	for i, n := range moduli {
 		if n == nil || n.Sign() <= 0 {
-			return nil, fmt.Errorf("batchgcd: modulus %d is not positive", i)
+			return fmt.Errorf("batchgcd: modulus %d is not positive", i)
 		}
 	}
+	return nil
+}
+
+// buildTree constructs the levels bottom-up; the multiplications within
+// one level are independent and fan out over the pool.
+func buildTree(moduli []*big.Int, workers int, tr *tracker) *ProductTree {
 	level := make([]*big.Int, len(moduli))
 	copy(level, moduli)
 	t := &ProductTree{Levels: [][]*big.Int{level}}
 	for len(level) > 1 {
-		next := make([]*big.Int, 0, (len(level)+1)/2)
-		for i := 0; i < len(level); i += 2 {
-			if i+1 < len(level) {
-				next = append(next, new(big.Int).Mul(level[i], level[i+1]))
-			} else {
-				next = append(next, level[i]) // odd node promotes unchanged
-			}
+		pairs := len(level) / 2
+		next := make([]*big.Int, (len(level)+1)/2)
+		src := level
+		parallelEach(pairs, workers, func(i, _ int) {
+			next[i] = new(big.Int).Mul(src[2*i], src[2*i+1])
+			tr.tick()
+		})
+		if len(level)%2 == 1 {
+			next[pairs] = level[len(level)-1] // odd node promotes unchanged
 		}
 		t.Levels = append(t.Levels, next)
 		level = next
 	}
-	return t, nil
+	return t
 }
 
 // Product returns the root: the product of all moduli.
@@ -70,18 +191,26 @@ func (t *ProductTree) Product() *big.Int {
 
 // remainderTree pushes the root product down the tree, reducing modulo
 // the square of each node, and returns the leaf remainders
-// r_i = P mod n_i^2.
-func (t *ProductTree) remainderTree() []*big.Int {
+// r_i = P mod n_i^2. Each level's reductions are independent and fan out
+// over the pool; the square and the division quotient are per-worker
+// scratch so the hot loop does not reallocate them.
+func (t *ProductTree) remainderTree(workers int, tr *tracker) []*big.Int {
 	depth := len(t.Levels)
 	cur := []*big.Int{t.Product()}
+	type remScratch struct{ sq, quo big.Int }
+	scratch := make([]remScratch, workers)
 	for lvl := depth - 2; lvl >= 0; lvl-- {
 		nodes := t.Levels[lvl]
 		next := make([]*big.Int, len(nodes))
-		for i, n := range nodes {
-			parent := cur[i/2]
-			sq := new(big.Int).Mul(n, n)
-			next[i] = new(big.Int).Mod(parent, sq)
-		}
+		parent := cur
+		parallelEach(len(nodes), workers, func(i, w int) {
+			s := &scratch[w]
+			s.sq.Mul(nodes[i], nodes[i])
+			rem := new(big.Int)
+			s.quo.QuoRem(parent[i/2], &s.sq, rem)
+			next[i] = rem
+			tr.tick()
+		})
 		cur = next
 	}
 	return cur
@@ -90,19 +219,34 @@ func (t *ProductTree) remainderTree() []*big.Int {
 // SharedFactors returns, for each modulus, g_i = gcd(n_i, (P/n_i) mod n_i):
 // 1 when n_i shares no factor with any other modulus, the shared factor(s)
 // otherwise, and n_i itself when n_i divides the product of the others
-// (duplicate modulus, or all of n_i's primes shared).
+// (duplicate modulus, or all of n_i's primes shared). It runs on the
+// default (GOMAXPROCS-sized) worker pool.
 func SharedFactors(moduli []*big.Int) ([]*big.Int, error) {
-	t, err := NewProductTree(moduli)
-	if err != nil {
+	return SharedFactorsConfig(moduli, Config{})
+}
+
+// SharedFactorsConfig is SharedFactors with explicit pool size and
+// progress reporting.
+func SharedFactorsConfig(moduli []*big.Int, cfg Config) ([]*big.Int, error) {
+	if err := validate(moduli); err != nil {
 		return nil, err
 	}
-	rems := t.remainderTree()
+	workers := cfg.EffectiveWorkers()
+	mults, reductions, leaves := treeUnits(len(moduli))
+	tr := newTracker(mults+reductions+leaves, cfg.Progress)
+
+	t := buildTree(moduli, workers, tr)
+	rems := t.remainderTree(workers, tr)
+
 	out := make([]*big.Int, len(moduli))
-	for i, n := range moduli {
+	scratch := make([]big.Int, workers) // per-worker quotient
+	parallelEach(len(moduli), workers, func(i, w int) {
 		// (P / n_i) mod n_i == (P mod n_i^2) / n_i for n_i | P.
-		q := new(big.Int).Quo(rems[i], n)
-		out[i] = new(big.Int).GCD(nil, nil, q, n)
-	}
+		q := &scratch[w]
+		q.Quo(rems[i], moduli[i])
+		out[i] = new(big.Int).GCD(nil, nil, q, moduli[i])
+		tr.tick()
+	})
 	return out, nil
 }
 
@@ -112,19 +256,25 @@ type Finding struct {
 	// Index is the modulus position.
 	Index int
 	// Factor is a non-trivial divisor of the modulus (1 < Factor < N),
-	// or the modulus itself when only duplicates explain the hit.
+	// or the modulus itself when no pairwise GCD splits it.
 	Factor *big.Int
-	// DuplicateOf is >= 0 when the modulus is identical to another one.
+	// DuplicateOf is the smallest index of an identical modulus, or -1.
+	// It is set whether or not a proper factor was also extracted.
 	DuplicateOf int
 }
 
-// Run executes the complete batch attack: SharedFactors plus the
-// resolution pass that Bernstein's method needs when g_i equals n_i
-// (duplicate moduli, or a modulus both of whose primes are shared). The
-// resolution computes pairwise GCDs only among the flagged moduli, which
-// are few.
+// Run executes the complete batch attack on the default worker pool:
+// SharedFactors plus the resolution pass that Bernstein's method needs
+// when g_i equals n_i (duplicate moduli, or a modulus both of whose
+// primes are shared).
 func Run(moduli []*big.Int) ([]Finding, error) {
-	gs, err := SharedFactors(moduli)
+	return RunConfig(moduli, Config{})
+}
+
+// RunConfig is Run with explicit pool size and progress reporting. The
+// Finding list is identical for every Workers setting.
+func RunConfig(moduli []*big.Int, cfg Config) ([]Finding, error) {
+	gs, err := SharedFactorsConfig(moduli, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -140,39 +290,54 @@ func Run(moduli []*big.Int) ([]Finding, error) {
 			whole = append(whole, i)
 		}
 	}
-	for _, i := range whole {
-		f := Finding{Index: i, Factor: new(big.Int).Set(moduli[i]), DuplicateOf: -1}
-		// Find a partner among all flagged moduli to extract a proper
-		// factor or identify a duplicate.
-		for _, j := range append(append([]int{}, whole...), properIndices(findings)...) {
-			if j == i {
-				continue
-			}
-			g := new(big.Int).GCD(nil, nil, moduli[i], moduli[j])
-			if g.Cmp(one) == 0 {
-				continue
-			}
-			if g.Cmp(moduli[i]) == 0 && moduli[i].Cmp(moduli[j]) == 0 {
-				if f.DuplicateOf < 0 || j < f.DuplicateOf {
-					f.DuplicateOf = j
-				}
-				continue
-			}
-			if g.Cmp(moduli[i]) < 0 {
-				f.Factor = g
-				break
-			}
-		}
-		findings = append(findings, f)
-	}
+	findings = append(findings, resolveWhole(moduli, whole, findings, cfg.EffectiveWorkers())...)
 	sort.Slice(findings, func(a, b int) bool { return findings[a].Index < findings[b].Index })
 	return findings, nil
 }
 
-func properIndices(fs []Finding) []int {
-	out := make([]int, len(fs))
-	for i, f := range fs {
-		out[i] = f.Index
+// resolveWhole handles the g_i == n_i cases: each flagged modulus needs
+// pairwise GCDs against the other flagged moduli (which are few) to
+// extract a proper factor or identify duplicates. The indices resolve
+// independently against the same deterministic candidate list, chunked
+// across the worker pool, so the output does not depend on Workers: the
+// first proper divisor in candidate order wins and the duplicate partner
+// is always the smallest matching index.
+func resolveWhole(moduli []*big.Int, whole []int, proper []Finding, workers int) []Finding {
+	if len(whole) == 0 {
+		return nil
 	}
+	candidates := make([]int, 0, len(whole)+len(proper))
+	candidates = append(candidates, whole...)
+	for _, f := range proper {
+		candidates = append(candidates, f.Index)
+	}
+	out := make([]Finding, len(whole))
+	scratch := make([]big.Int, workers) // per-worker gcd
+	parallelEach(len(whole), workers, func(k, w int) {
+		i := whole[k]
+		g := &scratch[w]
+		f := Finding{Index: i, DuplicateOf: -1}
+		for _, j := range candidates {
+			if j == i {
+				continue
+			}
+			g.GCD(nil, nil, moduli[i], moduli[j])
+			switch {
+			case g.Cmp(one) == 0:
+			case g.Cmp(moduli[i]) == 0 && moduli[i].Cmp(moduli[j]) == 0:
+				if f.DuplicateOf < 0 || j < f.DuplicateOf {
+					f.DuplicateOf = j
+				}
+			case g.Cmp(moduli[i]) < 0:
+				if f.Factor == nil {
+					f.Factor = new(big.Int).Set(g)
+				}
+			}
+		}
+		if f.Factor == nil {
+			f.Factor = new(big.Int).Set(moduli[i])
+		}
+		out[k] = f
+	})
 	return out
 }

@@ -3,6 +3,7 @@ package batchgcd
 import (
 	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"bulkgcd/internal/rsakey"
@@ -228,6 +229,76 @@ func TestRunMatchesAllPairsOnWeakCorpus(t *testing.T) {
 		}
 		if f.Factor.Cmp(p) != 0 {
 			t.Fatalf("modulus %d: factor mismatch", f.Index)
+		}
+	}
+}
+
+// TestRunConfigWorkersIdentical: the Finding list is byte-identical for
+// every pool size on a 1k-moduli corpus with planted shared primes and
+// duplicated moduli — the contract that lets the attack pipeline default
+// to the parallel path.
+func TestRunConfigWorkersIdentical(t *testing.T) {
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: 1000, Bits: 512, WeakPairs: 20, Seed: 7, Pseudo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := bigModuli(c)
+	ms = append(ms, new(big.Int).Set(ms[10]), new(big.Int).Set(ms[11]), new(big.Int).Set(ms[10]))
+
+	base, err := RunConfig(ms, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("corpus with planted pairs produced no findings")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, err := RunConfig(ms, Config{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d findings, workers=1 has %d", w, len(got), len(base))
+		}
+		for i := range got {
+			g, b := got[i], base[i]
+			if g.Index != b.Index || g.DuplicateOf != b.DuplicateOf || g.Factor.Cmp(b.Factor) != 0 {
+				t.Fatalf("workers=%d: finding %d differs: %+v vs %+v", w, i, g, b)
+			}
+		}
+	}
+}
+
+// TestRunConfigProgress: the progress callback counts every tree
+// operation exactly once and ends at the advertised total.
+func TestRunConfigProgress(t *testing.T) {
+	c := weakCorpus(t, 33, 128, 2, 8) // odd count exercises promoted nodes
+	ms := bigModuli(c)
+	for _, w := range []int{1, 4} {
+		var mu sync.Mutex
+		var calls int64
+		var lastTotal, maxDone int64
+		cfg := Config{Workers: w, Progress: func(done, total int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			lastTotal = total
+			if done > maxDone {
+				maxDone = done
+			}
+		}}
+		if _, err := RunConfig(ms, cfg); err != nil {
+			t.Fatal(err)
+		}
+		mults, reductions, leaves := treeUnits(len(ms))
+		want := mults + reductions + leaves
+		if lastTotal != want {
+			t.Fatalf("workers=%d: total = %d, want %d", w, lastTotal, want)
+		}
+		if calls != want || maxDone != want {
+			t.Fatalf("workers=%d: %d calls reaching %d, want %d", w, calls, maxDone, want)
 		}
 	}
 }

@@ -1,0 +1,36 @@
+package batchgcd
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"bulkgcd/internal/rsakey"
+)
+
+// BenchmarkBatchGCD measures the complete batch attack (product tree,
+// remainder tree, leaf extraction, resolution) on a 4096-moduli 512-bit
+// corpus across pool sizes. Workers=1 is the serial baseline the
+// parallel engine must beat; the Finding lists are identical by
+// construction (see TestRunConfigWorkersIdentical).
+func BenchmarkBatchGCD(b *testing.B) {
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: 4096, Bits: 512, WeakPairs: 8, Seed: 11, Pseudo: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := make([]*big.Int, len(c.Keys))
+	for i, k := range c.Keys {
+		ms[i] = k.N.ToBig()
+	}
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunConfig(ms, Config{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

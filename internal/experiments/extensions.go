@@ -91,9 +91,10 @@ type CrossoverPoint struct {
 // RunCrossover times both attack engines over growing corpora of the
 // given modulus size. All-pairs work grows as m^2 while batch GCD grows
 // as ~m log^2 m, so batch GCD must win for large m; the all-pairs
-// approach (and the paper's GPU acceleration of it) wins at small m and
-// parallelizes trivially.
-func RunCrossover(size int, ms []int, seed int64) ([]CrossoverPoint, error) {
+// approach (and the paper's GPU acceleration of it) wins at small m.
+// Both engines run on worker pools of the same size (0 = GOMAXPROCS) so
+// the comparison is pool-vs-pool, not parallel-vs-serial.
+func RunCrossover(size int, ms []int, workers int, seed int64) ([]CrossoverPoint, error) {
 	if len(ms) == 0 {
 		ms = []int{32, 64, 128, 256}
 	}
@@ -108,7 +109,7 @@ func RunCrossover(size int, ms []int, seed int64) ([]CrossoverPoint, error) {
 		moduli := c.Moduli()
 
 		start := time.Now()
-		if _, err := bulk.AllPairs(moduli, bulk.Config{Algorithm: gcd.Approximate, Early: true}); err != nil {
+		if _, err := bulk.AllPairs(moduli, bulk.Config{Algorithm: gcd.Approximate, Early: true, Workers: workers}); err != nil {
 			return nil, err
 		}
 		allPairs := time.Since(start)
@@ -118,7 +119,7 @@ func RunCrossover(size int, ms []int, seed int64) ([]CrossoverPoint, error) {
 			bigs[i] = n.ToBig()
 		}
 		start = time.Now()
-		if _, err := batchgcd.Run(bigs); err != nil {
+		if _, err := batchgcd.RunConfig(bigs, batchgcd.Config{Workers: workers}); err != nil {
 			return nil, err
 		}
 		batch := time.Since(start)

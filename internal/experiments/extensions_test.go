@@ -53,9 +53,11 @@ func TestRunDivergenceValidation(t *testing.T) {
 // TestRunCrossover asserts the baseline relationship: batch GCD's
 // advantage over all-pairs grows with corpus size (it is the
 // asymptotically faster engine; the paper's contribution is making the
-// embarrassingly parallel engine fast per pair).
+// embarrassingly parallel engine fast per pair). Both engines run on
+// two-worker pools, so the ratio measures the algorithms, not the
+// parallelism gap.
 func TestRunCrossover(t *testing.T) {
-	ps, err := RunCrossover(256, []int{16, 64}, 2)
+	ps, err := RunCrossover(256, []int{16, 64}, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
