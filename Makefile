@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench selftest reproduce clean
+.PHONY: all build test vet race chaos cover bench selftest reproduce clean
 
 all: build vet test
 
@@ -20,6 +20,15 @@ test:
 # the public facade.
 race:
 	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ .
+
+# Fault-injection hardening: the chaos suite (kill/resume/panic
+# campaigns, chaos_test.go) plus the resilience packages it drives, all
+# under the race detector. -short keeps only the soak tests out; the
+# chaos tests themselves stay enabled with reduced rounds.
+chaos:
+	$(GO) test -race -short -run 'TestChaos' .
+	$(GO) test -race -short ./internal/checkpoint/ ./internal/faultinject/ ./internal/sigctx/ \
+	    ./internal/bulk/ ./internal/attack/ ./cmd/rsafactor/ ./cmd/gcdbench/
 
 cover:
 	$(GO) test -cover ./...

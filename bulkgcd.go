@@ -21,6 +21,7 @@
 package bulkgcd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -200,6 +201,10 @@ type AttackReport struct {
 	Pairs int64
 	// Stats aggregates the per-pair GCD statistics.
 	Stats Stats
+	// Canceled reports that the run was interrupted via the context passed
+	// to FindSharedPrimesContext; Broken/Duplicates then cover only the
+	// pairs completed before cancellation.
+	Canceled bool
 }
 
 // FindSharedPrimes runs the weak-key attack over a corpus of RSA moduli:
@@ -207,6 +212,14 @@ type AttackReport struct {
 // prime with another, and reconstructs the corresponding private keys.
 // All moduli must be positive and odd. opts may be nil for defaults.
 func FindSharedPrimes(moduli []*big.Int, opts *AttackOptions) (*AttackReport, error) {
+	return FindSharedPrimesContext(context.Background(), moduli, opts)
+}
+
+// FindSharedPrimesContext is FindSharedPrimes with cooperative
+// cancellation: when ctx is canceled mid-run the attack stops at the next
+// block boundary and returns the findings of the completed pairs with
+// AttackReport.Canceled set, rather than an error.
+func FindSharedPrimesContext(ctx context.Context, moduli []*big.Int, opts *AttackOptions) (*AttackReport, error) {
 	var o AttackOptions
 	if opts != nil {
 		o = *opts
@@ -225,7 +238,7 @@ func FindSharedPrimes(moduli []*big.Int, opts *AttackOptions) (*AttackReport, er
 		}
 		ms[i] = mpnat.FromBig(m)
 	}
-	rep, err := attack.Run(ms, attack.Options{
+	rep, err := attack.RunContext(ctx, ms, attack.Options{
 		Algorithm: ialg,
 		Early:     !o.DisableEarlyTerminate,
 		Workers:   o.Workers,
@@ -239,6 +252,7 @@ func FindSharedPrimes(moduli []*big.Int, opts *AttackOptions) (*AttackReport, er
 	out := &AttackReport{
 		Duplicates: rep.Duplicates,
 		Pairs:      rep.Bulk.Pairs,
+		Canceled:   rep.Canceled,
 		Stats: Stats{
 			Iterations:  rep.Bulk.Stats.Iterations,
 			BetaNonZero: rep.Bulk.Stats.BetaNonZero,

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,18 +22,21 @@ import (
 	"strings"
 
 	"bulkgcd/internal/experiments"
+	"bulkgcd/internal/sigctx"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gcdbench: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := sigctx.WithSignals(context.Background(), os.Stderr, "gcdbench")
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run implements the tool; factored out of main so tests can drive it.
-func run(args []string, stdout, stderrW io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 	fs := flag.NewFlagSet("gcdbench", flag.ContinueOnError)
 	fs.SetOutput(stderrW)
 	var (
@@ -53,6 +57,7 @@ func run(args []string, stdout, stderrW io.Writer) error {
 		workers   = fs.Int("workers", 0, "worker-pool size for both crossover engines (0 = all CPUs)")
 		seed      = fs.Int64("seed", 1, "deterministic seed")
 		sizesStr  = fs.String("sizes", "512,1024,2048,4096", "comma-separated modulus sizes")
+		ckptDir   = fs.String("checkpoint", "", "journal Table V bulk runs to this directory and resume interrupted cells from it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,10 +89,16 @@ func run(args []string, stdout, stderrW io.Writer) error {
 		fmt.Fprintf(stdout, "Table V: time per GCD, %s; bulk corpus %d moduli; UMM w=%d l=%d clock=%.2fGHz SMs=%d\n",
 			mode, *moduli, *width, *latency, *clock, *sms)
 		fmt.Fprintf(stdout, "(GPU-par = host-parallel bulk executor; GPU-sim = UMM model simulation)\n\n")
-		res, err := experiments.RunTableV(experiments.TableVConfig{
+		if *ckptDir != "" {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				return err
+			}
+		}
+		res, err := experiments.RunTableVContext(ctx, experiments.TableVConfig{
 			Sizes: sizes, CPUPairs: *cpuPairs, BulkModuli: *moduli,
 			SimThreads: *simThr, UMMWidth: *width, UMMLatency: *latency,
 			ClockGHz: *clock, SMs: *sms, Early: *early, Seed: *seed,
+			CheckpointDir: *ckptDir,
 		})
 		if err != nil {
 			return err
@@ -122,7 +133,7 @@ func run(args []string, stdout, stderrW io.Writer) error {
 			w = runtime.GOMAXPROCS(0)
 		}
 		fmt.Fprintf(stdout, "Baseline comparison at %d bits, %d workers per engine: all-pairs Approximate (this paper) vs batch GCD (Bernstein)\n\n", size, w)
-		ps, err := experiments.RunCrossover(size, nil, w, *seed)
+		ps, err := experiments.RunCrossoverContext(ctx, size, nil, w, *seed)
 		if err != nil {
 			return err
 		}

@@ -2,13 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestTable4Small(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-table", "4", "-pairs", "10", "-sizes", "256"}, &out, &bytes.Buffer{})
+	err := run(context.Background(), []string{"-table", "4", "-pairs", "10", "-sizes", "256"}, &out, &bytes.Buffer{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +24,7 @@ func TestTable4Small(t *testing.T) {
 
 func TestTable5Small(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-table", "5", "-sizes", "256", "-moduli", "24",
+	err := run(context.Background(), []string{"-table", "5", "-sizes", "256", "-moduli", "24",
 		"-cpupairs", "10", "-simthreads", "16"}, &out, &bytes.Buffer{})
 	if err != nil {
 		t.Fatal(err)
@@ -37,13 +39,42 @@ func TestTable5Small(t *testing.T) {
 
 func TestBetaStatsAndMemOps(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-betastats", "-memops", "-pairs", "10", "-sizes", "256"}, &out, &bytes.Buffer{})
+	err := run(context.Background(), []string{"-betastats", "-memops", "-pairs", "10", "-sizes", "256"}, &out, &bytes.Buffer{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
 	if !strings.Contains(s, "beta>0") || !strings.Contains(s, "3*s/d") {
 		t.Fatalf("stats output wrong:\n%s", s)
+	}
+}
+
+// TestTable5Checkpoint: a journaled Table V run writes one journal per
+// bulk cell, and rerunning against the same directory replays them (the
+// resumed run recomputes nothing but still renders the full table).
+func TestTable5Checkpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journals")
+	args := []string{"-table", "5", "-sizes", "256", "-moduli", "24",
+		"-cpupairs", "10", "-simthreads", "16", "-checkpoint", dir}
+	var first bytes.Buffer
+	if err := run(context.Background(), args, &first, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	journals, err := filepath.Glob(filepath.Join(dir, "tablev-*-256.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journals) == 0 {
+		t.Fatalf("no journals written to %s", dir)
+	}
+	var second bytes.Buffer
+	if err := run(context.Background(), args, &second, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"CPU (C)", "GPU-par (E)", "GPU-sim (D)"} {
+		if !strings.Contains(second.String(), needle) {
+			t.Fatalf("resumed table missing %q:\n%s", needle, second.String())
+		}
 	}
 }
 
@@ -61,13 +92,13 @@ func TestParseSizes(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sink bytes.Buffer
-	if err := run(nil, &sink, &sink); err == nil {
+	if err := run(context.Background(), nil, &sink, &sink); err == nil {
 		t.Error("no-op invocation accepted")
 	}
-	if err := run([]string{"-table", "4", "-sizes", "bogus"}, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-table", "4", "-sizes", "bogus"}, &sink, &sink); err == nil {
 		t.Error("bad sizes accepted")
 	}
-	if err := run([]string{"-nope"}, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &sink, &sink); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
@@ -77,7 +108,7 @@ func TestCrossover(t *testing.T) {
 	// Default crossover sweep is sized for real measurement; here we just
 	// exercise the path with the smallest size and an explicit pool size
 	// shared by both engines.
-	err := run([]string{"-crossover", "-sizes", "256", "-workers", "2"}, &out, &bytes.Buffer{})
+	err := run(context.Background(), []string{"-crossover", "-sizes", "256", "-workers", "2"}, &out, &bytes.Buffer{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +122,7 @@ func TestCrossover(t *testing.T) {
 
 func TestAblation(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-ablation", "-sizes", "256", "-pairs", "10"}, &out, &bytes.Buffer{})
+	err := run(context.Background(), []string{"-ablation", "-sizes", "256", "-pairs", "10"}, &out, &bytes.Buffer{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,14 +8,23 @@
 //	rsafactor -in corpus.txt -batch          # Bernstein batch-GCD engine
 //	                                         # (-workers and -v apply here too)
 //	rsafactor -in corpus.txt -truth truth.txt # verify against ground truth
+//	rsafactor -in corpus.txt -checkpoint run.jsonl   # journal progress
+//	rsafactor -in corpus.txt -resume run.jsonl       # continue after a kill
 //
 // Output lists, per broken key, the corpus index, the prime factors and
 // the recovered private exponent for e = 65537.
+//
+// A run with -checkpoint journals every completed block; SIGINT/SIGTERM
+// cancels cooperatively (in-flight blocks finish, the journal is flushed,
+// partial findings are printed). Re-running with -resume picks up where
+// the journal left off and produces the same findings an uninterrupted
+// run would have.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,10 +35,12 @@ import (
 	"strings"
 
 	"bulkgcd/internal/attack"
+	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/corpus"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/pemkeys"
+	"bulkgcd/internal/sigctx"
 )
 
 var algByName = map[string]gcd.Algorithm{
@@ -43,26 +54,35 @@ var algByName = map[string]gcd.Algorithm{
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rsafactor: ")
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+	ctx, stop := sigctx.WithSignals(context.Background(), os.Stderr, "rsafactor")
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run implements the tool; factored out of main so tests can drive it.
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("rsafactor", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in      = fs.String("in", "-", "corpus file (- for stdin)")
-		algName = fs.String("alg", "approximate", "gcd algorithm: original|fast|binary|fastbinary|approximate")
-		noEarly = fs.Bool("no-early", false, "disable s/2 early termination")
-		batch   = fs.Bool("batch", false, "use the Bernstein product-tree batch GCD instead of all-pairs")
-		workers = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		e       = fs.Uint64("e", 65537, "RSA public exponent for key recovery")
-		prev    = fs.String("prev", "", "previously scanned corpus (same formats); compute only pairs involving the new corpus")
-		truth   = fs.String("truth", "", "ground-truth file from keygen -truth; verify the findings")
-		emit    = fs.String("emit", "", "directory to write recovered private keys as PKCS#1 PEM files")
-		verbose = fs.Bool("v", false, "print progress")
+		in         = fs.String("in", "-", "corpus file (- for stdin)")
+		algName    = fs.String("alg", "approximate", "gcd algorithm: original|fast|binary|fastbinary|approximate")
+		noEarly    = fs.Bool("no-early", false, "disable s/2 early termination")
+		batch      = fs.Bool("batch", false, "use the Bernstein product-tree batch GCD instead of all-pairs")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		e          = fs.Uint64("e", 65537, "RSA public exponent for key recovery")
+		prev       = fs.String("prev", "", "previously scanned corpus (same formats); compute only pairs involving the new corpus")
+		truth      = fs.String("truth", "", "ground-truth file from keygen -truth; verify the findings")
+		emit       = fs.String("emit", "", "directory to write recovered private keys as PKCS#1 PEM files")
+		ckptPath   = fs.String("checkpoint", "", "journal completed blocks to this file (fresh run; see -resume)")
+		resumePath = fs.String("resume", "", "resume from this journal, skipping completed blocks, and keep appending to it")
+		quarantine = fs.Bool("quarantine", false, "skip zero/even moduli and report them instead of failing the run")
+		verbose    = fs.Bool("v", false, "print progress")
+		// cancelAfter deterministically cancels the run once N pairs have
+		// completed; it exists so the interrupt/resume path is testable
+		// without racing real signals against the engine.
+		cancelAfter = fs.Int64("cancel-after", -1, "")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +91,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	alg, ok := algByName[strings.ToLower(*algName)]
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+	if *ckptPath != "" && *resumePath != "" {
+		return fmt.Errorf("-checkpoint starts a fresh journal and -resume continues one; use exactly one")
+	}
+	if (*ckptPath != "" || *resumePath != "") && *batch {
+		return fmt.Errorf("checkpointing requires the all-pairs engine; drop -batch")
 	}
 
 	r := stdin
@@ -82,7 +108,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	moduli, sources, err := readCorpus(r, stderr)
+	moduli, sources, err := readCorpus(r, stderr, *quarantine)
 	if err != nil {
 		return err
 	}
@@ -93,7 +119,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		oldModuli, _, err = readCorpus(pf, stderr)
+		oldModuli, _, err = readCorpus(pf, stderr, *quarantine)
 		pf.Close()
 		if err != nil {
 			return fmt.Errorf("previous corpus: %w", err)
@@ -112,11 +138,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	opt := attack.Options{
-		Algorithm: alg,
-		Early:     !*noEarly,
-		Workers:   *workers,
-		Exponent:  *e,
-		BatchGCD:  *batch,
+		Algorithm:  alg,
+		Early:      !*noEarly,
+		Workers:    *workers,
+		Exponent:   *e,
+		BatchGCD:   *batch,
+		Quarantine: *quarantine,
+	}
+	switch {
+	case *ckptPath != "":
+		w, err := checkpoint.Create(*ckptPath)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		opt.Checkpoint = w
+	case *resumePath != "":
+		st, err := checkpoint.Load(*resumePath)
+		if err != nil {
+			return err
+		}
+		w, err := checkpoint.OpenAppend(*resumePath)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		opt.Resume = st
+		opt.Checkpoint = w
+		fmt.Fprintf(stdout, "resuming from %s: %d/%d blocks done (%d pairs)\n",
+			*resumePath, len(st.Done), st.Header.Units, st.Pairs())
 	}
 	if *verbose {
 		unit := "pairs"
@@ -127,14 +177,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "\rprogress: %d/%d %s", done, total, unit)
 		}
 	}
+	if *cancelAfter >= 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		inner := opt.Progress
+		opt.Progress = func(done, total int64) {
+			if done >= *cancelAfter {
+				cancel()
+			}
+			if inner != nil {
+				inner(done, total)
+			}
+		}
+	}
 	var rep *attack.Report
 	if *prev != "" {
-		rep, err = attack.RunIncremental(oldModuli, moduli, opt)
+		rep, err = attack.RunIncrementalContext(ctx, oldModuli, moduli, opt)
 	} else {
-		rep, err = attack.Run(moduli, opt)
+		rep, err = attack.RunContext(ctx, moduli, opt)
 	}
 	if err != nil {
 		return err
+	}
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.Sync(); err != nil {
+			return err
+		}
 	}
 	if *verbose {
 		fmt.Fprintln(stderr)
@@ -154,6 +223,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			rep.Bulk.PairsPerSecond())
 		fmt.Fprintf(stdout, "iterations: %d total, %.1f per pair\n",
 			rep.Bulk.Stats.Iterations, float64(rep.Bulk.Stats.Iterations)/float64(rep.Bulk.Pairs))
+	}
+
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(stdout, "quarantined modulus %d: %s (excluded from the scan)\n", q.Index, q.Reason)
+	}
+	for _, bp := range rep.BadPairs {
+		fmt.Fprintf(stdout, "quarantined pair (%d,%d): %s\n", bp.I, bp.J, bp.Err)
 	}
 
 	if len(rep.Broken) == 0 && len(rep.Duplicates) == 0 {
@@ -176,6 +252,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "\nsummary: %d broken, %d duplicate pairs out of %d keys\n",
 		len(rep.Broken), len(rep.Duplicates), rep.Moduli)
 
+	if rep.Canceled {
+		// The findings above cover only the completed blocks; emit/truth
+		// would operate on an incomplete report, so they are skipped.
+		if opt.Checkpoint != nil {
+			return fmt.Errorf("interrupted after %d/%d pairs; resume with -resume %s",
+				rep.Bulk.Pairs, rep.Bulk.Total, opt.Checkpoint.Path())
+		}
+		return fmt.Errorf("interrupted after %d/%d pairs (run with -checkpoint to make interrupted runs resumable)",
+			rep.Bulk.Pairs, rep.Bulk.Total)
+	}
+
 	if *emit != "" {
 		if err := emitPrivateKeys(stdout, *emit, rep, sources, *e); err != nil {
 			return err
@@ -190,8 +277,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 // readCorpus reads moduli in either format: PEM streams (public keys and
 // certificates, the shape of real collected key sets) are detected by the
 // PEM armour; anything else is the line-oriented hex corpus format.
-// sources is non-nil only for PEM input.
-func readCorpus(r io.Reader, stderr io.Writer) ([]*mpnat.Nat, []pemkeys.Source, error) {
+// sources is non-nil only for PEM input. With lenient set, zero/even
+// moduli pass through to the attack layer's quarantine instead of
+// failing the whole corpus.
+func readCorpus(r io.Reader, stderr io.Writer, lenient bool) ([]*mpnat.Nat, []pemkeys.Source, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, err
@@ -201,17 +290,21 @@ func readCorpus(r io.Reader, stderr io.Writer) ([]*mpnat.Nat, []pemkeys.Source, 
 		if err != nil {
 			return nil, nil, err
 		}
-		if skipped > 0 {
-			fmt.Fprintf(stderr, "rsafactor: skipped %d non-RSA or unparseable PEM blocks\n", skipped)
+		for _, sk := range skipped {
+			fmt.Fprintf(stderr, "rsafactor: skipped PEM block %d (%s): %s\n", sk.Index, sk.Type, sk.Reason)
 		}
 		out := make([]*mpnat.Nat, len(bigs))
 		for i, n := range bigs {
-			if n.Bit(0) == 0 {
+			if n.Bit(0) == 0 && !lenient {
 				return nil, nil, fmt.Errorf("PEM key %d has an even modulus", i)
 			}
 			out[i] = mpnat.FromBig(n)
 		}
 		return out, sources, nil
+	}
+	if lenient {
+		ms, err := corpus.ReadLenient(bytes.NewReader(data))
+		return ms, nil, err
 	}
 	ms, err := corpus.Read(bytes.NewReader(data))
 	return ms, nil, err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/x509"
 	"encoding/pem"
 	"fmt"
@@ -50,7 +51,7 @@ func TestRunBreaksWeakCorpus(t *testing.T) {
 	dir := t.TempDir()
 	cp, tp := writeCorpus(t, dir, 12, 128, 2, 7)
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-in", cp, "-truth", tp}, nil, &out, &errOut); err != nil {
+	if err := run(context.Background(), []string{"-in", cp, "-truth", tp}, nil, &out, &errOut); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -75,7 +76,7 @@ func TestRunFromStdin(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-v"}, &in, &out, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-v"}, &in, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "BROKEN key") {
@@ -88,7 +89,7 @@ func TestRunAllAlgorithmsAndBatch(t *testing.T) {
 	cp, _ := writeCorpus(t, dir, 10, 128, 1, 9)
 	for _, alg := range []string{"original", "fast", "binary", "fastbinary", "approximate"} {
 		var out bytes.Buffer
-		if err := run([]string{"-in", cp, "-alg", alg, "-no-early"}, nil, &out, &bytes.Buffer{}); err != nil {
+		if err := run(context.Background(), []string{"-in", cp, "-alg", alg, "-no-early"}, nil, &out, &bytes.Buffer{}); err != nil {
 			t.Fatalf("alg %s: %v", alg, err)
 		}
 		if strings.Count(out.String(), "BROKEN key") != 2 {
@@ -96,7 +97,7 @@ func TestRunAllAlgorithmsAndBatch(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-in", cp, "-batch"}, nil, &out, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-in", cp, "-batch"}, nil, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Count(out.String(), "BROKEN key") != 2 {
@@ -125,7 +126,7 @@ func TestRunBatchWorkers(t *testing.T) {
 	var base string
 	for _, w := range []string{"1", "4"} {
 		var out, errs bytes.Buffer
-		if err := run([]string{"-in", cp, "-batch", "-workers", w, "-v"}, nil, &out, &errs); err != nil {
+		if err := run(context.Background(), []string{"-in", cp, "-batch", "-workers", w, "-v"}, nil, &out, &errs); err != nil {
 			t.Fatalf("workers %s: %v", w, err)
 		}
 		if !strings.Contains(out.String(), w+" workers") {
@@ -148,7 +149,7 @@ func TestRunCleanCorpus(t *testing.T) {
 	dir := t.TempDir()
 	cp, _ := writeCorpus(t, dir, 6, 128, 0, 10)
 	var out bytes.Buffer
-	if err := run([]string{"-in", cp}, nil, &out, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-in", cp}, nil, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "no weak keys found") {
@@ -165,7 +166,7 @@ func TestRunTruthVerificationFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err := run([]string{"-in", cp, "-truth", bogus}, nil, &out, &bytes.Buffer{})
+	err := run(context.Background(), []string{"-in", cp, "-truth", bogus}, nil, &out, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "verification failed") {
 		t.Fatalf("expected verification failure, got %v", err)
 	}
@@ -176,21 +177,21 @@ func TestRunTruthVerificationFailure(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sink bytes.Buffer
-	if err := run([]string{"-alg", "nonsense", "-in", "x"}, nil, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-alg", "nonsense", "-in", "x"}, nil, &sink, &sink); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := run([]string{"-in", "/nonexistent"}, nil, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-in", "/nonexistent"}, nil, &sink, &sink); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run([]string{"-badflag"}, nil, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-badflag"}, nil, &sink, &sink); err == nil {
 		t.Error("unknown flag accepted")
 	}
 	in := strings.NewReader("ff\n") // single modulus
-	if err := run(nil, in, &sink, &sink); err == nil {
+	if err := run(context.Background(), nil, in, &sink, &sink); err == nil {
 		t.Error("single-modulus corpus accepted")
 	}
 	in = strings.NewReader("zz\n")
-	if err := run(nil, in, &sink, &sink); err == nil {
+	if err := run(context.Background(), nil, in, &sink, &sink); err == nil {
 		t.Error("bad corpus accepted")
 	}
 }
@@ -217,7 +218,7 @@ func TestRunPEMWorkflow(t *testing.T) {
 
 	emitDir := filepath.Join(dir, "broken")
 	var out bytes.Buffer
-	if err := run([]string{"-in", pemPath, "-emit", emitDir}, nil, &out, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-in", pemPath, "-emit", emitDir}, nil, &out, &bytes.Buffer{}); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "emitted 2 private keys") {
@@ -261,11 +262,12 @@ func TestRunPEMSkipsGarbageBlocks(t *testing.T) {
 	}
 	pem.Encode(&in, &pem.Block{Type: "EC PRIVATE KEY", Bytes: []byte{1}})
 	var out, errOut bytes.Buffer
-	if err := run(nil, &in, &out, &errOut); err != nil {
+	if err := run(context.Background(), nil, &in, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(errOut.String(), "skipped 1") {
-		t.Fatalf("skip warning missing: %q", errOut.String())
+	if !strings.Contains(errOut.String(), "skipped PEM block 4 (EC PRIVATE KEY)") ||
+		!strings.Contains(errOut.String(), "unsupported block type") {
+		t.Fatalf("per-block skip report missing: %q", errOut.String())
 	}
 	if !strings.Contains(out.String(), "BROKEN key") {
 		t.Fatalf("attack failed on PEM input:\n%s", out.String())
@@ -298,7 +300,7 @@ func TestRunIncrementalFlag(t *testing.T) {
 	newPath := writeHalf("new.txt", moduli[6:])
 
 	var out bytes.Buffer
-	if err := run([]string{"-in", newPath, "-prev", oldPath}, nil, &out, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-in", newPath, "-prev", oldPath}, nil, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "incremental scan: 6 previous + 6 new") {
@@ -315,13 +317,13 @@ func TestRunIncrementalFlag(t *testing.T) {
 	}
 	// Conflicting flags.
 	var sink bytes.Buffer
-	if err := run([]string{"-in", newPath, "-prev", oldPath, "-batch"}, nil, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-in", newPath, "-prev", oldPath, "-batch"}, nil, &sink, &sink); err == nil {
 		t.Error("-prev -batch accepted")
 	}
-	if err := run([]string{"-in", newPath, "-prev", oldPath, "-truth", oldPath}, nil, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-in", newPath, "-prev", oldPath, "-truth", oldPath}, nil, &sink, &sink); err == nil {
 		t.Error("-prev -truth accepted")
 	}
-	if err := run([]string{"-in", newPath, "-prev", "/nonexistent"}, nil, &sink, &sink); err == nil {
+	if err := run(context.Background(), []string{"-in", newPath, "-prev", "/nonexistent"}, nil, &sink, &sink); err == nil {
 		t.Error("missing -prev file accepted")
 	}
 }

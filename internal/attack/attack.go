@@ -6,6 +6,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -13,6 +14,8 @@ import (
 
 	"bulkgcd/internal/batchgcd"
 	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/faultinject"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/rsakey"
@@ -48,6 +51,22 @@ type Options struct {
 	// GroupSize are ignored in this mode; Workers and Progress are
 	// honored.
 	BatchGCD bool
+
+	// Quarantine makes the all-pairs engines skip zero/even moduli and
+	// report them per-index in Report.Quarantined instead of failing the
+	// whole run. Ignored in BatchGCD mode (the product tree has no way to
+	// excise an input without changing the fingerprint of the run).
+	Quarantine bool
+
+	// Checkpoint, when non-nil, journals every completed work unit so an
+	// interrupted run can be resumed. Resume, when non-nil, is a journal
+	// loaded from a previous run whose completed units are skipped. Both
+	// require the all-pairs engine.
+	Checkpoint *checkpoint.Writer
+	Resume     *checkpoint.State
+
+	// Fault is the test-only fault-injection hook; nil in production.
+	Fault *faultinject.Hook
 }
 
 // DefaultOptions returns the recommended configuration: Approximate
@@ -90,22 +109,39 @@ type Report struct {
 	Bulk *bulk.Result
 	// Moduli is the corpus size.
 	Moduli int
+	// Canceled reports that the run was interrupted: Broken/Duplicates
+	// cover only the completed work units.
+	Canceled bool
+	// BadPairs lists pair computations quarantined after a worker panic.
+	BadPairs []bulk.BadPair
+	// Quarantined lists input moduli skipped under Options.Quarantine.
+	Quarantined []bulk.Quarantined
 }
 
 // Run executes the attack over the corpus.
 func Run(moduli []*mpnat.Nat, opt Options) (*Report, error) {
+	return RunContext(context.Background(), moduli, opt)
+}
+
+// RunContext is Run with cooperative cancellation: on cancel the report
+// covers the completed work units and Report.Canceled is set.
+func RunContext(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report, error) {
 	if opt.Exponent == 0 {
 		opt.Exponent = rsakey.DefaultExponent
 	}
 	if opt.BatchGCD {
-		return runBatch(moduli, opt)
+		return runBatch(ctx, moduli, opt)
 	}
-	res, err := bulk.AllPairs(moduli, bulk.Config{
-		Algorithm: opt.Algorithm,
-		Early:     opt.Early,
-		Workers:   opt.Workers,
-		GroupSize: opt.GroupSize,
-		Progress:  opt.Progress,
+	res, err := bulk.AllPairsContext(ctx, moduli, bulk.Config{
+		Algorithm:  opt.Algorithm,
+		Early:      opt.Early,
+		Workers:    opt.Workers,
+		GroupSize:  opt.GroupSize,
+		Progress:   opt.Progress,
+		Quarantine: opt.Quarantine,
+		Checkpoint: opt.Checkpoint,
+		Resume:     opt.Resume,
+		Fault:      opt.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -113,22 +149,45 @@ func Run(moduli []*mpnat.Nat, opt Options) (*Report, error) {
 	return interpretFactors(moduli, res, opt)
 }
 
+// JournalHeader returns the checkpoint header an all-pairs attack over
+// this corpus writes, for verifying a journal before resuming.
+func JournalHeader(moduli []*mpnat.Nat, opt Options) (checkpoint.Header, error) {
+	if opt.BatchGCD {
+		return checkpoint.Header{}, fmt.Errorf("attack: checkpointing requires the all-pairs engine")
+	}
+	return bulk.JournalHeader(moduli, bulk.Config{
+		Algorithm:  opt.Algorithm,
+		Early:      opt.Early,
+		GroupSize:  opt.GroupSize,
+		Quarantine: opt.Quarantine,
+	})
+}
+
 // RunIncremental attacks only the pairs involving a new modulus: the
 // cross product newModuli x old plus the new x new triangle, for rolling
 // scans over growing corpora. Broken-key indices are global, with old
 // moduli at 0..len(old)-1 and the new ones following.
 func RunIncremental(old, newModuli []*mpnat.Nat, opt Options) (*Report, error) {
+	return RunIncrementalContext(context.Background(), old, newModuli, opt)
+}
+
+// RunIncrementalContext is RunIncremental with cooperative cancellation.
+func RunIncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, opt Options) (*Report, error) {
 	if opt.Exponent == 0 {
 		opt.Exponent = rsakey.DefaultExponent
 	}
 	if opt.BatchGCD {
 		return nil, fmt.Errorf("attack: incremental mode requires the all-pairs engine")
 	}
-	res, err := bulk.Incremental(old, newModuli, bulk.Config{
-		Algorithm: opt.Algorithm,
-		Early:     opt.Early,
-		Workers:   opt.Workers,
-		Progress:  opt.Progress,
+	res, err := bulk.IncrementalContext(ctx, old, newModuli, bulk.Config{
+		Algorithm:  opt.Algorithm,
+		Early:      opt.Early,
+		Workers:    opt.Workers,
+		Progress:   opt.Progress,
+		Quarantine: opt.Quarantine,
+		Checkpoint: opt.Checkpoint,
+		Resume:     opt.Resume,
+		Fault:      opt.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -142,7 +201,13 @@ func RunIncremental(old, newModuli []*mpnat.Nat, opt Options) (*Report, error) {
 // interpretFactors turns raw pair factors into the attack report:
 // duplicates detected, moduli factored, private keys recovered.
 func interpretFactors(moduli []*mpnat.Nat, res *bulk.Result, opt Options) (*Report, error) {
-	rep := &Report{Bulk: res, Moduli: len(moduli)}
+	rep := &Report{
+		Bulk:        res,
+		Moduli:      len(moduli),
+		Canceled:    res.Canceled,
+		BadPairs:    res.BadPairs,
+		Quarantined: res.Quarantined,
+	}
 	broken := map[int]BrokenKey{}
 	for _, f := range res.Factors {
 		g := f.P.ToBig()
@@ -180,7 +245,10 @@ func interpretFactors(moduli []*mpnat.Nat, res *bulk.Result, opt Options) (*Repo
 // runBatch is the batch-GCD (product/remainder tree) variant of the
 // attack: same Report, different engine. Findings whose gcd equals the
 // whole modulus resolve to duplicates; proper divisors factor the key.
-func runBatch(moduli []*mpnat.Nat, opt Options) (*Report, error) {
+func runBatch(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report, error) {
+	if opt.Checkpoint != nil || opt.Resume != nil {
+		return nil, fmt.Errorf("attack: checkpointing requires the all-pairs engine")
+	}
 	if len(moduli) < 2 {
 		return nil, fmt.Errorf("attack: need at least 2 moduli, got %d", len(moduli))
 	}
@@ -191,9 +259,9 @@ func runBatch(moduli []*mpnat.Nat, opt Options) (*Report, error) {
 		}
 		big_[i] = m.ToBig()
 	}
-	cfg := batchgcd.Config{Workers: opt.Workers, Progress: opt.Progress}
+	cfg := batchgcd.Config{Workers: opt.Workers, Progress: opt.Progress, Fault: opt.Fault}
 	start := time.Now()
-	findings, err := batchgcd.RunConfig(big_, cfg)
+	findings, err := batchgcd.RunContext(ctx, big_, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -28,12 +28,15 @@
 package batchgcd
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"bulkgcd/internal/faultinject"
 )
 
 // one is the shared constant 1.
@@ -53,6 +56,10 @@ type Config struct {
 	// resolution pass over the handful of flagged moduli is not counted.)
 	// It must be safe for concurrent use.
 	Progress func(done, total int64)
+
+	// Fault is the test-only fault-injection hook (its Op trigger fires
+	// once per tree operation); nil in production.
+	Fault *faultinject.Hook
 }
 
 // EffectiveWorkers resolves the pool size a run with this Config uses.
@@ -68,18 +75,24 @@ type tracker struct {
 	done     atomic.Int64
 	total    int64
 	progress func(done, total int64)
+	fault    *faultinject.Hook
 }
 
-func newTracker(total int64, progress func(done, total int64)) *tracker {
-	return &tracker{total: total, progress: progress}
+func newTracker(total int64, cfg Config) *tracker {
+	return &tracker{total: total, progress: cfg.Progress, fault: cfg.Fault}
 }
 
-// tick records one completed unit and notifies the callback.
+// tick records one completed unit and notifies the callback; the fault
+// hook sees the operation's 0-based ordinal.
 func (t *tracker) tick() {
-	if t == nil || t.progress == nil {
+	if t == nil || (t.progress == nil && t.fault == nil) {
 		return
 	}
-	t.progress(t.done.Add(1), t.total)
+	d := t.done.Add(1)
+	t.fault.OnOp(d - 1)
+	if t.progress != nil {
+		t.progress(d, t.total)
+	}
 }
 
 // treeUnits counts the work units of a full run over m moduli:
@@ -97,16 +110,21 @@ func treeUnits(m int) (mults, reductions, leaves int64) {
 // goroutines, handing items out one at a time through an atomic counter
 // (every item is a multi-precision operation, so counter contention is
 // negligible against the work it dispenses). With one worker or one item
-// it runs inline on the caller's goroutine.
-func parallelEach(n, workers int, fn func(i, worker int)) {
+// it runs inline on the caller's goroutine. Workers check ctx before
+// claiming each item and stop cooperatively; the ctx error (if any) is
+// returned once all workers have drained.
+func parallelEach(ctx context.Context, n, workers int, fn func(i, worker int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i, 0)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -115,6 +133,9 @@ func parallelEach(n, workers int, fn func(i, worker int)) {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
@@ -124,6 +145,7 @@ func parallelEach(n, workers int, fn func(i, worker int)) {
 		}(w)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ProductTree holds the levels of the product tree: level 0 is the input
@@ -145,7 +167,7 @@ func NewProductTreeConfig(moduli []*big.Int, cfg Config) (*ProductTree, error) {
 		return nil, err
 	}
 	mults, _, _ := treeUnits(len(moduli))
-	return buildTree(moduli, cfg.EffectiveWorkers(), newTracker(mults, cfg.Progress)), nil
+	return buildTree(context.Background(), moduli, cfg.EffectiveWorkers(), newTracker(mults, cfg))
 }
 
 func validate(moduli []*big.Int) error {
@@ -160,9 +182,24 @@ func validate(moduli []*big.Int) error {
 	return nil
 }
 
+// validateRSA adds the RSA-shape checks of the bulk engine to the plain
+// positivity validation: the attack entry points (Run and friends) reject
+// zero and even moduli up front, the same contract bulk.AllPairs enforces.
+func validateRSA(moduli []*big.Int) error {
+	if err := validate(moduli); err != nil {
+		return err
+	}
+	for i, n := range moduli {
+		if n.Bit(0) == 0 {
+			return fmt.Errorf("batchgcd: modulus %d is even (not an RSA modulus)", i)
+		}
+	}
+	return nil
+}
+
 // buildTree constructs the levels bottom-up; the multiplications within
 // one level are independent and fan out over the pool.
-func buildTree(moduli []*big.Int, workers int, tr *tracker) *ProductTree {
+func buildTree(ctx context.Context, moduli []*big.Int, workers int, tr *tracker) (*ProductTree, error) {
 	level := make([]*big.Int, len(moduli))
 	copy(level, moduli)
 	t := &ProductTree{Levels: [][]*big.Int{level}}
@@ -170,17 +207,19 @@ func buildTree(moduli []*big.Int, workers int, tr *tracker) *ProductTree {
 		pairs := len(level) / 2
 		next := make([]*big.Int, (len(level)+1)/2)
 		src := level
-		parallelEach(pairs, workers, func(i, _ int) {
+		if err := parallelEach(ctx, pairs, workers, func(i, _ int) {
 			next[i] = new(big.Int).Mul(src[2*i], src[2*i+1])
 			tr.tick()
-		})
+		}); err != nil {
+			return nil, err
+		}
 		if len(level)%2 == 1 {
 			next[pairs] = level[len(level)-1] // odd node promotes unchanged
 		}
 		t.Levels = append(t.Levels, next)
 		level = next
 	}
-	return t
+	return t, nil
 }
 
 // Product returns the root: the product of all moduli.
@@ -194,7 +233,7 @@ func (t *ProductTree) Product() *big.Int {
 // r_i = P mod n_i^2. Each level's reductions are independent and fan out
 // over the pool; the square and the division quotient are per-worker
 // scratch so the hot loop does not reallocate them.
-func (t *ProductTree) remainderTree(workers int, tr *tracker) []*big.Int {
+func (t *ProductTree) remainderTree(ctx context.Context, workers int, tr *tracker) ([]*big.Int, error) {
 	depth := len(t.Levels)
 	cur := []*big.Int{t.Product()}
 	type remScratch struct{ sq, quo big.Int }
@@ -203,17 +242,19 @@ func (t *ProductTree) remainderTree(workers int, tr *tracker) []*big.Int {
 		nodes := t.Levels[lvl]
 		next := make([]*big.Int, len(nodes))
 		parent := cur
-		parallelEach(len(nodes), workers, func(i, w int) {
+		if err := parallelEach(ctx, len(nodes), workers, func(i, w int) {
 			s := &scratch[w]
 			s.sq.Mul(nodes[i], nodes[i])
 			rem := new(big.Int)
 			s.quo.QuoRem(parent[i/2], &s.sq, rem)
 			next[i] = rem
 			tr.tick()
-		})
+		}); err != nil {
+			return nil, err
+		}
 		cur = next
 	}
-	return cur
+	return cur, nil
 }
 
 // SharedFactors returns, for each modulus, g_i = gcd(n_i, (P/n_i) mod n_i):
@@ -228,25 +269,42 @@ func SharedFactors(moduli []*big.Int) ([]*big.Int, error) {
 // SharedFactorsConfig is SharedFactors with explicit pool size and
 // progress reporting.
 func SharedFactorsConfig(moduli []*big.Int, cfg Config) ([]*big.Int, error) {
+	return SharedFactorsContext(context.Background(), moduli, cfg)
+}
+
+// SharedFactorsContext is SharedFactorsConfig with cooperative
+// cancellation: a canceled context aborts between tree operations and the
+// context error is returned. Batch GCD has no meaningful partial result —
+// findings only exist once the remainder tree reaches the leaves — so
+// cancellation discards the incomplete tree.
+func SharedFactorsContext(ctx context.Context, moduli []*big.Int, cfg Config) ([]*big.Int, error) {
 	if err := validate(moduli); err != nil {
 		return nil, err
 	}
 	workers := cfg.EffectiveWorkers()
 	mults, reductions, leaves := treeUnits(len(moduli))
-	tr := newTracker(mults+reductions+leaves, cfg.Progress)
+	tr := newTracker(mults+reductions+leaves, cfg)
 
-	t := buildTree(moduli, workers, tr)
-	rems := t.remainderTree(workers, tr)
+	t, err := buildTree(ctx, moduli, workers, tr)
+	if err != nil {
+		return nil, err
+	}
+	rems, err := t.remainderTree(ctx, workers, tr)
+	if err != nil {
+		return nil, err
+	}
 
 	out := make([]*big.Int, len(moduli))
 	scratch := make([]big.Int, workers) // per-worker quotient
-	parallelEach(len(moduli), workers, func(i, w int) {
+	if err := parallelEach(ctx, len(moduli), workers, func(i, w int) {
 		// (P / n_i) mod n_i == (P mod n_i^2) / n_i for n_i | P.
 		q := &scratch[w]
 		q.Quo(rems[i], moduli[i])
 		out[i] = new(big.Int).GCD(nil, nil, q, moduli[i])
 		tr.tick()
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -266,7 +324,8 @@ type Finding struct {
 // Run executes the complete batch attack on the default worker pool:
 // SharedFactors plus the resolution pass that Bernstein's method needs
 // when g_i equals n_i (duplicate moduli, or a modulus both of whose
-// primes are shared).
+// primes are shared). Like bulk.AllPairs, it rejects zero and even
+// moduli up front.
 func Run(moduli []*big.Int) ([]Finding, error) {
 	return RunConfig(moduli, Config{})
 }
@@ -274,7 +333,18 @@ func Run(moduli []*big.Int) ([]Finding, error) {
 // RunConfig is Run with explicit pool size and progress reporting. The
 // Finding list is identical for every Workers setting.
 func RunConfig(moduli []*big.Int, cfg Config) ([]Finding, error) {
-	gs, err := SharedFactorsConfig(moduli, cfg)
+	return RunContext(context.Background(), moduli, cfg)
+}
+
+// RunContext is RunConfig with cooperative cancellation: on cancel the
+// incomplete tree is discarded and the context error returned (there are
+// no partial batch findings; use the all-pairs engine when resumable
+// partial progress matters).
+func RunContext(ctx context.Context, moduli []*big.Int, cfg Config) ([]Finding, error) {
+	if err := validateRSA(moduli); err != nil {
+		return nil, err
+	}
+	gs, err := SharedFactorsContext(ctx, moduli, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +360,11 @@ func RunConfig(moduli []*big.Int, cfg Config) ([]Finding, error) {
 			whole = append(whole, i)
 		}
 	}
-	findings = append(findings, resolveWhole(moduli, whole, findings, cfg.EffectiveWorkers())...)
+	resolved, err := resolveWhole(ctx, moduli, whole, findings, cfg.EffectiveWorkers())
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, resolved...)
 	sort.Slice(findings, func(a, b int) bool { return findings[a].Index < findings[b].Index })
 	return findings, nil
 }
@@ -302,9 +376,9 @@ func RunConfig(moduli []*big.Int, cfg Config) ([]Finding, error) {
 // across the worker pool, so the output does not depend on Workers: the
 // first proper divisor in candidate order wins and the duplicate partner
 // is always the smallest matching index.
-func resolveWhole(moduli []*big.Int, whole []int, proper []Finding, workers int) []Finding {
+func resolveWhole(ctx context.Context, moduli []*big.Int, whole []int, proper []Finding, workers int) ([]Finding, error) {
 	if len(whole) == 0 {
-		return nil
+		return nil, nil
 	}
 	candidates := make([]int, 0, len(whole)+len(proper))
 	candidates = append(candidates, whole...)
@@ -313,7 +387,7 @@ func resolveWhole(moduli []*big.Int, whole []int, proper []Finding, workers int)
 	}
 	out := make([]Finding, len(whole))
 	scratch := make([]big.Int, workers) // per-worker gcd
-	parallelEach(len(whole), workers, func(k, w int) {
+	err := parallelEach(ctx, len(whole), workers, func(k, w int) {
 		i := whole[k]
 		g := &scratch[w]
 		f := Finding{Index: i, DuplicateOf: -1}
@@ -339,5 +413,8 @@ func resolveWhole(moduli []*big.Int, whole []int, proper []Finding, workers int)
 		}
 		out[k] = f
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

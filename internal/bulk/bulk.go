@@ -1,12 +1,18 @@
 package bulk
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/faultinject"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 )
@@ -17,6 +23,20 @@ type Factor struct {
 	I, J int
 	// P is gcd(n_I, n_J) > 1.
 	P *mpnat.Nat
+}
+
+// BadPair is one pair whose GCD computation panicked: the panic is
+// recovered, the pair quarantined here, and the run continues. I < J.
+type BadPair struct {
+	I, J int
+	Err  string
+}
+
+// Quarantined is one input modulus excluded from a run in quarantine
+// mode, with the validation reason ("zero", "even").
+type Quarantined struct {
+	Index  int
+	Reason string
 }
 
 // Config controls an all-pairs bulk run.
@@ -40,20 +60,55 @@ type Config struct {
 	// Progress, when non-nil, receives the number of completed pairs at
 	// block granularity. It must be safe for concurrent use.
 	Progress func(done, total int64)
+
+	// Quarantine, when true, skips zero/even/nil moduli — reporting them
+	// in Result.Quarantined with index and reason — instead of failing
+	// the whole run. Factor indices always refer to the original slice.
+	Quarantine bool
+
+	// Checkpoint, when non-nil, journals the run: the header at start and
+	// one record per completed block, each written only after the block's
+	// pairs and findings are final. Use checkpoint.Create or OpenAppend.
+	Checkpoint *checkpoint.Writer
+
+	// Resume, when non-nil, is a loaded journal from an earlier
+	// interrupted run. Its fingerprint is verified against this corpus and
+	// configuration; recorded blocks are skipped and their findings
+	// merged, so an interrupted-and-resumed run reports exactly what an
+	// uninterrupted one would. Stats cover only freshly computed pairs.
+	Resume *checkpoint.State
+
+	// Fault is the test-only fault-injection hook; nil in production.
+	Fault *faultinject.Hook
 }
 
 // Result reports an all-pairs bulk run.
 type Result struct {
 	// Factors lists every pair with gcd > 1, ordered by (I, J).
 	Factors []Factor
-	// Stats aggregates the per-GCD statistics over all pairs.
+	// Stats aggregates the per-GCD statistics over all freshly computed
+	// pairs (pairs replayed from a resume journal are not re-measured).
 	Stats gcd.Stats
-	// Pairs is the number of GCDs computed: m(m-1)/2.
+	// Pairs is the number of GCDs accounted for, including pairs restored
+	// from the resume journal and quarantined BadPairs. A complete run
+	// reaches the schedule's total.
 	Pairs int64
+	// Total is the schedule's pair count; Pairs == Total unless Canceled.
+	Total int64
 	// Elapsed is the wall-clock time of the parallel computation.
 	Elapsed time.Duration
 	// Workers is the pool size actually used.
 	Workers int
+	// Canceled reports cooperative cancellation: the context was canceled
+	// and Factors/Pairs cover only the blocks completed before workers
+	// stopped. All completed work is checkpointed and kept.
+	Canceled bool
+	// ResumedPairs counts the pairs restored from Config.Resume.
+	ResumedPairs int64
+	// BadPairs lists quarantined pairs (panic recovery), ordered by (I, J).
+	BadPairs []BadPair
+	// Quarantined lists input moduli excluded in quarantine mode.
+	Quarantined []Quarantined
 }
 
 // PairsPerSecond returns the aggregate GCD throughput.
@@ -64,53 +119,234 @@ func (r *Result) PairsPerSecond() float64 {
 	return float64(r.Pairs) / r.Elapsed.Seconds()
 }
 
-// AllPairs computes the GCD of every pair of moduli with the block
-// decomposition of Section VI executed on a host worker pool. All moduli
-// must be odd and positive (RSA moduli are).
-func AllPairs(moduli []*mpnat.Nat, cfg Config) (*Result, error) {
-	m := len(moduli)
-	if m < 2 {
-		return nil, fmt.Errorf("bulk: need at least 2 moduli, got %d", m)
-	}
-	maxBits := 0
-	for i, n := range moduli {
-		if n == nil || n.IsZero() {
-			return nil, fmt.Errorf("bulk: modulus %d is zero", i)
+// validateSet scans one labeled modulus slice. Valid moduli land in
+// active as base+index; in quarantine mode bad ones are reported in bad,
+// otherwise the first bad modulus fails the run (the legacy contract).
+func validateSet(name string, base int, moduli []*mpnat.Nat, quarantine bool) (active []int, maxBits int, bad []Quarantined, err error) {
+	label := func(i int) string {
+		if name == "" {
+			return fmt.Sprintf("modulus %d", i)
 		}
-		if n.IsEven() {
-			return nil, fmt.Errorf("bulk: modulus %d is even", i)
+		return fmt.Sprintf("%s modulus %d", name, i)
+	}
+	active = make([]int, 0, len(moduli))
+	for i, n := range moduli {
+		reason := ""
+		switch {
+		case n == nil || n.IsZero():
+			reason = "zero"
+		case n.IsEven():
+			reason = "even"
+		}
+		if reason != "" {
+			if !quarantine {
+				return nil, 0, nil, fmt.Errorf("bulk: %s is %s", label(i), reason)
+			}
+			bad = append(bad, Quarantined{Index: base + i, Reason: reason})
+			continue
 		}
 		if b := n.BitLen(); b > maxBits {
 			maxBits = b
 		}
+		active = append(active, base+i)
+	}
+	return active, maxBits, bad, nil
+}
+
+// fingerprint hashes the run identity: engine, config knobs that change
+// the unit decomposition or findings, and every input modulus (bad ones
+// included — quarantine is deterministic, so the raw input is the
+// canonical identity).
+func fingerprint(engine string, cfg Config, groupSize int, sets ...[]*mpnat.Nat) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|early=%t|quarantine=%t|r=%d", engine, cfg.Algorithm, cfg.Early, cfg.Quarantine, groupSize)
+	for _, set := range sets {
+		fmt.Fprintf(h, "|set=%d", len(set))
+		for _, n := range set {
+			if n == nil {
+				fmt.Fprint(h, "|nil")
+			} else {
+				fmt.Fprint(h, "|", n.Hex())
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// allPairsPlan is the validated shape of an all-pairs run: the active
+// index set (quarantine applied), its schedule, and the journal header.
+type allPairsPlan struct {
+	active  []int
+	maxBits int
+	bad     []Quarantined
+	sched   *Schedule
+	header  checkpoint.Header
+}
+
+func planAllPairs(moduli []*mpnat.Nat, cfg Config) (*allPairsPlan, error) {
+	active, maxBits, bad, err := validateSet("", 0, moduli, cfg.Quarantine)
+	if err != nil {
+		return nil, err
+	}
+	if len(active) < 2 {
+		return nil, fmt.Errorf("bulk: need at least 2 usable moduli, got %d", len(active))
 	}
 	r := cfg.GroupSize
 	if r == 0 {
 		r = 64
 	}
-	if r > m {
-		r = m
+	if r > len(active) {
+		r = len(active)
 	}
-	sched, err := NewSchedule(m, r)
+	sched, err := NewSchedule(len(active), r)
 	if err != nil {
 		return nil, err
 	}
+	return &allPairsPlan{
+		active:  active,
+		maxBits: maxBits,
+		bad:     bad,
+		sched:   sched,
+		header: checkpoint.Header{
+			V:           checkpoint.Version,
+			Engine:      "allpairs",
+			Fingerprint: fingerprint("allpairs", cfg, r, moduli),
+			Units:       len(sched.Blocks()),
+			TotalPairs:  sched.TotalPairs(),
+		},
+	}, nil
+}
+
+// JournalHeader returns the checkpoint header an AllPairs run over these
+// inputs writes, letting callers decide whether an existing journal can
+// be resumed before starting the run.
+func JournalHeader(moduli []*mpnat.Nat, cfg Config) (checkpoint.Header, error) {
+	plan, err := planAllPairs(moduli, cfg)
+	if err != nil {
+		return checkpoint.Header{}, err
+	}
+	return plan.header, nil
+}
+
+// blockOut accumulates one work unit's results; the unit is journaled
+// only once all of these are final, which is what makes a journal record
+// equivalent to having computed the block.
+type blockOut struct {
+	factors []Factor
+	bad     []BadPair
+	stats   gcd.Stats
+	pairs   int64
+}
+
+// record converts a completed unit to its journal form.
+func (b *blockOut) record(unit int) checkpoint.Record {
+	rec := checkpoint.Record{Unit: unit, Pairs: b.pairs}
+	for _, f := range b.factors {
+		rec.Factors = append(rec.Factors, checkpoint.Factor{I: f.I, J: f.J, P: f.P.Hex()})
+	}
+	for _, bp := range b.bad {
+		rec.Bad = append(rec.Bad, checkpoint.BadPair{I: bp.I, J: bp.J, Err: bp.Err})
+	}
+	return rec
+}
+
+// pairRunner computes single pairs with panic quarantine. One per worker;
+// the scratch is rebuilt after a recovered panic because the kernel may
+// have been interrupted mid-update.
+type pairRunner struct {
+	scratch *gcd.Scratch
+	maxBits int
+	cfg     *Config
+	moduli  []*mpnat.Nat
+	seq     *atomic.Int64
+}
+
+func (p *pairRunner) run(a, b int, out *blockOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.bad = append(out.bad, BadPair{I: a, J: b, Err: fmt.Sprint(r)})
+			out.pairs++ // the attempt is accounted, keeping pair totals exact
+			p.scratch = gcd.NewScratch(p.maxBits)
+		}
+	}()
+	if h := p.cfg.Fault; h != nil {
+		h.OnPair(p.seq.Add(1)-1, a, b)
+	}
+	x, y := p.moduli[a], p.moduli[b]
+	opt := gcd.Options{}
+	if p.cfg.Early {
+		s := x.BitLen()
+		if yb := y.BitLen(); yb < s {
+			s = yb
+		}
+		opt.EarlyBits = s / 2
+	}
+	g, st := p.scratch.Compute(p.cfg.Algorithm, x, y, opt)
+	out.stats.Add(&st)
+	out.pairs++
+	if g != nil && !g.IsOne() {
+		out.factors = append(out.factors, Factor{I: a, J: b, P: g})
+	}
+}
+
+// restoreJournal converts a verified resume state back into engine terms.
+func restoreJournal(st *checkpoint.State) (factors []Factor, bad []BadPair, pairs int64, err error) {
+	for _, rec := range st.Done {
+		pairs += rec.Pairs
+		for _, f := range rec.Factors {
+			p, perr := mpnat.ParseHex(f.P)
+			if perr != nil {
+				return nil, nil, 0, fmt.Errorf("bulk: resume: factor (%d,%d): %w", f.I, f.J, perr)
+			}
+			factors = append(factors, Factor{I: f.I, J: f.J, P: p})
+		}
+		for _, bp := range rec.Bad {
+			bad = append(bad, BadPair{I: bp.I, J: bp.J, Err: bp.Err})
+		}
+	}
+	return factors, bad, pairs, nil
+}
+
+// AllPairs computes the GCD of every pair of moduli with the block
+// decomposition of Section VI executed on a host worker pool. All moduli
+// must be odd and positive (RSA moduli are) unless Quarantine is set.
+func AllPairs(moduli []*mpnat.Nat, cfg Config) (*Result, error) {
+	return AllPairsContext(context.Background(), moduli, cfg)
+}
+
+// AllPairsContext is AllPairs with cooperative cancellation: when ctx is
+// canceled, workers finish the block they hold (so every journaled block
+// is complete), stop claiming new ones, and the partial Result comes back
+// with Canceled set instead of an error.
+func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Result, error) {
+	plan, err := planAllPairs(moduli, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched := plan.sched
+	blocks := sched.Blocks()
+	total := sched.TotalPairs()
+
+	resumedFactors, resumedBad, resumedPairs, resumed, err := prepareJournal(plan.header, &cfg)
+	if err != nil {
+		return nil, err
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	outs := make([]blockOut, workers)
 
-	blocks := sched.Blocks()
 	var next atomic.Int64
 	var done atomic.Int64
-	total := sched.TotalPairs()
-
-	type workerOut struct {
-		factors []Factor
-		stats   gcd.Stats
-		pairs   int64
+	done.Store(resumedPairs)
+	if cfg.Progress != nil && resumedPairs > 0 {
+		cfg.Progress(resumedPairs, total)
 	}
-	outs := make([]workerOut, workers)
+	var pairSeq atomic.Int64
+	var ckptOnce sync.Once
+	var ckptErr error
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -118,62 +354,107 @@ func AllPairs(moduli []*mpnat.Nat, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scratch := gcd.NewScratch(maxBits)
+			pr := pairRunner{
+				scratch: gcd.NewScratch(plan.maxBits),
+				maxBits: plan.maxBits,
+				cfg:     &cfg,
+				moduli:  moduli,
+				seq:     &pairSeq,
+			}
 			out := &outs[w]
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				bi := next.Add(1) - 1
 				if bi >= int64(len(blocks)) {
 					return
 				}
-				blockPairs := int64(0)
+				if _, ok := resumed[int(bi)]; ok {
+					continue // completed by the interrupted run
+				}
+				cfg.Fault.OnBlock(int(bi))
+				var blk blockOut
 				sched.BlockPairs(blocks[bi], func(a, b int) {
-					x, y := moduli[a], moduli[b]
-					opt := gcd.Options{}
-					if cfg.Early {
-						s := x.BitLen()
-						if yb := y.BitLen(); yb < s {
-							s = yb
-						}
-						opt.EarlyBits = s / 2
-					}
-					g, st := scratch.Compute(cfg.Algorithm, x, y, opt)
-					out.stats.Add(&st)
-					blockPairs++
-					if g != nil && !g.IsOne() {
-						out.factors = append(out.factors, Factor{I: a, J: b, P: g})
-					}
+					pr.run(plan.active[a], plan.active[b], &blk)
 				})
-				out.pairs += blockPairs
+				if cfg.Checkpoint != nil {
+					if err := cfg.Checkpoint.Append(blk.record(int(bi))); err != nil {
+						ckptOnce.Do(func() { ckptErr = err })
+						return
+					}
+				}
+				out.merge(&blk)
 				if cfg.Progress != nil {
-					cfg.Progress(done.Add(blockPairs), total)
+					cfg.Progress(done.Add(blk.pairs), total)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	res := &Result{Elapsed: time.Since(start), Workers: workers}
+	if ckptErr != nil {
+		return nil, fmt.Errorf("bulk: checkpoint: %w", ckptErr)
+	}
+	res := &Result{
+		Elapsed:      time.Since(start),
+		Workers:      workers,
+		Canceled:     ctx.Err() != nil,
+		ResumedPairs: resumedPairs,
+		Quarantined:  plan.bad,
+		Pairs:        resumedPairs,
+		Total:        total,
+		Factors:      resumedFactors,
+		BadPairs:     resumedBad,
+	}
 	for i := range outs {
 		res.Pairs += outs[i].pairs
 		res.Stats.Add(&outs[i].stats)
 		res.Factors = append(res.Factors, outs[i].factors...)
+		res.BadPairs = append(res.BadPairs, outs[i].bad...)
 	}
 	sortFactors(res.Factors)
-	if res.Pairs != total {
+	sortBadPairs(res.BadPairs)
+	if !res.Canceled && res.Pairs != total {
 		return nil, fmt.Errorf("bulk: internal error: computed %d pairs, want %d", res.Pairs, total)
 	}
 	return res, nil
 }
 
+// prepareJournal verifies and restores cfg.Resume, and writes (or
+// verifies) the header on cfg.Checkpoint.
+func prepareJournal(hdr checkpoint.Header, cfg *Config) (factors []Factor, bad []BadPair, pairs int64, resumed map[int]checkpoint.Record, err error) {
+	resumed = map[int]checkpoint.Record{}
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Verify(hdr); err != nil {
+			return nil, nil, 0, nil, fmt.Errorf("bulk: resume: %w", err)
+		}
+		factors, bad, pairs, err = restoreJournal(cfg.Resume)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		resumed = cfg.Resume.Done
+	}
+	if cfg.Checkpoint != nil {
+		if err := cfg.Checkpoint.Begin(hdr); err != nil {
+			return nil, nil, 0, nil, err
+		}
+	}
+	return factors, bad, pairs, resumed, nil
+}
+
+// merge folds a completed unit into the worker's accumulator.
+func (b *blockOut) merge(blk *blockOut) {
+	b.factors = append(b.factors, blk.factors...)
+	b.bad = append(b.bad, blk.bad...)
+	b.stats.Add(&blk.stats)
+	b.pairs += blk.pairs
+}
+
 // sortFactors orders factors by (I, J) so results are deterministic
 // regardless of worker interleaving.
 func sortFactors(fs []Factor) {
-	// Insertion sort: the factor list is tiny (weak keys are rare).
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
-			fs[j], fs[j-1] = fs[j-1], fs[j]
-		}
-	}
+	sort.Slice(fs, func(a, b int) bool { return less(fs[a], fs[b]) })
 }
 
 func less(a, b Factor) bool {
@@ -181,6 +462,15 @@ func less(a, b Factor) bool {
 		return a.I < b.I
 	}
 	return a.J < b.J
+}
+
+func sortBadPairs(bs []BadPair) {
+	sort.Slice(bs, func(a, b int) bool {
+		if bs[a].I != bs[b].I {
+			return bs[a].I < bs[b].I
+		}
+		return bs[a].J < bs[b].J
+	})
 }
 
 // Sequential computes the same all-pairs GCDs on a single goroutine; it is

@@ -1,15 +1,79 @@
 package bulk
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 )
+
+// incrementalPlan is the validated shape of an incremental run: active
+// old/new index sets (global indices, quarantine applied) and the header.
+// The work unit is one new-modulus stripe: all its pairs against old
+// moduli plus the later new moduli.
+type incrementalPlan struct {
+	oldActive []int
+	newActive []int
+	maxBits   int
+	bad       []Quarantined
+	total     int64
+	header    checkpoint.Header
+}
+
+func planIncremental(old, newModuli []*mpnat.Nat, cfg Config) (*incrementalPlan, error) {
+	if len(newModuli) == 0 {
+		return nil, fmt.Errorf("bulk: no new moduli")
+	}
+	oldActive, oldBits, oldBad, err := validateSet("old", 0, old, cfg.Quarantine)
+	if err != nil {
+		return nil, err
+	}
+	newActive, newBits, newBad, err := validateSet("new", len(old), newModuli, cfg.Quarantine)
+	if err != nil {
+		return nil, err
+	}
+	if len(newActive) == 0 {
+		return nil, fmt.Errorf("bulk: no usable new moduli")
+	}
+	maxBits := oldBits
+	if newBits > maxBits {
+		maxBits = newBits
+	}
+	total := int64(len(newActive))*int64(len(oldActive)) + int64(len(newActive))*int64(len(newActive)-1)/2
+	if total == 0 {
+		return nil, fmt.Errorf("bulk: need at least 2 usable moduli in total")
+	}
+	return &incrementalPlan{
+		oldActive: oldActive,
+		newActive: newActive,
+		maxBits:   maxBits,
+		bad:       append(oldBad, newBad...),
+		total:     total,
+		header: checkpoint.Header{
+			V:           checkpoint.Version,
+			Engine:      "incremental",
+			Fingerprint: fingerprint("incremental", cfg, 0, old, newModuli),
+			Units:       len(newActive),
+			TotalPairs:  total,
+		},
+	}, nil
+}
+
+// IncrementalJournalHeader returns the checkpoint header an Incremental
+// run over these inputs writes.
+func IncrementalJournalHeader(old, newModuli []*mpnat.Nat, cfg Config) (checkpoint.Header, error) {
+	plan, err := planIncremental(old, newModuli, cfg)
+	if err != nil {
+		return checkpoint.Header{}, err
+	}
+	return plan.header, nil
+}
 
 // Incremental computes every pair GCD that involves at least one modulus
 // of newModuli: the full cross product new x old plus the new x new
@@ -20,54 +84,41 @@ import (
 // Factor indices are global: old moduli occupy 0..len(old)-1 and new
 // moduli follow, so reports from successive increments compose.
 func Incremental(old, newModuli []*mpnat.Nat, cfg Config) (*Result, error) {
-	if len(newModuli) == 0 {
-		return nil, fmt.Errorf("bulk: no new moduli")
+	return IncrementalContext(context.Background(), old, newModuli, cfg)
+}
+
+// IncrementalContext is Incremental with cooperative cancellation and the
+// same checkpoint/resume, quarantine and panic-recovery semantics as
+// AllPairsContext. The journaled work unit is one new-modulus stripe.
+func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Config) (*Result, error) {
+	plan, err := planIncremental(old, newModuli, cfg)
+	if err != nil {
+		return nil, err
 	}
-	maxBits := 0
-	for name, set := range map[string][]*mpnat.Nat{"old": old, "new": newModuli} {
-		for i, n := range set {
-			if n == nil || n.IsZero() {
-				return nil, fmt.Errorf("bulk: %s modulus %d is zero", name, i)
-			}
-			if n.IsEven() {
-				return nil, fmt.Errorf("bulk: %s modulus %d is even", name, i)
-			}
-			if b := n.BitLen(); b > maxBits {
-				maxBits = b
-			}
-		}
+	resumedFactors, resumedBad, resumedPairs, resumed, err := prepareJournal(plan.header, &cfg)
+	if err != nil {
+		return nil, err
 	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	total := int64(len(newModuli))*int64(len(old)) + int64(len(newModuli))*int64(len(newModuli)-1)/2
+	// The combined slice gives pairRunner global-index addressing.
+	all := make([]*mpnat.Nat, 0, len(old)+len(newModuli))
+	all = append(all, old...)
+	all = append(all, newModuli...)
 
-	type workerOut struct {
-		factors []Factor
-		stats   gcd.Stats
-		pairs   int64
-	}
-	outs := make([]workerOut, workers)
+	outs := make([]blockOut, workers)
 	var next atomic.Int64
 	var done atomic.Int64
-
-	compute := func(scratch *gcd.Scratch, out *workerOut, a, b int, x, y *mpnat.Nat) {
-		opt := gcd.Options{}
-		if cfg.Early {
-			s := x.BitLen()
-			if yb := y.BitLen(); yb < s {
-				s = yb
-			}
-			opt.EarlyBits = s / 2
-		}
-		g, st := scratch.Compute(cfg.Algorithm, x, y, opt)
-		out.stats.Add(&st)
-		out.pairs++
-		if g != nil && !g.IsOne() {
-			out.factors = append(out.factors, Factor{I: a, J: b, P: g})
-		}
+	done.Store(resumedPairs)
+	if cfg.Progress != nil && resumedPairs > 0 {
+		cfg.Progress(resumedPairs, plan.total)
 	}
+	var pairSeq atomic.Int64
+	var ckptOnce sync.Once
+	var ckptErr error
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -75,38 +126,73 @@ func Incremental(old, newModuli []*mpnat.Nat, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scratch := gcd.NewScratch(maxBits)
+			pr := pairRunner{
+				scratch: gcd.NewScratch(plan.maxBits),
+				maxBits: plan.maxBits,
+				cfg:     &cfg,
+				moduli:  all,
+				seq:     &pairSeq,
+			}
 			out := &outs[w]
 			for {
-				j := next.Add(1) - 1
-				if j >= int64(len(newModuli)) {
+				if ctx.Err() != nil {
 					return
 				}
-				nj := newModuli[j]
-				gj := len(old) + int(j) // global index of new modulus j
-				for i := range old {
-					compute(scratch, out, i, gj, old[i], nj)
+				j := next.Add(1) - 1
+				if j >= int64(len(plan.newActive)) {
+					return
 				}
-				for k := int(j) + 1; k < len(newModuli); k++ {
-					compute(scratch, out, gj, len(old)+k, nj, newModuli[k])
+				if _, ok := resumed[int(j)]; ok {
+					continue
 				}
+				cfg.Fault.OnBlock(int(j))
+				gj := plan.newActive[j]
+				var blk blockOut
+				for _, gi := range plan.oldActive {
+					pr.run(gi, gj, &blk)
+				}
+				for k := int(j) + 1; k < len(plan.newActive); k++ {
+					pr.run(gj, plan.newActive[k], &blk)
+				}
+				if cfg.Checkpoint != nil {
+					if err := cfg.Checkpoint.Append(blk.record(int(j))); err != nil {
+						ckptOnce.Do(func() { ckptErr = err })
+						return
+					}
+				}
+				out.merge(&blk)
 				if cfg.Progress != nil {
-					cfg.Progress(done.Add(int64(len(old)+len(newModuli)-1-int(j))), total)
+					cfg.Progress(done.Add(blk.pairs), plan.total)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	res := &Result{Elapsed: time.Since(start), Workers: workers}
+	if ckptErr != nil {
+		return nil, fmt.Errorf("bulk: checkpoint: %w", ckptErr)
+	}
+	res := &Result{
+		Elapsed:      time.Since(start),
+		Workers:      workers,
+		Canceled:     ctx.Err() != nil,
+		ResumedPairs: resumedPairs,
+		Quarantined:  plan.bad,
+		Pairs:        resumedPairs,
+		Total:        plan.total,
+		Factors:      resumedFactors,
+		BadPairs:     resumedBad,
+	}
 	for i := range outs {
 		res.Pairs += outs[i].pairs
 		res.Stats.Add(&outs[i].stats)
 		res.Factors = append(res.Factors, outs[i].factors...)
+		res.BadPairs = append(res.BadPairs, outs[i].bad...)
 	}
 	sortFactors(res.Factors)
-	if res.Pairs != total {
-		return nil, fmt.Errorf("bulk: internal error: computed %d pairs, want %d", res.Pairs, total)
+	sortBadPairs(res.BadPairs)
+	if !res.Canceled && res.Pairs != plan.total {
+		return nil, fmt.Errorf("bulk: internal error: computed %d pairs, want %d", res.Pairs, plan.total)
 	}
 	return res, nil
 }

@@ -1,0 +1,263 @@
+// Package checkpoint implements the crash-safe journal that lets a
+// long-running bulk GCD scan survive interruption: the engine appends one
+// JSONL record per completed work unit (an all-pairs block or an
+// incremental stripe), and a resumed run reloads the journal, verifies
+// that it belongs to the same corpus and configuration via a fingerprint,
+// and skips the recorded units while merging their findings.
+//
+// Journal format (one JSON value per line):
+//
+//	{"v":1,"engine":"allpairs","fingerprint":"<sha256 hex>","units":N,"total_pairs":P}
+//	{"unit":3,"pairs":2016,"factors":[{"i":1,"j":5,"p":"<hex>"}]}
+//	{"unit":0,"pairs":2016,"bad":[{"i":2,"j":9,"err":"..."}]}
+//	...
+//
+// Each record line is written with a single write call after its unit
+// fully completes, so a unit's done-ness and its findings are atomic: a
+// crash can at worst tear the final line, which Load ignores (the unit is
+// simply recomputed). Appending to a journal whose last line is torn is
+// safe too: the writer starts on a fresh line, and the torn fragment is
+// skipped on the next load.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Version is the journal format version written into headers.
+const Version = 1
+
+// Header identifies the run a journal belongs to. Fingerprint binds the
+// corpus and every configuration knob that changes the unit decomposition
+// or the findings; the engines compute it (see bulk.JournalHeader).
+type Header struct {
+	V           int    `json:"v"`
+	Engine      string `json:"engine"`
+	Fingerprint string `json:"fingerprint"`
+	// Units is the number of work units the run is divided into.
+	Units int `json:"units"`
+	// TotalPairs is the number of pair GCDs of the full run.
+	TotalPairs int64 `json:"total_pairs"`
+}
+
+// Factor is one journaled finding: gcd(n_I, n_J) = P (hex) > 1.
+type Factor struct {
+	I int    `json:"i"`
+	J int    `json:"j"`
+	P string `json:"p"`
+}
+
+// BadPair is one journaled quarantined pair (the GCD kernel panicked).
+type BadPair struct {
+	I   int    `json:"i"`
+	J   int    `json:"j"`
+	Err string `json:"err"`
+}
+
+// Record reports one fully completed work unit.
+type Record struct {
+	Unit    int       `json:"unit"`
+	Pairs   int64     `json:"pairs"`
+	Factors []Factor  `json:"factors,omitempty"`
+	Bad     []BadPair `json:"bad,omitempty"`
+}
+
+// Writer appends records to a journal file. It is safe for concurrent use
+// by the engine's workers.
+type Writer struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	began bool
+	// prior is the header already present in the file when appending to an
+	// existing journal; Begin verifies against it instead of rewriting.
+	prior *Header
+}
+
+// Create opens a fresh journal at path, truncating any existing file. The
+// header is written by the engine via Begin.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// OpenAppend opens path for appending, keeping existing records. If the
+// file already holds a header, Begin verifies the engine's header against
+// it; a missing file behaves like Create. If the existing content does not
+// end with a newline (torn final line from a crash), one is inserted so
+// new records start cleanly.
+func OpenAppend(path string) (*Writer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w := &Writer{f: f, path: path}
+	if len(data) > 0 {
+		if data[len(data)-1] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+		if hdr, _, _ := parse(data); hdr != nil {
+			w.prior = hdr
+		}
+	}
+	return w, nil
+}
+
+// Path returns the journal's file path.
+func (w *Writer) Path() string { return w.path }
+
+// Begin records the run's header: on a fresh journal it is written as the
+// first line; when appending to an existing journal it must match the
+// stored header exactly.
+func (w *Writer) Begin(h Header) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.began {
+		return fmt.Errorf("checkpoint: Begin called twice")
+	}
+	h.V = Version
+	if w.prior != nil {
+		if *w.prior != h {
+			return fmt.Errorf("checkpoint: journal %s belongs to a different run (fingerprint %.12s..., want %.12s...)",
+				w.path, w.prior.Fingerprint, h.Fingerprint)
+		}
+		w.began = true
+		return nil
+	}
+	if err := w.writeLine(h); err != nil {
+		return err
+	}
+	w.began = true
+	return nil
+}
+
+// Append journals one completed unit as a single write.
+func (w *Writer) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.began {
+		return fmt.Errorf("checkpoint: Append before Begin")
+	}
+	return w.writeLine(rec)
+}
+
+func (w *Writer) writeLine(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// State is a loaded journal.
+type State struct {
+	Header Header
+	// Done maps unit index to its record; when a unit appears more than
+	// once the first occurrence wins.
+	Done map[int]Record
+	// Ignored counts unparsable lines that were skipped (a torn final line
+	// after a crash is the normal cause).
+	Ignored int
+}
+
+// Load reads and parses the journal at path. Unparsable lines are skipped
+// (counted in Ignored): a skipped record only means its unit is recomputed.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	hdr, done, ignored := parse(data)
+	if hdr == nil {
+		return nil, fmt.Errorf("checkpoint: %s has no valid journal header", path)
+	}
+	return &State{Header: *hdr, Done: done, Ignored: ignored}, nil
+}
+
+// parse scans JSONL content: the first parsable header line, then records.
+func parse(data []byte) (hdr *Header, done map[int]Record, ignored int) {
+	done = map[int]Record{}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if hdr == nil {
+			var h Header
+			if err := json.Unmarshal(line, &h); err == nil && h.Fingerprint != "" && h.Units > 0 {
+				hdr = &h
+				continue
+			}
+			ignored++
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Unit < 0 || rec.Unit >= hdr.Units {
+			ignored++
+			continue
+		}
+		if _, dup := done[rec.Unit]; !dup {
+			done[rec.Unit] = rec
+		}
+	}
+	return hdr, done, ignored
+}
+
+// Verify checks that the journal belongs to the run described by h.
+func (s *State) Verify(h Header) error {
+	h.V = Version
+	if s.Header != h {
+		return fmt.Errorf("checkpoint: journal belongs to a different run: engine %q units %d fingerprint %.12s..., want engine %q units %d fingerprint %.12s...",
+			s.Header.Engine, s.Header.Units, s.Header.Fingerprint, h.Engine, h.Units, h.Fingerprint)
+	}
+	return nil
+}
+
+// Pairs sums the pair counts of all recorded units.
+func (s *State) Pairs() int64 {
+	var n int64
+	for _, rec := range s.Done {
+		n += rec.Pairs
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func header() Header {
+	return Header{V: Version, Engine: "allpairs", Fingerprint: "abc123", Units: 4, TotalPairs: 100}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Unit: 0}); err == nil {
+		t.Fatal("Append before Begin accepted")
+	}
+	if err := w.Begin(header()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(header()); err == nil {
+		t.Fatal("second Begin accepted")
+	}
+	recs := []Record{
+		{Unit: 0, Pairs: 10, Factors: []Factor{{I: 1, J: 2, P: "ff"}}},
+		{Unit: 2, Pairs: 30, Bad: []BadPair{{I: 3, J: 4, Err: "boom"}}},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Header != header() {
+		t.Fatalf("header = %+v", st.Header)
+	}
+	if err := st.Verify(header()); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != 2 || st.Ignored != 0 {
+		t.Fatalf("done %d ignored %d", len(st.Done), st.Ignored)
+	}
+	if got := st.Done[0].Factors[0]; got != (Factor{I: 1, J: 2, P: "ff"}) {
+		t.Fatalf("factor = %+v", got)
+	}
+	if got := st.Done[2].Bad[0]; got != (BadPair{I: 3, J: 4, Err: "boom"}) {
+		t.Fatalf("bad = %+v", got)
+	}
+	if st.Pairs() != 40 {
+		t.Fatalf("Pairs() = %d", st.Pairs())
+	}
+}
+
+func TestVerifyMismatch(t *testing.T) {
+	st := &State{Header: header()}
+	h := header()
+	h.Fingerprint = "different"
+	if err := st.Verify(h); err == nil {
+		t.Error("fingerprint mismatch accepted")
+	}
+	h = header()
+	h.Units = 5
+	if err := st.Verify(h); err == nil {
+		t.Error("unit-count mismatch accepted")
+	}
+	// Verify normalizes V itself: callers build headers without it.
+	h = header()
+	h.V = 0
+	if err := st.Verify(h); err != nil {
+		t.Errorf("version auto-fill failed: %v", err)
+	}
+}
+
+// TestTornTrailingLine: a crash mid-write leaves a torn final line; Load
+// must skip it and OpenAppend must start cleanly on a fresh line.
+func TestTornTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(header()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Unit: 1, Pairs: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"unit":2,"pa`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != 1 || st.Ignored != 1 {
+		t.Fatalf("done %d ignored %d, want 1/1", len(st.Done), st.Ignored)
+	}
+
+	// Appending after the torn line must not corrupt the next record.
+	w2, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Begin(header()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(Record{Unit: 3, Pairs: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != 2 || st.Done[3].Pairs != 9 {
+		t.Fatalf("after append: %+v", st.Done)
+	}
+}
+
+// TestOpenAppendHeaderMismatch: appending under a different run's header
+// must fail at Begin, before any record is written.
+func TestOpenAppendHeaderMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(header()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	h := header()
+	h.Fingerprint = "other"
+	if err := w2.Begin(h); err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("foreign header accepted: %v", err)
+	}
+}
+
+// TestOpenAppendMissingFile behaves like Create.
+func TestOpenAppendMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.jsonl")
+	w, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(header()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Unit: 0, Pairs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != 1 {
+		t.Fatalf("done = %+v", st.Done)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.jsonl")
+	if err := os.WriteFile(path, []byte("not json\nstill not\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("headerless journal accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestDuplicateAndOutOfRangeRecords: first occurrence wins; units outside
+// the header's range are ignored rather than trusted.
+func TestDuplicateAndOutOfRangeRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"v":1,"engine":"allpairs","fingerprint":"abc123","units":4,"total_pairs":100}
+{"unit":1,"pairs":5}
+{"unit":1,"pairs":50}
+{"unit":9,"pairs":1}
+{"unit":-1,"pairs":1}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != 1 || st.Done[1].Pairs != 5 {
+		t.Fatalf("done = %+v", st.Done)
+	}
+	if st.Ignored != 2 {
+		t.Fatalf("ignored = %d, want 2", st.Ignored)
+	}
+}

@@ -48,6 +48,18 @@ func Write(w io.Writer, moduli []*mpnat.Nat, comment string) error {
 // Read parses a corpus from r. It rejects zero and even moduli early so
 // the attack layer can assume valid inputs.
 func Read(r io.Reader) ([]*mpnat.Nat, error) {
+	return read(r, true)
+}
+
+// ReadLenient parses like Read but keeps zero and even moduli, leaving
+// validation to the caller. The bulk engines' quarantine mode reports
+// such entries per index instead of failing the whole corpus, which is
+// the right trade for large collected key sets with a few corrupt lines.
+func ReadLenient(r io.Reader) ([]*mpnat.Nat, error) {
+	return read(r, false)
+}
+
+func read(r io.Reader, strict bool) ([]*mpnat.Nat, error) {
 	var out []*mpnat.Nat
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -62,11 +74,13 @@ func Read(r io.Reader) ([]*mpnat.Nat, error) {
 		if err != nil {
 			return nil, fmt.Errorf("corpus: line %d: %w", lineNo, err)
 		}
-		if n.IsZero() {
-			return nil, fmt.Errorf("corpus: line %d: zero modulus", lineNo)
-		}
-		if n.IsEven() {
-			return nil, fmt.Errorf("corpus: line %d: even modulus (not an RSA modulus)", lineNo)
+		if strict {
+			if n.IsZero() {
+				return nil, fmt.Errorf("corpus: line %d: zero modulus", lineNo)
+			}
+			if n.IsEven() {
+				return nil, fmt.Errorf("corpus: line %d: even modulus (not an RSA modulus)", lineNo)
+			}
 		}
 		out = append(out, n)
 	}

@@ -8,11 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/gpusim"
 	"bulkgcd/internal/mpnat"
@@ -192,6 +195,11 @@ type TableVConfig struct {
 	Seed int64
 	// Algorithms defaults to (C), (D), (E) as in Table V.
 	Algorithms []gcd.Algorithm
+	// CheckpointDir, when set, journals each cell's bulk all-pairs run to
+	// tablev-<letter>-<size>.jsonl under this directory; an interrupted
+	// table rerun with the same directory resumes the partial cell and
+	// skips its completed blocks.
+	CheckpointDir string
 }
 
 // TableVCell is one (algorithm, size) measurement.
@@ -233,6 +241,13 @@ type TableVResult struct {
 // two GPU substitutes (host-parallel bulk executor; UMM simulation),
 // reproducing the structure of Table V.
 func RunTableV(cfg TableVConfig) (*TableVResult, error) {
+	return RunTableVContext(context.Background(), cfg)
+}
+
+// RunTableVContext is RunTableV with cooperative cancellation: an
+// interrupted run returns an error naming the cell it stopped in, and
+// with CheckpointDir set a rerun resumes that cell's bulk computation.
+func RunTableVContext(ctx context.Context, cfg TableVConfig) (*TableVResult, error) {
 	if len(cfg.Sizes) == 0 {
 		cfg.Sizes = DefaultSizes
 	}
@@ -310,12 +325,20 @@ func RunTableV(cfg TableVConfig) (*TableVResult, error) {
 			}
 			cell.CPUPerGCD = time.Since(start) / time.Duration(pairs)
 
-			// Host-parallel bulk all-pairs.
-			bres, err := bulk.AllPairs(moduli, bulk.Config{Algorithm: alg, Early: cfg.Early})
+			// Host-parallel bulk all-pairs, optionally journaled per cell.
+			bres, err := runTableVBulk(ctx, cfg, alg, size, moduli)
 			if err != nil {
 				return nil, err
 			}
-			cell.ParallelPerGCD = time.Duration(int64(bres.Elapsed) / bres.Pairs)
+			if bres.Canceled {
+				return nil, fmt.Errorf("experiments: table V interrupted in cell (%s, %d bits) after %d/%d pairs; rerun with the same checkpoint dir to resume",
+					alg.Letter(), size, bres.Pairs, bres.Total)
+			}
+			// Per-GCD time uses only the freshly computed pairs: blocks
+			// replayed from a resume journal took no wall time in this run.
+			if fresh := bres.Pairs - bres.ResumedPairs; fresh > 0 {
+				cell.ParallelPerGCD = time.Duration(int64(bres.Elapsed) / fresh)
+			}
 
 			// UMM simulation.
 			sres, err := bulk.Simulate(machine, alg, xs, ys, cfg.Early)
@@ -345,6 +368,38 @@ func RunTableV(cfg TableVConfig) (*TableVResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// runTableVBulk runs one cell's bulk all-pairs computation, journaled to
+// CheckpointDir when configured. A journal that verifies against this
+// cell's corpus fingerprint is resumed; a stale or foreign one is
+// truncated and the cell starts over.
+func runTableVBulk(ctx context.Context, cfg TableVConfig, alg gcd.Algorithm, size int, moduli []*mpnat.Nat) (*bulk.Result, error) {
+	bcfg := bulk.Config{Algorithm: alg, Early: cfg.Early}
+	if cfg.CheckpointDir == "" {
+		return bulk.AllPairsContext(ctx, moduli, bcfg)
+	}
+	hdr, err := bulk.JournalHeader(moduli, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(cfg.CheckpointDir, fmt.Sprintf("tablev-%s-%d.jsonl", alg.Letter(), size))
+	if st, err := checkpoint.Load(path); err == nil && st.Verify(hdr) == nil {
+		w, err := checkpoint.OpenAppend(path)
+		if err != nil {
+			return nil, err
+		}
+		bcfg.Resume = st
+		bcfg.Checkpoint = w
+	} else {
+		w, err := checkpoint.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		bcfg.Checkpoint = w
+	}
+	defer bcfg.Checkpoint.Close()
+	return bulk.AllPairsContext(ctx, moduli, bcfg)
 }
 
 // Table renders the cells in the paper's Table V layout (microseconds per

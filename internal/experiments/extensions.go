@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -95,6 +96,11 @@ type CrossoverPoint struct {
 // Both engines run on worker pools of the same size (0 = GOMAXPROCS) so
 // the comparison is pool-vs-pool, not parallel-vs-serial.
 func RunCrossover(size int, ms []int, workers int, seed int64) ([]CrossoverPoint, error) {
+	return RunCrossoverContext(context.Background(), size, ms, workers, seed)
+}
+
+// RunCrossoverContext is RunCrossover with cooperative cancellation.
+func RunCrossoverContext(ctx context.Context, size int, ms []int, workers int, seed int64) ([]CrossoverPoint, error) {
 	if len(ms) == 0 {
 		ms = []int{32, 64, 128, 256}
 	}
@@ -109,8 +115,12 @@ func RunCrossover(size int, ms []int, workers int, seed int64) ([]CrossoverPoint
 		moduli := c.Moduli()
 
 		start := time.Now()
-		if _, err := bulk.AllPairs(moduli, bulk.Config{Algorithm: gcd.Approximate, Early: true, Workers: workers}); err != nil {
+		bres, err := bulk.AllPairsContext(ctx, moduli, bulk.Config{Algorithm: gcd.Approximate, Early: true, Workers: workers})
+		if err != nil {
 			return nil, err
+		}
+		if bres.Canceled {
+			return nil, fmt.Errorf("experiments: crossover interrupted at m=%d", m)
 		}
 		allPairs := time.Since(start)
 
@@ -119,7 +129,7 @@ func RunCrossover(size int, ms []int, workers int, seed int64) ([]CrossoverPoint
 			bigs[i] = n.ToBig()
 		}
 		start = time.Now()
-		if _, err := batchgcd.RunConfig(bigs, batchgcd.Config{Workers: workers}); err != nil {
+		if _, err := batchgcd.RunContext(ctx, bigs, batchgcd.Config{Workers: workers}); err != nil {
 			return nil, err
 		}
 		batch := time.Since(start)

@@ -28,26 +28,43 @@ type Source struct {
 	E uint64
 }
 
+// SkippedBlock describes one PEM block that did not yield a modulus, so
+// an operator can audit exactly which collected keys were left out of the
+// attack rather than seeing a bare count.
+type SkippedBlock struct {
+	// Index is the block's position in the stream (0-based, counting every
+	// PEM block, usable or not).
+	Index int
+	// Type is the PEM block type as it appeared in the stream.
+	Type string
+	// Reason says why the block was skipped.
+	Reason string
+}
+
 // ReadModuli extracts every RSA modulus from a PEM stream. Supported
 // block types: PKCS#1 public keys ("RSA PUBLIC KEY"), PKIX public keys
 // ("PUBLIC KEY") and X.509 certificates ("CERTIFICATE") with RSA subject
-// keys. Non-RSA and unparseable blocks are skipped and reported in skipped.
-func ReadModuli(r io.Reader) (moduli []*big.Int, sources []Source, skipped int, err error) {
+// keys. Non-RSA and unparseable blocks are reported per-index in skipped,
+// never silently dropped.
+func ReadModuli(r io.Reader) (moduli []*big.Int, sources []Source, skipped []SkippedBlock, err error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("pemkeys: %w", err)
+		return nil, nil, nil, fmt.Errorf("pemkeys: %w", err)
 	}
+	blockIdx := 0
 	for {
 		var block *pem.Block
 		block, data = pem.Decode(data)
 		if block == nil {
 			break
 		}
-		pub := parseBlock(block)
+		pub, reason := parseBlock(block)
 		if pub == nil {
-			skipped++
+			skipped = append(skipped, SkippedBlock{Index: blockIdx, Type: block.Type, Reason: reason})
+			blockIdx++
 			continue
 		}
+		blockIdx++
 		moduli = append(moduli, pub.N)
 		sources = append(sources, Source{
 			BlockType: block.Type,
@@ -55,33 +72,44 @@ func ReadModuli(r io.Reader) (moduli []*big.Int, sources []Source, skipped int, 
 			E:         uint64(pub.E),
 		})
 	}
-	if len(moduli) == 0 && skipped == 0 {
-		return nil, nil, 0, fmt.Errorf("pemkeys: no PEM blocks found")
+	if len(moduli) == 0 && len(skipped) == 0 {
+		return nil, nil, nil, fmt.Errorf("pemkeys: no PEM blocks found")
 	}
 	return moduli, sources, skipped, nil
 }
 
-// parseBlock extracts an RSA public key from one PEM block, or nil.
-func parseBlock(block *pem.Block) *rsa.PublicKey {
+// parseBlock extracts an RSA public key from one PEM block; on failure
+// the key is nil and the reason says what went wrong.
+func parseBlock(block *pem.Block) (*rsa.PublicKey, string) {
 	switch block.Type {
 	case "RSA PUBLIC KEY":
-		if k, err := x509.ParsePKCS1PublicKey(block.Bytes); err == nil {
-			return k
+		k, err := x509.ParsePKCS1PublicKey(block.Bytes)
+		if err != nil {
+			return nil, fmt.Sprintf("unparseable PKCS#1 public key: %v", err)
 		}
+		return k, ""
 	case "PUBLIC KEY":
-		if k, err := x509.ParsePKIXPublicKey(block.Bytes); err == nil {
-			if rk, ok := k.(*rsa.PublicKey); ok {
-				return rk
-			}
+		k, err := x509.ParsePKIXPublicKey(block.Bytes)
+		if err != nil {
+			return nil, fmt.Sprintf("unparseable PKIX public key: %v", err)
 		}
+		rk, ok := k.(*rsa.PublicKey)
+		if !ok {
+			return nil, fmt.Sprintf("not an RSA key (%T)", k)
+		}
+		return rk, ""
 	case "CERTIFICATE":
-		if cert, err := x509.ParseCertificate(block.Bytes); err == nil {
-			if rk, ok := cert.PublicKey.(*rsa.PublicKey); ok {
-				return rk
-			}
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return nil, fmt.Sprintf("unparseable certificate: %v", err)
 		}
+		rk, ok := cert.PublicKey.(*rsa.PublicKey)
+		if !ok {
+			return nil, fmt.Sprintf("certificate subject key is not RSA (%T)", cert.PublicKey)
+		}
+		return rk, ""
 	}
-	return nil
+	return nil, fmt.Sprintf("unsupported block type %q", block.Type)
 }
 
 // WritePublicKey writes one modulus as a PKIX "PUBLIC KEY" PEM block.

@@ -43,8 +43,8 @@ func TestWriteReadPublicKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 || len(moduli) != 1 {
-		t.Fatalf("read %d moduli, %d skipped", len(moduli), skipped)
+	if len(skipped) != 0 || len(moduli) != 1 {
+		t.Fatalf("read %d moduli, %d skipped", len(moduli), len(skipped))
 	}
 	if moduli[0].Cmp(key.N) != 0 {
 		t.Fatal("modulus mismatch")
@@ -125,8 +125,16 @@ func TestReadMixedStreamSkipsGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(moduli) != 2 || skipped != 2 {
-		t.Fatalf("moduli %d skipped %d, want 2/2", len(moduli), skipped)
+	if len(moduli) != 2 || len(skipped) != 2 {
+		t.Fatalf("moduli %d skipped %d, want 2/2", len(moduli), len(skipped))
+	}
+	if skipped[0].Index != 1 || skipped[0].Type != "EC PRIVATE KEY" ||
+		!strings.Contains(skipped[0].Reason, "unsupported block type") {
+		t.Fatalf("skipped[0] = %+v", skipped[0])
+	}
+	if skipped[1].Index != 2 || skipped[1].Type != "PUBLIC KEY" ||
+		!strings.Contains(skipped[1].Reason, "unparseable") {
+		t.Fatalf("skipped[1] = %+v", skipped[1])
 	}
 	if moduli[0].Cmp(k1.N) != 0 || moduli[1].Cmp(k2.N) != 0 {
 		t.Fatal("order not preserved")

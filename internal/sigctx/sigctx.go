@@ -1,0 +1,58 @@
+// Package sigctx implements the two-stage interrupt contract shared by
+// the long-running CLIs (rsafactor, gcdbench): the first SIGINT/SIGTERM
+// cancels the returned context, letting the engines finish their in-flight
+// blocks, flush checkpoints and report partial findings; a second signal
+// force-exits immediately with status 130.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// exit is swapped out by tests; the second signal calls it with 130.
+var exit = os.Exit
+
+// WithSignals derives a context canceled by the first SIGINT/SIGTERM. The
+// returned stop function releases the signal handler and cancels the
+// context; call it (usually via defer) once the run finishes.
+func WithSignals(parent context.Context, warn io.Writer, name string) (context.Context, context.CancelFunc) {
+	return withSignals(parent, warn, name, os.Interrupt, syscall.SIGTERM)
+}
+
+// withSignals is WithSignals with the signal set injectable for tests.
+func withSignals(parent context.Context, warn io.Writer, name string, sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	quit := make(chan struct{})
+	signal.Notify(ch, sigs...)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(quit)
+			cancel()
+		})
+	}
+	go func() {
+		select {
+		case <-ch:
+			fmt.Fprintf(warn, "%s: interrupted; finishing in-flight blocks and flushing checkpoints (interrupt again to force exit)\n", name)
+			cancel()
+		case <-quit:
+			return
+		}
+		select {
+		case <-ch:
+			fmt.Fprintf(warn, "%s: forced exit\n", name)
+			exit(130)
+		case <-quit:
+		}
+	}()
+	return ctx, stop
+}

@@ -1,0 +1,105 @@
+package sigctx
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// raise sends sig to this process.
+func raise(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitDone(t *testing.T, ctx context.Context) {
+	t.Helper()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled")
+	}
+}
+
+// TestFirstSignalCancels: one signal cancels the context and warns, but
+// does not exit the process.
+func TestFirstSignalCancels(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := &lockedWriter{mu: &mu, w: &buf}
+	ctx, stop := withSignals(context.Background(), w, "testtool", syscall.SIGUSR1)
+	defer stop()
+	raise(t, syscall.SIGUSR1)
+	waitDone(t, ctx)
+	// The warning is written just before cancel; give the goroutine a beat.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		s := buf.String()
+		mu.Unlock()
+		if strings.Contains(s, "testtool: interrupted") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warning missing: %q", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSecondSignalForcesExit: the second signal calls exit(130) instead
+// of returning control.
+func TestSecondSignalForcesExit(t *testing.T) {
+	exited := make(chan int, 1)
+	old := exit
+	exit = func(code int) {
+		exited <- code
+		select {} // the real os.Exit never returns; block like it
+	}
+	defer func() { exit = old }()
+
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	ctx, stop := withSignals(context.Background(), &lockedWriter{mu: &mu, w: &buf}, "testtool", syscall.SIGUSR2)
+	defer stop()
+	raise(t, syscall.SIGUSR2)
+	waitDone(t, ctx)
+	raise(t, syscall.SIGUSR2)
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("exit code %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force exit")
+	}
+}
+
+// TestStopReleasesHandler: after stop, signals are no longer intercepted
+// (the notify channel is drained into nothing) and the context is done.
+func TestStopReleasesHandler(t *testing.T) {
+	ctx, stop := withSignals(context.Background(), &bytes.Buffer{}, "testtool", syscall.SIGUSR1)
+	stop()
+	stop() // idempotent
+	waitDone(t, ctx)
+}
+
+// lockedWriter makes a bytes.Buffer safe to share with the signal
+// goroutine.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
