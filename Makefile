@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos cover bench selftest reproduce clean
+.PHONY: all build test vet race chaos cover bench bench-smoke selftest reproduce clean
 
 all: build vet test
 
@@ -16,10 +16,10 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Every package with its own goroutine pool: the bulk all-pairs executor,
-# the batch-GCD tree engine, the attack pipeline that drives both, and
-# the public facade.
+# the batch-GCD tree engine, the attack pipeline that drives both, the
+# lock-free metrics layer, and the public facade.
 race:
-	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ .
+	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ .
 
 # Fault-injection hardening: the chaos suite (kill/resume/panic
 # campaigns, chaos_test.go) plus the resilience packages it drives, all
@@ -35,6 +35,15 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration pass over the root benchmark suite (compile + run each
+# benchmark once) plus a small gcdbench sweep emitting the JSON report
+# artifact CI uploads; catches benchmark rot without benchmark cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x .
+	mkdir -p results
+	$(GO) run ./cmd/gcdbench -table 4,5 -pairs 100 -moduli 96 -cpupairs 30 \
+	    -sizes 256,512 -json results/bench-smoke.json
 
 selftest:
 	$(GO) run ./cmd/gcdselftest -n 5000 -v

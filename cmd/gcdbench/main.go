@@ -2,8 +2,10 @@
 //
 //	gcdbench -table 4                reproduce Table IV (iteration counts)
 //	gcdbench -table 5                reproduce Table V (CPU vs GPU time)
+//	gcdbench -table 4,5 -json b.json both tables, plus a JSON report artifact
 //	gcdbench -betastats              Section V beta > 0 statistics
 //	gcdbench -memops                 Section IV memory-op accounting (Fig. 1)
+//	gcdbench -status :8080           live /metrics + pprof while the sweep runs
 //
 // Scale flags (-pairs, -moduli, -sizes) trade fidelity for runtime; the
 // defaults finish in seconds, while the paper-scale values (-pairs 10000,
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	"bulkgcd/internal/experiments"
+	"bulkgcd/internal/obs"
 	"bulkgcd/internal/sigctx"
 )
 
@@ -40,7 +43,7 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 	fs := flag.NewFlagSet("gcdbench", flag.ContinueOnError)
 	fs.SetOutput(stderrW)
 	var (
-		table     = fs.Int("table", 0, "paper table to reproduce: 4 or 5")
+		table     = fs.String("table", "", "paper tables to reproduce: 4, 5, or a comma list like 4,5")
 		betastats = fs.Bool("betastats", false, "measure Section V beta>0 statistics")
 		memops    = fs.Bool("memops", false, "measure Section IV memory operations per iteration")
 		crossover = fs.Bool("crossover", false, "compare all-pairs vs Bernstein batch GCD over growing corpora")
@@ -58,6 +61,8 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		seed      = fs.Int64("seed", 1, "deterministic seed")
 		sizesStr  = fs.String("sizes", "512,1024,2048,4096", "comma-separated modulus sizes")
 		ckptDir   = fs.String("checkpoint", "", "journal Table V bulk runs to this directory and resume interrupted cells from it")
+		jsonOut   = fs.String("json", "", "write the table results as a JSON report (schema "+obs.ReportSchema+") to this file")
+		status    = fs.String("status", "", "serve /healthz, /metrics and /debug/pprof on this address (e.g. :8080) while the run lasts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,20 +72,51 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tables, err := parseTables(*table)
+	if err != nil {
+		return err
+	}
+
+	// The registry feeds the live status server and the JSON report;
+	// either flag turns metrics on.
+	var reg *obs.Registry
+	if *status != "" || *jsonOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *status != "" {
+		srv, err := obs.ServeStatus(*status, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderrW, "gcdbench: status on http://%s/metrics\n", srv.Addr())
+	}
+	var rpt *obs.Report
+	if *jsonOut != "" {
+		rpt = obs.NewReport("gcdbench")
+		rpt.Params = map[string]any{
+			"tables": *table, "sizes": sizes, "pairs": *pairs,
+			"moduli": *moduli, "cpupairs": *cpuPairs, "early": *early,
+			"seed": *seed,
+		}
+	}
 
 	ran := false
-	if *table == 4 {
+	if tables[4] {
 		ran = true
 		fmt.Fprintf(stdout, "Table IV: mean iterations over %d pairs per size (NT = non-terminate, ET = early-terminate)\n\n", *pairs)
 		res, err := experiments.RunTableIV(experiments.TableIVConfig{
-			Sizes: sizes, Pairs: *pairs, Seed: *seed,
+			Sizes: sizes, Pairs: *pairs, Seed: *seed, Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, res.Table().String())
+		if rpt != nil {
+			rpt.Tables["table_iv"] = res.JSON()
+		}
 	}
-	if *table == 5 {
+	if tables[5] {
 		ran = true
 		mode := "early-terminate"
 		if !*early {
@@ -98,12 +134,15 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 			Sizes: sizes, CPUPairs: *cpuPairs, BulkModuli: *moduli,
 			SimThreads: *simThr, UMMWidth: *width, UMMLatency: *latency,
 			ClockGHz: *clock, SMs: *sms, Early: *early, Seed: *seed,
-			CheckpointDir: *ckptDir,
+			CheckpointDir: *ckptDir, Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, res.Table().String())
+		if rpt != nil {
+			rpt.Tables["table_v"] = res.JSON()
+		}
 	}
 	if *betastats {
 		ran = true
@@ -158,7 +197,31 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 	if !ran {
 		return fmt.Errorf("nothing to do: pass -table 4, -table 5, -betastats, -memops, -crossover and/or -ablation")
 	}
+	if rpt != nil {
+		rpt.Finish(reg)
+		if err := rpt.WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderrW, "gcdbench: wrote %s\n", *jsonOut)
+	}
 	return nil
+}
+
+// parseTables parses the -table comma list ("", "4", "4,5") into a set.
+func parseTables(s string) (map[int]bool, error) {
+	out := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || (v != 4 && v != 5) {
+			return nil, fmt.Errorf("bad table %q (only 4 and 5 exist)", part)
+		}
+		out[v] = true
+	}
+	return out, nil
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJSONReport: -table 4,5 renders both tables and -json writes one
+// bulkgcd.bench.v1 artifact carrying both in machine-readable form plus
+// the metric snapshot.
+func TestJSONReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-table", "4,5", "-pairs", "20", "-moduli", "24", "-cpupairs", "5",
+			"-simthreads", "8", "-sizes", "128,256", "-json", out},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"Table IV", "Table V", "(E)-(B)", "CPU (C)"} {
+		if !strings.Contains(stdout.String(), needle) {
+			t.Fatalf("missing %q in output:\n%s", needle, stdout.String())
+		}
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rpt struct {
+		Schema string `json:"schema"`
+		Tool   string `json:"tool"`
+		Tables struct {
+			TableIV struct {
+				Sizes []int `json:"sizes"`
+				Rows  []struct {
+					Letter string    `json:"letter"`
+					MeanNT []float64 `json:"mean_nt"`
+					MeanET []float64 `json:"mean_et"`
+				} `json:"rows"`
+				DiffEBNT []float64 `json:"diff_eb_nt"`
+			} `json:"table_iv"`
+			TableV struct {
+				Rows []struct {
+					Letter string `json:"letter"`
+					Cells  []struct {
+						Size      int     `json:"size"`
+						CPUMicros float64 `json:"cpu_us"`
+					} `json:"cells"`
+				} `json:"rows"`
+			} `json:"table_v"`
+		} `json:"tables"`
+		Metrics struct {
+			Histograms map[string]struct {
+				Count int64 `json:"count"`
+			} `json:"histograms"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &rpt); err != nil {
+		t.Fatal(err)
+	}
+	if rpt.Schema != "bulkgcd.bench.v1" || rpt.Tool != "gcdbench" {
+		t.Fatalf("schema/tool = %q/%q", rpt.Schema, rpt.Tool)
+	}
+	if len(rpt.Tables.TableIV.Rows) != 5 || len(rpt.Tables.TableIV.DiffEBNT) != 2 {
+		t.Fatalf("table_iv shape wrong: %+v", rpt.Tables.TableIV)
+	}
+	for _, row := range rpt.Tables.TableIV.Rows {
+		for i := range rpt.Tables.TableIV.Sizes {
+			if row.MeanNT[i] <= 0 || row.MeanET[i] <= 0 {
+				t.Fatalf("row %s has non-positive means: %+v", row.Letter, row)
+			}
+			// Early termination can only shorten the loop.
+			if row.MeanET[i] > row.MeanNT[i] {
+				t.Fatalf("row %s: ET mean exceeds NT mean: %+v", row.Letter, row)
+			}
+		}
+	}
+	if len(rpt.Tables.TableV.Rows) != 3 {
+		t.Fatalf("table_v rows = %d, want 3", len(rpt.Tables.TableV.Rows))
+	}
+	for _, row := range rpt.Tables.TableV.Rows {
+		for _, cell := range row.Cells {
+			if cell.CPUMicros <= 0 {
+				t.Fatalf("row %s cell %d: cpu_us = %v", row.Letter, cell.Size, cell.CPUMicros)
+			}
+		}
+	}
+	// The live registry saw both the Table IV sweep and Table V's bulk runs.
+	if h, ok := rpt.Metrics.Histograms["gcd_approximate_iterations"]; !ok || h.Count == 0 {
+		t.Fatalf("live gcd histogram missing from snapshot: %v", rpt.Metrics.Histograms)
+	}
+	if h, ok := rpt.Metrics.Histograms["bulk_block_seconds"]; !ok || h.Count == 0 {
+		t.Fatalf("live bulk histogram missing from snapshot: %v", rpt.Metrics.Histograms)
+	}
+}
+
+func TestBadTableFlag(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run(context.Background(), []string{"-table", "6"}, &sink, &sink); err == nil {
+		t.Error("-table 6 accepted")
+	}
+	if err := run(context.Background(), []string{"-table", "4,x"}, &sink, &sink); err == nil {
+		t.Error("-table 4,x accepted")
+	}
+}

@@ -10,6 +10,9 @@
 //	rsafactor -in corpus.txt -truth truth.txt # verify against ground truth
 //	rsafactor -in corpus.txt -checkpoint run.jsonl   # journal progress
 //	rsafactor -in corpus.txt -resume run.jsonl       # continue after a kill
+//	rsafactor -in corpus.txt -status :8080           # live /metrics + pprof
+//	rsafactor -in corpus.txt -report out.json        # end-of-run JSON artifact
+//	rsafactor -in corpus.txt -trace run-trace.jsonl  # span/event trace
 //
 // Output lists, per broken key, the corpus index, the prime factors and
 // the recovered private exponent for e = 65537.
@@ -33,12 +36,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"bulkgcd/internal/attack"
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/corpus"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 	"bulkgcd/internal/pemkeys"
 	"bulkgcd/internal/sigctx"
 )
@@ -78,7 +83,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		ckptPath   = fs.String("checkpoint", "", "journal completed blocks to this file (fresh run; see -resume)")
 		resumePath = fs.String("resume", "", "resume from this journal, skipping completed blocks, and keep appending to it")
 		quarantine = fs.Bool("quarantine", false, "skip zero/even moduli and report them instead of failing the run")
-		verbose    = fs.Bool("v", false, "print progress")
+		verbose    = fs.Bool("v", false, "print progress with rate and ETA")
+		status     = fs.String("status", "", "serve /healthz, /metrics and /debug/pprof on this address (e.g. :8080) while the run lasts")
+		report     = fs.String("report", "", "write an end-of-run JSON report (schema "+obs.ReportSchema+") to this file")
+		tracePath  = fs.String("trace", "", "append a JSONL span/event trace of the run to this file")
 		// cancelAfter deterministically cancels the run once N pairs have
 		// completed; it exists so the interrupt/resume path is testable
 		// without racing real signals against the engine.
@@ -145,6 +153,45 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		BatchGCD:   *batch,
 		Quarantine: *quarantine,
 	}
+
+	// Observability: the registry feeds both the live status server and
+	// the end-of-run report, so either flag turns metrics on.
+	var reg *obs.Registry
+	if *status != "" || *report != "" {
+		reg = obs.NewRegistry()
+		opt.Metrics = reg
+	}
+	if *status != "" {
+		srv, err := obs.ServeStatus(*status, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "rsafactor: status on http://%s/metrics\n", srv.Addr())
+	}
+	var rpt *obs.Report
+	if *report != "" {
+		rpt = obs.NewReport("rsafactor")
+		rpt.Params = map[string]any{
+			"alg":        alg.String(),
+			"early":      !*noEarly,
+			"batch":      *batch,
+			"workers":    *workers,
+			"quarantine": *quarantine,
+			"checkpoint": *ckptPath,
+			"resume":     *resumePath,
+			"incremental": *prev != "",
+		}
+	}
+	if *tracePath != "" {
+		// Append mode: a resumed run extends the interrupted run's trace.
+		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		opt.Trace = obs.NewTracer(tf)
+	}
 	switch {
 	case *ckptPath != "":
 		w, err := checkpoint.Create(*ckptPath)
@@ -168,14 +215,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		fmt.Fprintf(stdout, "resuming from %s: %d/%d blocks done (%d pairs)\n",
 			*resumePath, len(st.Done), st.Header.Units, st.Pairs())
 	}
+	var pp *obs.ProgressPrinter
 	if *verbose {
 		unit := "pairs"
 		if *batch {
 			unit = "tree ops"
 		}
-		opt.Progress = func(done, total int64) {
-			fmt.Fprintf(stderr, "\rprogress: %d/%d %s", done, total, unit)
-		}
+		pp = obs.NewProgressPrinter(stderr, unit, 250*time.Millisecond)
+		opt.Progress = pp.Update
 	}
 	if *cancelAfter >= 0 {
 		var cancel context.CancelFunc
@@ -205,8 +252,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return err
 		}
 	}
-	if *verbose {
-		fmt.Fprintln(stderr)
+	if pp != nil {
+		pp.Finish()
 	}
 	if *prev != "" {
 		fmt.Fprintf(stdout, "incremental scan: %d previous + %d new moduli (indices are global)\n",
@@ -251,6 +298,29 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	fmt.Fprintf(stdout, "\nsummary: %d broken, %d duplicate pairs out of %d keys\n",
 		len(rep.Broken), len(rep.Duplicates), rep.Moduli)
+
+	if rpt != nil {
+		// The summary mirrors the attack Report itself (not the metric
+		// counters), so a resumed run's artifact reconciles exactly with
+		// the printed findings: resumed pairs count toward pairs here but
+		// are excluded from the fresh-pair throughput metrics.
+		rpt.Summary = map[string]any{
+			"moduli":             rep.Moduli,
+			"pairs":              rep.Bulk.Pairs,
+			"total_pairs":        rep.Bulk.Total,
+			"resumed_pairs":      rep.Bulk.ResumedPairs,
+			"workers":            rep.Bulk.Workers,
+			"broken":             len(rep.Broken),
+			"duplicate_pairs":    len(rep.Duplicates),
+			"quarantined_moduli": len(rep.Quarantined),
+			"quarantined_pairs":  len(rep.BadPairs),
+			"canceled":           rep.Canceled,
+		}
+		rpt.Finish(reg)
+		if err := rpt.WriteFile(*report); err != nil {
+			return err
+		}
+	}
 
 	if rep.Canceled {
 		// The findings above cover only the completed blocks; emit/truth

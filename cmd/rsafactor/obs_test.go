@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bulkgcd/internal/corpus"
+	"bulkgcd/internal/rsakey"
+)
+
+// lockedBuf is a Writer safe to read while another goroutine runs the
+// tool against it.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// writePseudoCorpus builds a corpus big enough that the scan lasts long
+// enough to scrape mid-run (pseudo moduli generate fast).
+func writePseudoCorpus(t *testing.T, dir string, count, bits, weak int, seed int64) string {
+	t.Helper()
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: count, Bits: bits, WeakPairs: weak, Seed: seed, Pseudo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := filepath.Join(dir, "corpus.txt")
+	f, err := os.Create(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.Write(f, c.Moduli(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return cp
+}
+
+var statusAddrRE = regexp.MustCompile(`status on http://([^/]+)/metrics`)
+
+// waitStatusAddr polls stderr for the status server's bound address.
+func waitStatusAddr(t *testing.T, errs *lockedBuf) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := statusAddrRE.FindStringSubmatch(errs.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("status address never appeared on stderr:\n%s", errs.String())
+	return ""
+}
+
+type reportFile struct {
+	Schema  string         `json:"schema"`
+	Tool    string         `json:"tool"`
+	Summary map[string]any `json:"summary"`
+	Metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	} `json:"metrics"`
+}
+
+func readReport(t *testing.T, path string) *reportFile {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r reportFile
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report %s: %v", path, err)
+	}
+	if r.Schema != "bulkgcd.bench.v1" {
+		t.Fatalf("report schema = %q", r.Schema)
+	}
+	return &r
+}
+
+// TestStatusReportKillResume is the PR's observability acceptance test:
+// a journaled run killed mid-scan and then resumed serves /healthz and
+// /metrics throughout the resumed run, and the final -report artifact
+// reconciles exactly with the findings the tool printed.
+func TestStatusReportKillResume(t *testing.T) {
+	dir := t.TempDir()
+	cp := writePseudoCorpus(t, dir, 192, 512, 2, 31)
+	journal := filepath.Join(dir, "run.jsonl")
+	trace := filepath.Join(dir, "trace.jsonl")
+	r1 := filepath.Join(dir, "r1.json")
+	r2 := filepath.Join(dir, "r2.json")
+
+	// Phase 1: journal, report, and kill early.
+	var out bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-in", cp, "-checkpoint", journal, "-cancel-after", "200",
+			"-report", r1, "-trace", trace},
+		nil, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("interrupted run: err = %v", err)
+	}
+	rep1 := readReport(t, r1)
+	if rep1.Summary["canceled"] != true {
+		t.Fatalf("phase 1 report not canceled: %v", rep1.Summary)
+	}
+	total := rep1.Summary["total_pairs"].(float64)
+	if pairs := rep1.Summary["pairs"].(float64); pairs <= 0 || pairs >= total {
+		t.Fatalf("phase 1 pairs = %v of %v", pairs, total)
+	}
+
+	// Phase 2: resume with a live status server, scraping /metrics the
+	// whole time the tool runs.
+	var out2 bytes.Buffer
+	errs := &lockedBuf{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(),
+			[]string{"-in", cp, "-resume", journal, "-status", "127.0.0.1:0",
+				"-report", r2, "-trace", trace, "-v"},
+			nil, &out2, errs)
+	}()
+	addr := waitStatusAddr(t, errs)
+
+	// Scrape until the server goes away with the tool's exit; every
+	// response while it is up must be well-formed.
+	var lastMetrics string
+	scrapes := 0
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			break
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %d: status %d err %v", scrapes, resp.StatusCode, rerr)
+		}
+		lastMetrics = string(body)
+		scrapes++
+
+		hr, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			break
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status %d", hr.StatusCode)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, errs.String())
+	}
+	if scrapes == 0 {
+		t.Fatal("no successful /metrics scrape during the run")
+	}
+	for _, needle := range []string{"bulk_pairs_total", "bulk_resumed_pairs_total", "gcd_approximate_iterations_count"} {
+		if !strings.Contains(lastMetrics, needle) {
+			t.Fatalf("last scrape missing %s:\n%s", needle, lastMetrics)
+		}
+	}
+	if !strings.Contains(errs.String(), "eta") {
+		t.Fatalf("-v progress line missing rate/ETA:\n%s", errs.String())
+	}
+
+	// The final report agrees exactly with the run's printed Result.
+	rep2 := readReport(t, r2)
+	if rep2.Summary["canceled"] != false {
+		t.Fatalf("phase 2 canceled: %v", rep2.Summary)
+	}
+	if got := rep2.Summary["pairs"].(float64); got != total {
+		t.Fatalf("phase 2 pairs = %v, want %v", got, total)
+	}
+	var sumBroken, sumDup, sumKeys int
+	if _, err := fmt.Sscanf(lastLineWith(out2.String(), "summary:"),
+		"summary: %d broken, %d duplicate pairs out of %d keys", &sumBroken, &sumDup, &sumKeys); err != nil {
+		t.Fatalf("summary line unparsable:\n%s", out2.String())
+	}
+	if float64(sumBroken) != rep2.Summary["broken"].(float64) ||
+		float64(sumDup) != rep2.Summary["duplicate_pairs"].(float64) ||
+		float64(sumKeys) != rep2.Summary["moduli"].(float64) {
+		t.Fatalf("report summary %v disagrees with printed summary %d/%d/%d",
+			rep2.Summary, sumBroken, sumDup, sumKeys)
+	}
+	if bad := rep2.Summary["quarantined_pairs"].(float64); bad != float64(strings.Count(out2.String(), "quarantined pair")) {
+		t.Fatalf("quarantined pairs %v disagree with output", bad)
+	}
+	// Fresh metric pairs plus journal-replayed pairs cover the whole
+	// triangle.
+	c := rep2.Metrics.Counters
+	if got := c["bulk_pairs_total"] + c["bulk_resumed_pairs_total"]; float64(got) != total {
+		t.Fatalf("metrics pairs %d (fresh) + resumed != total %v", got, total)
+	}
+
+	// The trace file accumulated valid JSONL spans across both phases,
+	// including two run spans (phase 1 and the resumed run).
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev["name"] == "run" {
+			runs++
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("trace has %d run spans, want 2", runs)
+	}
+}
+
+func lastLineWith(s, prefix string) string {
+	var last string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			last = line
+		}
+	}
+	return last
+}

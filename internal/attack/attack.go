@@ -18,6 +18,7 @@ import (
 	"bulkgcd/internal/faultinject"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 	"bulkgcd/internal/rsakey"
 )
 
@@ -42,9 +43,18 @@ type Options struct {
 	Exponent uint64
 
 	// Progress, when non-nil, receives completion updates: pair counts in
-	// all-pairs mode, tree-operation counts in batch mode. It must be
-	// safe for concurrent use.
+	// all-pairs mode, tree-operation counts in batch mode. Whichever
+	// engine runs serializes delivery with strictly increasing done
+	// values, so the callback needs no locking of its own.
 	Progress func(done, total int64)
+
+	// Metrics, when non-nil, collects the run's instruments: the
+	// underlying engine's metrics plus attack_broken_keys_total and
+	// attack_duplicate_pairs_total. Nil disables collection.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, receives the engine's JSONL span events.
+	Trace *obs.Tracer
 
 	// BatchGCD switches from the paper's all-pairs computation to the
 	// Bernstein product-tree batch GCD baseline. Algorithm, Early and
@@ -141,6 +151,8 @@ func RunContext(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report,
 		Quarantine: opt.Quarantine,
 		Checkpoint: opt.Checkpoint,
 		Resume:     opt.Resume,
+		Metrics:    opt.Metrics,
+		Trace:      opt.Trace,
 		Fault:      opt.Fault,
 	})
 	if err != nil {
@@ -187,6 +199,8 @@ func RunIncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, opt
 		Quarantine: opt.Quarantine,
 		Checkpoint: opt.Checkpoint,
 		Resume:     opt.Resume,
+		Metrics:    opt.Metrics,
+		Trace:      opt.Trace,
 		Fault:      opt.Fault,
 	})
 	if err != nil {
@@ -239,7 +253,15 @@ func interpretFactors(moduli []*mpnat.Nat, res *bulk.Result, opt Options) (*Repo
 		rep.Broken = append(rep.Broken, bk)
 	}
 	sort.Slice(rep.Broken, func(i, j int) bool { return rep.Broken[i].Index < rep.Broken[j].Index })
+	recordOutcome(opt, rep)
 	return rep, nil
+}
+
+// recordOutcome folds the attack-level verdict into the metrics
+// registry (nil-safe: a disabled registry hands out nil counters).
+func recordOutcome(opt Options, rep *Report) {
+	opt.Metrics.Counter("attack_broken_keys_total").Add(int64(len(rep.Broken)))
+	opt.Metrics.Counter("attack_duplicate_pairs_total").Add(int64(len(rep.Duplicates)))
 }
 
 // runBatch is the batch-GCD (product/remainder tree) variant of the
@@ -259,7 +281,10 @@ func runBatch(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report, e
 		}
 		big_[i] = m.ToBig()
 	}
-	cfg := batchgcd.Config{Workers: opt.Workers, Progress: opt.Progress, Fault: opt.Fault}
+	cfg := batchgcd.Config{
+		Workers: opt.Workers, Progress: opt.Progress,
+		Metrics: opt.Metrics, Trace: opt.Trace, Fault: opt.Fault,
+	}
 	start := time.Now()
 	findings, err := batchgcd.RunContext(ctx, big_, cfg)
 	if err != nil {
@@ -301,6 +326,7 @@ func runBatch(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report, e
 		}
 		return rep.Duplicates[i][1] < rep.Duplicates[j][1]
 	})
+	recordOutcome(opt, rep)
 	return rep, nil
 }
 

@@ -29,14 +29,17 @@ package batchgcd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bulkgcd/internal/faultinject"
+	"bulkgcd/internal/obs"
 )
 
 // one is the shared constant 1.
@@ -54,8 +57,20 @@ type Config struct {
 	// tree-operation units: product-tree multiplications, remainder-tree
 	// reductions and leaf GCD extractions. (The output-sensitive
 	// resolution pass over the handful of flagged moduli is not counted.)
-	// It must be safe for concurrent use.
+	// The engine serializes delivery and guarantees strictly increasing
+	// done values — invocations never overlap and stale updates are
+	// dropped — so callbacks need no locking of their own.
 	Progress func(done, total int64)
+
+	// Metrics, when non-nil, receives the run's instruments: tree-op
+	// throughput, per-level product/remainder timings and the leaf-GCD
+	// latency histogram (DESIGN.md section 5c lists the names). Nil
+	// disables collection with no measurable overhead.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, receives structured JSONL spans: one "run"
+	// span per batch invocation and one "phase" span per tree level.
+	Trace *obs.Tracer
 
 	// Fault is the test-only fault-injection hook (its Op trigger fires
 	// once per tree operation); nil in production.
@@ -70,22 +85,44 @@ func (cfg Config) EffectiveWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// tracker carries the shared progress state of one run.
+// tracker carries the shared progress and observability state of one
+// run: the serialized progress stream, the obs instruments and the
+// tracer. All instrument fields are nil-safe, so every path updates
+// them unconditionally.
 type tracker struct {
 	done     atomic.Int64
 	total    int64
 	progress func(done, total int64)
 	fault    *faultinject.Hook
+
+	ops        *obs.Counter   // batchgcd_tree_ops_total
+	findings   *obs.Counter   // batchgcd_findings_total
+	productH   *obs.Histogram // batchgcd_product_level_seconds
+	remainderH *obs.Histogram // batchgcd_remainder_level_seconds
+	leafH      *obs.Histogram // batchgcd_leaf_gcd_seconds
+	trace      *obs.Tracer
 }
 
 func newTracker(total int64, cfg Config) *tracker {
-	return &tracker{total: total, progress: cfg.Progress, fault: cfg.Fault}
+	t := &tracker{total: total, progress: obs.SerializeProgress(cfg.Progress), fault: cfg.Fault, trace: cfg.Trace}
+	if reg := cfg.Metrics; reg != nil {
+		t.ops = reg.Counter("batchgcd_tree_ops_total")
+		t.findings = reg.Counter("batchgcd_findings_total")
+		t.productH = reg.Histogram("batchgcd_product_level_seconds", obs.DurationBuckets())
+		t.remainderH = reg.Histogram("batchgcd_remainder_level_seconds", obs.DurationBuckets())
+		t.leafH = reg.Histogram("batchgcd_leaf_gcd_seconds", obs.DurationBuckets())
+	}
+	return t
 }
 
 // tick records one completed unit and notifies the callback; the fault
 // hook sees the operation's 0-based ordinal.
 func (t *tracker) tick() {
-	if t == nil || (t.progress == nil && t.fault == nil) {
+	if t == nil {
+		return
+	}
+	t.ops.Inc()
+	if t.progress == nil && t.fault == nil {
 		return
 	}
 	d := t.done.Add(1)
@@ -93,6 +130,20 @@ func (t *tracker) tick() {
 	if t.progress != nil {
 		t.progress(d, t.total)
 	}
+}
+
+// phase wraps one tree level (or the leaf pass): a trace span plus the
+// level's duration folded into hist.
+func (t *tracker) phase(name string, level, nodes int, hist *obs.Histogram, fn func() error) error {
+	if t == nil {
+		return fn()
+	}
+	sp := t.trace.StartSpan("phase", "phase", name, "level", level, "nodes", nodes)
+	start := time.Now()
+	err := fn()
+	hist.ObserveDuration(int64(time.Since(start)))
+	sp.End("err", err != nil)
+	return err
 }
 
 // treeUnits counts the work units of a full run over m moduli:
@@ -207,9 +258,11 @@ func buildTree(ctx context.Context, moduli []*big.Int, workers int, tr *tracker)
 		pairs := len(level) / 2
 		next := make([]*big.Int, (len(level)+1)/2)
 		src := level
-		if err := parallelEach(ctx, pairs, workers, func(i, _ int) {
-			next[i] = new(big.Int).Mul(src[2*i], src[2*i+1])
-			tr.tick()
+		if err := tr.phase("product", len(t.Levels), pairs, tr.productH, func() error {
+			return parallelEach(ctx, pairs, workers, func(i, _ int) {
+				next[i] = new(big.Int).Mul(src[2*i], src[2*i+1])
+				tr.tick()
+			})
 		}); err != nil {
 			return nil, err
 		}
@@ -242,13 +295,15 @@ func (t *ProductTree) remainderTree(ctx context.Context, workers int, tr *tracke
 		nodes := t.Levels[lvl]
 		next := make([]*big.Int, len(nodes))
 		parent := cur
-		if err := parallelEach(ctx, len(nodes), workers, func(i, w int) {
-			s := &scratch[w]
-			s.sq.Mul(nodes[i], nodes[i])
-			rem := new(big.Int)
-			s.quo.QuoRem(parent[i/2], &s.sq, rem)
-			next[i] = rem
-			tr.tick()
+		if err := tr.phase("remainder", lvl, len(nodes), tr.remainderH, func() error {
+			return parallelEach(ctx, len(nodes), workers, func(i, w int) {
+				s := &scratch[w]
+				s.sq.Mul(nodes[i], nodes[i])
+				rem := new(big.Int)
+				s.quo.QuoRem(parent[i/2], &s.sq, rem)
+				next[i] = rem
+				tr.tick()
+			})
 		}); err != nil {
 			return nil, err
 		}
@@ -296,12 +351,20 @@ func SharedFactorsContext(ctx context.Context, moduli []*big.Int, cfg Config) ([
 
 	out := make([]*big.Int, len(moduli))
 	scratch := make([]big.Int, workers) // per-worker quotient
-	if err := parallelEach(ctx, len(moduli), workers, func(i, w int) {
-		// (P / n_i) mod n_i == (P mod n_i^2) / n_i for n_i | P.
-		q := &scratch[w]
-		q.Quo(rems[i], moduli[i])
-		out[i] = new(big.Int).GCD(nil, nil, q, moduli[i])
-		tr.tick()
+	if err := tr.phase("leaf", 0, len(moduli), nil, func() error {
+		return parallelEach(ctx, len(moduli), workers, func(i, w int) {
+			// (P / n_i) mod n_i == (P mod n_i^2) / n_i for n_i | P.
+			q := &scratch[w]
+			q.Quo(rems[i], moduli[i])
+			if tr.leafH != nil {
+				start := time.Now()
+				out[i] = new(big.Int).GCD(nil, nil, q, moduli[i])
+				tr.leafH.ObserveDuration(int64(time.Since(start)))
+			} else {
+				out[i] = new(big.Int).GCD(nil, nil, q, moduli[i])
+			}
+			tr.tick()
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -340,15 +403,22 @@ func RunConfig(moduli []*big.Int, cfg Config) ([]Finding, error) {
 // incomplete tree is discarded and the context error returned (there are
 // no partial batch findings; use the all-pairs engine when resumable
 // partial progress matters).
-func RunContext(ctx context.Context, moduli []*big.Int, cfg Config) ([]Finding, error) {
+func RunContext(ctx context.Context, moduli []*big.Int, cfg Config) (findings []Finding, err error) {
 	if err := validateRSA(moduli); err != nil {
 		return nil, err
 	}
+	runSpan := cfg.Trace.StartSpan("run",
+		"engine", "batchgcd", "moduli", len(moduli), "workers", cfg.EffectiveWorkers())
+	defer func() {
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("batchgcd_findings_total").Add(int64(len(findings)))
+		}
+		runSpan.End("findings", len(findings), "canceled", errors.Is(err, context.Canceled))
+	}()
 	gs, err := SharedFactorsContext(ctx, moduli, cfg)
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
 	var whole []int // indices with g_i == n_i, resolved below
 	for i, g := range gs {
 		switch {

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"testing"
 
+	"bulkgcd/internal/obs"
 	"bulkgcd/internal/rsakey"
 )
 
@@ -33,4 +34,14 @@ func BenchmarkBatchGCD(b *testing.B) {
 			}
 		})
 	}
+	// Same attack with a live registry attached: the delta against the
+	// metrics=nil runs above is the instrumentation overhead (budget 2%).
+	b.Run("workers=8/metrics", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunConfig(ms, Config{Workers: 8, Metrics: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

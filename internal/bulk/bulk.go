@@ -15,6 +15,7 @@ import (
 	"bulkgcd/internal/faultinject"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 )
 
 // Factor is one non-trivial GCD found by the all-pairs computation.
@@ -58,8 +59,25 @@ type Config struct {
 	GroupSize int
 
 	// Progress, when non-nil, receives the number of completed pairs at
-	// block granularity. It must be safe for concurrent use.
+	// block granularity. The engine serializes delivery and guarantees
+	// strictly increasing done values: invocations never overlap, and an
+	// update racing a larger one from another worker is dropped rather
+	// than delivered out of order. Callbacks therefore need no locking of
+	// their own. (Before PR 3 the callback was invoked concurrently from
+	// every worker; that contract is gone.)
 	Progress func(done, total int64)
+
+	// Metrics, when non-nil, receives the run's counters, gauges and
+	// histograms — throughput, per-block latency, early exits,
+	// quarantines, checkpoint flush times and per-algorithm iteration
+	// histograms. DESIGN.md section 5c lists every exported name. Nil
+	// disables collection with no measurable overhead.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, receives structured JSONL span events: one
+	// "run" span per engine invocation, one "block" span per completed
+	// work unit, and point events for quarantines and recovered panics.
+	Trace *obs.Tracer
 
 	// Quarantine, when true, skips zero/even/nil moduli — reporting them
 	// in Result.Quarantined with index and reason — instead of failing
@@ -236,6 +254,9 @@ type blockOut struct {
 	bad     []BadPair
 	stats   gcd.Stats
 	pairs   int64
+	// busy accumulates the worker's in-block wall time (compute plus
+	// journal appends), feeding the utilization gauge.
+	busy time.Duration
 }
 
 // record converts a completed unit to its journal form.
@@ -259,6 +280,7 @@ type pairRunner struct {
 	cfg     *Config
 	moduli  []*mpnat.Nat
 	seq     *atomic.Int64
+	metrics *runMetrics
 }
 
 func (p *pairRunner) run(a, b int, out *blockOut) {
@@ -267,6 +289,7 @@ func (p *pairRunner) run(a, b int, out *blockOut) {
 			out.bad = append(out.bad, BadPair{I: a, J: b, Err: fmt.Sprint(r)})
 			out.pairs++ // the attempt is accounted, keeping pair totals exact
 			p.scratch = gcd.NewScratch(p.maxBits)
+			p.cfg.Trace.Event("bad_pair", "i", a, "j", b, "err", fmt.Sprint(r))
 		}
 	}()
 	if h := p.cfg.Fault; h != nil {
@@ -282,6 +305,7 @@ func (p *pairRunner) run(a, b int, out *blockOut) {
 		opt.EarlyBits = s / 2
 	}
 	g, st := p.scratch.Compute(p.cfg.Algorithm, x, y, opt)
+	p.metrics.observePair(&st)
 	out.stats.Add(&st)
 	out.pairs++
 	if g != nil && !g.IsOne() {
@@ -338,11 +362,21 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 	}
 	outs := make([]blockOut, workers)
 
+	metrics := newRunMetrics(cfg.Metrics, cfg.Algorithm)
+	metrics.begin(workers, len(plan.bad), resumedPairs)
+	for _, q := range plan.bad {
+		cfg.Trace.Event("quarantine", "index", q.Index, "reason", q.Reason)
+	}
+	runSpan := cfg.Trace.StartSpan("run",
+		"engine", "allpairs", "algorithm", cfg.Algorithm.String(), "early", cfg.Early,
+		"moduli", len(moduli), "workers", workers, "blocks", len(blocks), "total_pairs", total)
+
+	progress := obs.SerializeProgress(cfg.Progress)
 	var next atomic.Int64
 	var done atomic.Int64
 	done.Store(resumedPairs)
-	if cfg.Progress != nil && resumedPairs > 0 {
-		cfg.Progress(resumedPairs, total)
+	if progress != nil && resumedPairs > 0 {
+		progress(resumedPairs, total)
 	}
 	var pairSeq atomic.Int64
 	var ckptOnce sync.Once
@@ -360,6 +394,7 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 				cfg:     &cfg,
 				moduli:  moduli,
 				seq:     &pairSeq,
+				metrics: metrics,
 			}
 			out := &outs[w]
 			for {
@@ -374,19 +409,28 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 					continue // completed by the interrupted run
 				}
 				cfg.Fault.OnBlock(int(bi))
+				blkStart := time.Now()
+				blkSpan := cfg.Trace.StartSpan("block", "block", bi, "worker", w)
 				var blk blockOut
 				sched.BlockPairs(blocks[bi], func(a, b int) {
 					pr.run(plan.active[a], plan.active[b], &blk)
 				})
+				blkDur := time.Since(blkStart)
 				if cfg.Checkpoint != nil {
-					if err := cfg.Checkpoint.Append(blk.record(int(bi))); err != nil {
+					ckStart := time.Now()
+					err := cfg.Checkpoint.Append(blk.record(int(bi)))
+					metrics.observeCheckpoint(time.Since(ckStart))
+					if err != nil {
 						ckptOnce.Do(func() { ckptErr = err })
 						return
 					}
 				}
+				metrics.observeBlock(&blk, blkDur)
+				blkSpan.End("pairs", blk.pairs, "factors", len(blk.factors), "bad_pairs", len(blk.bad))
 				out.merge(&blk)
-				if cfg.Progress != nil {
-					cfg.Progress(done.Add(blk.pairs), total)
+				out.busy += time.Since(blkStart)
+				if progress != nil {
+					progress(done.Add(blk.pairs), total)
 				}
 			}
 		}(w)
@@ -407,14 +451,19 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 		Factors:      resumedFactors,
 		BadPairs:     resumedBad,
 	}
+	var busy time.Duration
 	for i := range outs {
 		res.Pairs += outs[i].pairs
 		res.Stats.Add(&outs[i].stats)
 		res.Factors = append(res.Factors, outs[i].factors...)
 		res.BadPairs = append(res.BadPairs, outs[i].bad...)
+		busy += outs[i].busy
 	}
 	sortFactors(res.Factors)
 	sortBadPairs(res.BadPairs)
+	metrics.finish(res, busy)
+	runSpan.End("pairs", res.Pairs, "factors", len(res.Factors),
+		"bad_pairs", len(res.BadPairs), "canceled", res.Canceled)
 	if !res.Canceled && res.Pairs != total {
 		return nil, fmt.Errorf("bulk: internal error: computed %d pairs, want %d", res.Pairs, total)
 	}

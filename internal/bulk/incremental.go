@@ -11,6 +11,7 @@ import (
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 )
 
 // incrementalPlan is the validated shape of an incremental run: active
@@ -110,11 +111,23 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 	all = append(all, newModuli...)
 
 	outs := make([]blockOut, workers)
+
+	metrics := newRunMetrics(cfg.Metrics, cfg.Algorithm)
+	metrics.begin(workers, len(plan.bad), resumedPairs)
+	for _, q := range plan.bad {
+		cfg.Trace.Event("quarantine", "index", q.Index, "reason", q.Reason)
+	}
+	runSpan := cfg.Trace.StartSpan("run",
+		"engine", "incremental", "algorithm", cfg.Algorithm.String(), "early", cfg.Early,
+		"old", len(old), "new", len(newModuli), "workers", workers,
+		"stripes", len(plan.newActive), "total_pairs", plan.total)
+
+	progress := obs.SerializeProgress(cfg.Progress)
 	var next atomic.Int64
 	var done atomic.Int64
 	done.Store(resumedPairs)
-	if cfg.Progress != nil && resumedPairs > 0 {
-		cfg.Progress(resumedPairs, plan.total)
+	if progress != nil && resumedPairs > 0 {
+		progress(resumedPairs, plan.total)
 	}
 	var pairSeq atomic.Int64
 	var ckptOnce sync.Once
@@ -132,6 +145,7 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 				cfg:     &cfg,
 				moduli:  all,
 				seq:     &pairSeq,
+				metrics: metrics,
 			}
 			out := &outs[w]
 			for {
@@ -147,6 +161,8 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 				}
 				cfg.Fault.OnBlock(int(j))
 				gj := plan.newActive[j]
+				blkStart := time.Now()
+				blkSpan := cfg.Trace.StartSpan("block", "stripe", j, "worker", w)
 				var blk blockOut
 				for _, gi := range plan.oldActive {
 					pr.run(gi, gj, &blk)
@@ -154,15 +170,22 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 				for k := int(j) + 1; k < len(plan.newActive); k++ {
 					pr.run(gj, plan.newActive[k], &blk)
 				}
+				blkDur := time.Since(blkStart)
 				if cfg.Checkpoint != nil {
-					if err := cfg.Checkpoint.Append(blk.record(int(j))); err != nil {
+					ckStart := time.Now()
+					err := cfg.Checkpoint.Append(blk.record(int(j)))
+					metrics.observeCheckpoint(time.Since(ckStart))
+					if err != nil {
 						ckptOnce.Do(func() { ckptErr = err })
 						return
 					}
 				}
+				metrics.observeBlock(&blk, blkDur)
+				blkSpan.End("pairs", blk.pairs, "factors", len(blk.factors), "bad_pairs", len(blk.bad))
 				out.merge(&blk)
-				if cfg.Progress != nil {
-					cfg.Progress(done.Add(blk.pairs), plan.total)
+				out.busy += time.Since(blkStart)
+				if progress != nil {
+					progress(done.Add(blk.pairs), plan.total)
 				}
 			}
 		}(w)
@@ -183,14 +206,19 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 		Factors:      resumedFactors,
 		BadPairs:     resumedBad,
 	}
+	var busy time.Duration
 	for i := range outs {
 		res.Pairs += outs[i].pairs
 		res.Stats.Add(&outs[i].stats)
 		res.Factors = append(res.Factors, outs[i].factors...)
 		res.BadPairs = append(res.BadPairs, outs[i].bad...)
+		busy += outs[i].busy
 	}
 	sortFactors(res.Factors)
 	sortBadPairs(res.BadPairs)
+	metrics.finish(res, busy)
+	runSpan.End("pairs", res.Pairs, "factors", len(res.Factors),
+		"bad_pairs", len(res.BadPairs), "canceled", res.Canceled)
 	if !res.Canceled && res.Pairs != plan.total {
 		return nil, fmt.Errorf("bulk: internal error: computed %d pairs, want %d", res.Pairs, plan.total)
 	}

@@ -1,0 +1,126 @@
+package bulk
+
+import (
+	"time"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/obs"
+)
+
+// runMetrics pre-resolves the bulk engine's obs instruments once per
+// run, so workers update metrics with plain atomic operations. All
+// fields are nil-safe (a nil registry yields nil instruments), letting
+// the engine instrument unconditionally:
+//
+//	bulk_pairs_total                  GCDs computed (fresh pairs only)
+//	bulk_blocks_total                 completed work units
+//	bulk_factors_total                non-trivial GCDs found
+//	bulk_early_exits_total            pairs stopped at the s/2 threshold
+//	bulk_bad_pairs_total              pairs quarantined after a panic
+//	bulk_quarantined_moduli_total     inputs excluded in quarantine mode
+//	bulk_resumed_pairs_total          pairs replayed from a resume journal
+//	bulk_block_seconds                per-block compute latency histogram
+//	bulk_checkpoint_flush_seconds     per-record journal append latency
+//	bulk_workers                      gauge: pool size of the current run
+//	bulk_pairs_per_second             gauge: aggregate throughput, set at end
+//	bulk_worker_utilization           gauge: busy time / (elapsed * workers)
+//	gcd_<alg>_*                       per-algorithm instruments (gcd.Metrics)
+type runMetrics struct {
+	pairs       *obs.Counter
+	blocks      *obs.Counter
+	factors     *obs.Counter
+	earlyExits  *obs.Counter
+	badPairs    *obs.Counter
+	quarantined *obs.Counter
+	resumed     *obs.Counter
+
+	blockSeconds *obs.Histogram
+	ckptSeconds  *obs.Histogram
+
+	workers     *obs.Gauge
+	pairsPerSec *obs.Gauge
+	utilization *obs.Gauge
+
+	gcd *gcd.Metrics
+}
+
+// newRunMetrics resolves the instruments (nil registry gives a nil
+// *runMetrics whose methods no-op).
+func newRunMetrics(reg *obs.Registry, alg gcd.Algorithm) *runMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runMetrics{
+		pairs:        reg.Counter("bulk_pairs_total"),
+		blocks:       reg.Counter("bulk_blocks_total"),
+		factors:      reg.Counter("bulk_factors_total"),
+		earlyExits:   reg.Counter("bulk_early_exits_total"),
+		badPairs:     reg.Counter("bulk_bad_pairs_total"),
+		quarantined:  reg.Counter("bulk_quarantined_moduli_total"),
+		resumed:      reg.Counter("bulk_resumed_pairs_total"),
+		blockSeconds: reg.Histogram("bulk_block_seconds", obs.DurationBuckets()),
+		ckptSeconds:  reg.Histogram("bulk_checkpoint_flush_seconds", obs.DurationBuckets()),
+		workers:      reg.Gauge("bulk_workers"),
+		pairsPerSec:  reg.Gauge("bulk_pairs_per_second"),
+		utilization:  reg.Gauge("bulk_worker_utilization"),
+		gcd:          gcd.NewMetrics(reg, alg),
+	}
+}
+
+// begin records the run shape known before workers start.
+func (m *runMetrics) begin(workers int, quarantined int, resumedPairs int64) {
+	if m == nil {
+		return
+	}
+	m.workers.Set(float64(workers))
+	m.quarantined.Add(int64(quarantined))
+	m.resumed.Add(resumedPairs)
+}
+
+// observeBlock folds one completed work unit in.
+func (m *runMetrics) observeBlock(blk *blockOut, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.pairs.Add(blk.pairs)
+	m.blocks.Inc()
+	m.factors.Add(int64(len(blk.factors)))
+	m.badPairs.Add(int64(len(blk.bad)))
+	m.blockSeconds.ObserveDuration(int64(dur))
+}
+
+// observePair records one GCD computation's statistics: the
+// per-algorithm instruments plus the engine-level early-exit counter.
+func (m *runMetrics) observePair(st *gcd.Stats) {
+	if m == nil {
+		return
+	}
+	m.gcd.Observe(st)
+	if st.EarlyTerminated {
+		m.earlyExits.Inc()
+	}
+}
+
+// observeCheckpoint records one journal append's flush latency.
+func (m *runMetrics) observeCheckpoint(dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ckptSeconds.ObserveDuration(int64(dur))
+}
+
+// finish derives the end-of-run gauges: aggregate throughput over the
+// fresh pairs, and worker utilization — the fraction of worker-seconds
+// actually spent inside blocks (busy covers GCD compute plus journal
+// appends; the remainder is scheduling and pool ramp-down).
+func (m *runMetrics) finish(res *Result, busy time.Duration) {
+	if m == nil {
+		return
+	}
+	if fresh := res.Pairs - res.ResumedPairs; fresh > 0 && res.Elapsed > 0 {
+		m.pairsPerSec.Set(float64(fresh) / res.Elapsed.Seconds())
+	}
+	if res.Elapsed > 0 && res.Workers > 0 {
+		m.utilization.Set(busy.Seconds() / (res.Elapsed.Seconds() * float64(res.Workers)))
+	}
+}

@@ -19,8 +19,8 @@ import (
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/gpusim"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 	"bulkgcd/internal/rsakey"
-	"bulkgcd/internal/stats"
 	"bulkgcd/internal/tabfmt"
 	"bulkgcd/internal/umm"
 )
@@ -57,6 +57,11 @@ type TableIVConfig struct {
 	Seed int64
 	// Algorithms defaults to all five.
 	Algorithms []gcd.Algorithm
+	// Metrics, when set, additionally receives every observation through
+	// the live gcd_<alg>_* instruments (all sizes and terminate modes
+	// aggregated), so a -status server can watch the sweep run. The
+	// per-cell table means always come from private registry shards.
+	Metrics *obs.Registry
 }
 
 // TableIVResult carries the measured means.
@@ -89,19 +94,29 @@ func RunTableIV(cfg TableIVConfig) (*TableIVResult, error) {
 	for _, alg := range cfg.Algorithms {
 		res.Mean[alg] = map[int][2]float64{}
 	}
+	live := map[gcd.Algorithm]*gcd.Metrics{}
+	for _, alg := range cfg.Algorithms {
+		live[alg] = gcd.NewMetrics(cfg.Metrics, alg)
+	}
 	for _, size := range cfg.Sizes {
 		xs, ys, err := pairSource(size, cfg.Pairs, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 		scratch := gcd.NewScratch(size)
-		iters := map[gcd.Algorithm][2]*stats.Acc{}
-		for _, alg := range cfg.Algorithms {
-			iters[alg] = [2]*stats.Acc{{}, {}}
+		// One registry shard per terminate mode: the shared gcd_<alg>_*
+		// histograms replace bespoke per-algorithm accumulators, and the
+		// table means are read back from their snapshots.
+		var shards [2]*obs.Registry
+		var cell [2]map[gcd.Algorithm]*gcd.Metrics
+		for mode := 0; mode < 2; mode++ {
+			shards[mode] = obs.NewRegistry()
+			cell[mode] = map[gcd.Algorithm]*gcd.Metrics{}
+			for _, alg := range cfg.Algorithms {
+				cell[mode][alg] = gcd.NewMetrics(shards[mode], alg)
+			}
 		}
-		var diff [2]stats.Acc
 		for i := 0; i < cfg.Pairs; i++ {
-			var fastIters, approxIters [2]int
 			for _, alg := range cfg.Algorithms {
 				for mode := 0; mode < 2; mode++ {
 					opt := gcd.Options{}
@@ -109,23 +124,29 @@ func RunTableIV(cfg TableIVConfig) (*TableIVResult, error) {
 						opt.EarlyBits = size / 2
 					}
 					_, st := scratch.Compute(alg, xs[i], ys[i], opt)
-					iters[alg][mode].Add(float64(st.Iterations))
-					switch alg {
-					case gcd.Fast:
-						fastIters[mode] = st.Iterations
-					case gcd.Approximate:
-						approxIters[mode] = st.Iterations
-					}
+					cell[mode][alg].Observe(&st)
+					live[alg].Observe(&st)
 				}
 			}
-			for mode := 0; mode < 2; mode++ {
-				diff[mode].Add(float64(approxIters[mode] - fastIters[mode]))
+		}
+		var mean [2]map[gcd.Algorithm]float64
+		for mode := 0; mode < 2; mode++ {
+			snap := shards[mode].Snapshot()
+			mean[mode] = map[gcd.Algorithm]float64{}
+			for _, alg := range cfg.Algorithms {
+				mean[mode][alg] = snap.Histograms[gcd.IterationsMetric(alg)].Mean()
 			}
 		}
 		for _, alg := range cfg.Algorithms {
-			res.Mean[alg][size] = [2]float64{iters[alg][0].Mean(), iters[alg][1].Mean()}
+			res.Mean[alg][size] = [2]float64{mean[0][alg], mean[1][alg]}
 		}
-		res.DiffEB[size] = [2]float64{diff[0].Mean(), diff[1].Mean()}
+		// The mean of the per-pair (E)-(B) differences is the difference
+		// of the two means, so the row falls straight out of the
+		// histograms. Algorithms absent from the run contribute 0.
+		res.DiffEB[size] = [2]float64{
+			mean[0][gcd.Approximate] - mean[0][gcd.Fast],
+			mean[1][gcd.Approximate] - mean[1][gcd.Fast],
+		}
 	}
 	return res, nil
 }
@@ -200,6 +221,9 @@ type TableVConfig struct {
 	// table rerun with the same directory resumes the partial cell and
 	// skips its completed blocks.
 	CheckpointDir string
+	// Metrics, when set, receives the bulk engine's live instruments
+	// across all cells, so a -status server can watch the sweep run.
+	Metrics *obs.Registry
 }
 
 // TableVCell is one (algorithm, size) measurement.
@@ -375,7 +399,7 @@ func RunTableVContext(ctx context.Context, cfg TableVConfig) (*TableVResult, err
 // cell's corpus fingerprint is resumed; a stale or foreign one is
 // truncated and the cell starts over.
 func runTableVBulk(ctx context.Context, cfg TableVConfig, alg gcd.Algorithm, size int, moduli []*mpnat.Nat) (*bulk.Result, error) {
-	bcfg := bulk.Config{Algorithm: alg, Early: cfg.Early}
+	bcfg := bulk.Config{Algorithm: alg, Early: cfg.Early, Metrics: cfg.Metrics}
 	if cfg.CheckpointDir == "" {
 		return bulk.AllPairsContext(ctx, moduli, bcfg)
 	}

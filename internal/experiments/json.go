@@ -1,0 +1,104 @@
+package experiments
+
+import "time"
+
+// JSON forms of the experiment results. The in-memory results key cells
+// by gcd.Algorithm, which does not marshal to a useful JSON object key,
+// so these flatten to per-algorithm rows carrying the letter and name
+// the paper's tables use. They ride inside the obs.Report `tables`
+// field of `gcdbench -json` output and the checked-in BENCH_*.json
+// artifacts.
+
+// TableIVRowJSON is one algorithm's mean iteration counts, indexed like
+// Sizes; NT is non-terminate, ET early-terminate.
+type TableIVRowJSON struct {
+	Letter string    `json:"letter"`
+	Name   string    `json:"name"`
+	MeanNT []float64 `json:"mean_nt"`
+	MeanET []float64 `json:"mean_et"`
+}
+
+// TableIVJSON is the machine-readable Table IV.
+type TableIVJSON struct {
+	Sizes []int            `json:"sizes"`
+	Pairs int              `json:"pairs"`
+	Seed  int64            `json:"seed"`
+	Rows  []TableIVRowJSON `json:"rows"`
+	// DiffEBNT/DiffEBET are the (E)-(B) mean-difference row.
+	DiffEBNT []float64 `json:"diff_eb_nt"`
+	DiffEBET []float64 `json:"diff_eb_et"`
+}
+
+// JSON flattens the result for the report artifact.
+func (r *TableIVResult) JSON() *TableIVJSON {
+	out := &TableIVJSON{Sizes: r.Cfg.Sizes, Pairs: r.Cfg.Pairs, Seed: r.Cfg.Seed}
+	for _, alg := range r.Cfg.Algorithms {
+		row := TableIVRowJSON{Letter: alg.Letter(), Name: alg.String()}
+		for _, s := range r.Cfg.Sizes {
+			row.MeanNT = append(row.MeanNT, r.Mean[alg][s][0])
+			row.MeanET = append(row.MeanET, r.Mean[alg][s][1])
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for _, s := range r.Cfg.Sizes {
+		out.DiffEBNT = append(out.DiffEBNT, r.DiffEB[s][0])
+		out.DiffEBET = append(out.DiffEBET, r.DiffEB[s][1])
+	}
+	return out
+}
+
+// TableVCellJSON is one (algorithm, size) timing cell in microseconds
+// per GCD.
+type TableVCellJSON struct {
+	Size            int     `json:"size"`
+	CPUMicros       float64 `json:"cpu_us"`
+	ParallelMicros  float64 `json:"parallel_us"`
+	SimMicros       float64 `json:"sim_us"`
+	DevMicros       float64 `json:"dev_us"`
+	DevBound        string  `json:"dev_bound"`
+	DevDivergence   float64 `json:"dev_divergence"`
+	CoalescedFrac   float64 `json:"coalesced_frac"`
+	SpeedupParallel float64 `json:"speedup_parallel"`
+	SpeedupSim      float64 `json:"speedup_sim"`
+}
+
+// TableVRowJSON is one algorithm's cells across sizes.
+type TableVRowJSON struct {
+	Letter string           `json:"letter"`
+	Name   string           `json:"name"`
+	Cells  []TableVCellJSON `json:"cells"`
+}
+
+// TableVJSON is the machine-readable Table V.
+type TableVJSON struct {
+	Sizes []int           `json:"sizes"`
+	Early bool            `json:"early"`
+	Seed  int64           `json:"seed"`
+	Rows  []TableVRowJSON `json:"rows"`
+}
+
+// JSON flattens the result for the report artifact.
+func (r *TableVResult) JSON() *TableVJSON {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	out := &TableVJSON{Sizes: r.Cfg.Sizes, Early: r.Cfg.Early, Seed: r.Cfg.Seed}
+	for _, alg := range r.Cfg.Algorithms {
+		row := TableVRowJSON{Letter: alg.Letter(), Name: alg.String()}
+		for _, s := range r.Cfg.Sizes {
+			c := r.Cells[alg][s]
+			row.Cells = append(row.Cells, TableVCellJSON{
+				Size:            s,
+				CPUMicros:       us(c.CPUPerGCD),
+				ParallelMicros:  us(c.ParallelPerGCD),
+				SimMicros:       us(c.SimPerGCD),
+				DevMicros:       us(c.DevPerGCD),
+				DevBound:        string(c.DevBound),
+				DevDivergence:   c.DevDivergence,
+				CoalescedFrac:   c.CoalescedFrac,
+				SpeedupParallel: c.SpeedupParallel,
+				SpeedupSim:      c.SpeedupSim,
+			})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package gcd
+
+import (
+	"strings"
+
+	"bulkgcd/internal/obs"
+)
+
+// Metrics binds one algorithm's obs instruments so the per-pair hot
+// path pays only the atomic updates, never a registry lookup. The
+// exported names are per-algorithm:
+//
+//	gcd_<alg>_iterations            histogram of do-while iterations
+//	gcd_<alg>_early_exits_total     computations stopped at the s/2 threshold
+//	gcd_<alg>_beta_nonzero_total    Approximate iterations on the beta > 0 path
+//	gcd_<alg>_memops_total          word-level memory operations (Section IV)
+//
+// The iteration histograms are the live-counter form of Table IV: their
+// snapshot means are exactly the per-algorithm mean iteration counts
+// the paper reports, and internal/experiments builds the table from
+// them instead of keeping private tallies.
+//
+// A nil *Metrics (from a nil registry) ignores observations, so callers
+// instrument unconditionally.
+type Metrics struct {
+	iterations  *obs.Histogram
+	earlyExits  *obs.Counter
+	betaNonZero *obs.Counter
+	memOps      *obs.Counter
+}
+
+// IterationsMetric is the registry name of alg's iteration-count
+// histogram, for readers that consume it from a Snapshot.
+func IterationsMetric(alg Algorithm) string {
+	return "gcd_" + strings.ToLower(alg.String()) + "_iterations"
+}
+
+// NewMetrics resolves the instruments for alg in reg (nil reg gives a
+// nil *Metrics).
+func NewMetrics(reg *obs.Registry, alg Algorithm) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	prefix := "gcd_" + strings.ToLower(alg.String()) + "_"
+	return &Metrics{
+		iterations:  reg.Histogram(IterationsMetric(alg), obs.IterationBuckets()),
+		earlyExits:  reg.Counter(prefix + "early_exits_total"),
+		betaNonZero: reg.Counter(prefix + "beta_nonzero_total"),
+		memOps:      reg.Counter(prefix + "memops_total"),
+	}
+}
+
+// Observe records one computation's statistics.
+func (m *Metrics) Observe(st *Stats) {
+	if m == nil {
+		return
+	}
+	m.iterations.Observe(float64(st.Iterations))
+	if st.EarlyTerminated {
+		m.earlyExits.Inc()
+	}
+	m.betaNonZero.Add(int64(st.BetaNonZero))
+	m.memOps.Add(st.MemOps)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StatusServer serves the live view of a running scan:
+//
+//	GET /healthz              liveness: {"status":"ok","uptime_seconds":...}
+//	GET /metrics              Prometheus text exposition of the registry
+//	GET /metrics?format=json  the same snapshot as expvar-style JSON
+//	GET /debug/vars           alias for the JSON snapshot
+//	GET /debug/pprof/...      the standard net/http/pprof handlers
+//
+// It binds its own mux (never http.DefaultServeMux, so importing obs
+// does not leak handlers into embedding programs) and listens
+// immediately on construction, so ":0" yields a usable Addr for tests.
+type StatusServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	reg   *Registry
+	start time.Time
+	done  chan struct{}
+}
+
+// ServeStatus starts a status server for reg on addr (host:port; ":0"
+// picks a free port). The server runs until Close.
+func ServeStatus(addr string, reg *Registry) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: status listener: %w", err)
+	}
+	s := &StatusServer{
+		ln:    ln,
+		reg:   reg,
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (resolving ":0").
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *StatusServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+func (s *StatusServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *StatusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.WritePrometheus(w)
+}
+
+func (s *StatusServer) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.reg.Snapshot())
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestStatusServer exercises the three endpoints end to end over a real
+// listener, the way a `curl :addr/metrics` against a live scan does.
+func TestStatusServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bulk_pairs_total").Add(7)
+	reg.Histogram("bulk_block_seconds", DurationBuckets()).Observe(0.001)
+
+	s, err := ServeStatus("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body, _ := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	var health struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	if health.Status != "ok" || health.Uptime < 0 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	for _, needle := range []string{
+		"# TYPE bulk_pairs_total counter",
+		"bulk_pairs_total 7",
+		"bulk_block_seconds_bucket{le=\"+Inf\"} 1",
+		"bulk_block_seconds_count 1",
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("metrics missing %q:\n%s", needle, body)
+		}
+	}
+
+	// Metric updates made while the server runs are visible on the next
+	// scrape — the live-scan property.
+	reg.Counter("bulk_pairs_total").Add(5)
+	_, body, _ = get(t, base+"/metrics")
+	if !strings.Contains(body, "bulk_pairs_total 12") {
+		t.Errorf("live update not visible:\n%s", body)
+	}
+
+	for _, path := range []string{"/metrics?format=json", "/debug/vars"} {
+		code, body, hdr = get(t, base+path)
+		if code != http.StatusOK {
+			t.Fatalf("%s = %d", path, code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s content type = %q", path, ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("%s body: %v", path, err)
+		}
+		if snap.Counters["bulk_pairs_total"] != 12 {
+			t.Errorf("%s counter = %d", path, snap.Counters["bulk_pairs_total"])
+		}
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Errorf("pprof cmdline = %d %q", code, body)
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ReportSchema identifies the report wire format. It is shared by
+// `rsafactor -report`, `gcdbench -json` and the checked-in BENCH_*.json
+// perf-trajectory artifacts, so one consumer reads all three.
+const ReportSchema = "bulkgcd.bench.v1"
+
+// Report is the machine-readable end-of-run artifact: what ran, on
+// what, the engine's own result summary, the rendered experiment tables
+// (gcdbench) and the full metric snapshot.
+type Report struct {
+	// Schema is always ReportSchema.
+	Schema string `json:"schema"`
+	// Tool is the producing command ("rsafactor", "gcdbench", ...).
+	Tool string `json:"tool"`
+	// Start and End bound the run; ElapsedSeconds is their difference.
+	Start          time.Time `json:"start"`
+	End            time.Time `json:"end"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	// Host describes the machine, for comparing BENCH artifacts.
+	Host HostInfo `json:"host"`
+	// Params records the knobs that shaped the run (flag values).
+	Params map[string]any `json:"params,omitempty"`
+	// Summary is the engine's own result accounting — for rsafactor the
+	// exact numbers of the attack Report (pairs scanned, findings,
+	// quarantined pairs), so the artifact can be reconciled against the
+	// run's printed output.
+	Summary map[string]any `json:"summary,omitempty"`
+	// Tables carries gcdbench experiment results (Table IV/V and
+	// friends) in machine-readable form.
+	Tables map[string]any `json:"tables,omitempty"`
+	// Metrics is the final snapshot of the run's registry.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// HostInfo pins the environment a BENCH artifact was measured on.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// NewReport starts a report for tool with the host filled in and Start
+// stamped now.
+func NewReport(tool string) *Report {
+	return &Report{
+		Schema: ReportSchema,
+		Tool:   tool,
+		Start:  time.Now(),
+		Host: HostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Params:  map[string]any{},
+		Summary: map[string]any{},
+		Tables:  map[string]any{},
+	}
+}
+
+// Finish stamps End/ElapsedSeconds and attaches the registry snapshot
+// (nil reg attaches nothing).
+func (r *Report) Finish(reg *Registry) {
+	r.End = time.Now()
+	r.ElapsedSeconds = r.End.Sub(r.Start).Seconds()
+	if reg != nil {
+		r.Metrics = reg.Snapshot()
+	}
+}
+
+// WriteFile writes the report as indented JSON, atomically enough for a
+// single consumer (temp file + rename would be overkill for an
+// end-of-run artifact written once).
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer emits structured run events as JSON Lines: one object per
+// line, safe for concurrent use, append-friendly and greppable. The
+// engines emit three span kinds — run (one per engine invocation),
+// phase (tree level, table cell) and block (bulk work unit) — plus
+// point events for irregular occurrences (quarantine, panic recovery,
+// checkpoint errors).
+//
+// A nil Tracer discards everything, so engine code traces
+// unconditionally. Writes are serialized under a mutex; the engines
+// trace at block/phase granularity, far off the per-pair hot path.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+
+	// now is the clock, replaceable in tests for deterministic output.
+	now func() time.Time
+}
+
+// NewTracer returns a tracer writing JSONL events to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, enc: json.NewEncoder(w), now: time.Now}
+}
+
+// TraceEvent is the one-line wire form of every event. Span ends carry
+// the start time and duration; point events carry only Time.
+type TraceEvent struct {
+	// Time is the event (or span-end) timestamp, RFC 3339 with
+	// nanoseconds.
+	Time time.Time `json:"ts"`
+	// Kind is "event" for point events, "span" for completed spans.
+	Kind string `json:"kind"`
+	// Name identifies the event: "run", "phase", "block", ...
+	Name string `json:"name"`
+	// Start and DurMS are set on spans only.
+	Start *time.Time `json:"start,omitempty"`
+	DurMS float64    `json:"dur_ms,omitempty"`
+	// Attrs carries the event's key/value payload.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// attrMap folds alternating key, value pairs into a map (odd trailing
+// keys get nil). Kept tiny on purpose: trace attrs are emitted at block
+// granularity.
+func attrMap(kv []any) map[string]any {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]any, (len(kv)+1)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			continue
+		}
+		m[k] = kv[i+1]
+	}
+	return m
+}
+
+func (t *Tracer) emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(ev) // tracing is best-effort; a failed sink must not fail the run
+}
+
+// Event emits a point event with alternating key, value attributes.
+func (t *Tracer) Event(name string, kv ...any) {
+	if t == nil {
+		return
+	}
+	t.emit(TraceEvent{Time: t.now(), Kind: "event", Name: name, Attrs: attrMap(kv)})
+}
+
+// Span is an open span; End completes and emits it. A nil Span (from a
+// nil Tracer) is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs map[string]any
+}
+
+// StartSpan opens a span. Attributes given here are merged with those
+// given to End (End wins on duplicate keys).
+func (t *Tracer) StartSpan(name string, kv ...any) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: t.now(), attrs: attrMap(kv)}
+}
+
+// End completes the span, emitting one line with its start, duration
+// and merged attributes.
+func (s *Span) End(kv ...any) {
+	if s == nil {
+		return
+	}
+	end := s.t.now()
+	attrs := s.attrs
+	if extra := attrMap(kv); extra != nil {
+		if attrs == nil {
+			attrs = extra
+		} else {
+			for k, v := range extra {
+				attrs[k] = v
+			}
+		}
+	}
+	start := s.start
+	s.t.emit(TraceEvent{
+		Time:  end,
+		Kind:  "span",
+		Name:  s.name,
+		Start: &start,
+		DurMS: float64(end.Sub(s.start).Nanoseconds()) / 1e6,
+		Attrs: attrs,
+	})
+}
