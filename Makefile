@@ -38,12 +38,18 @@ bench:
 
 # One-iteration pass over the root benchmark suite (compile + run each
 # benchmark once) plus a small gcdbench sweep emitting the JSON report
-# artifact CI uploads; catches benchmark rot without benchmark cost.
+# artifacts CI uploads; catches benchmark rot without benchmark cost.
+# The hybrid line runs BenchmarkHybrid in -short mode (512-moduli corpus),
+# which self-enforces the >= 3x full-GCD reduction bound, and the engine
+# comparison emits the three-engine timing table as a second artifact.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
+	$(GO) test -short -run '^$$' -bench BenchmarkHybrid -benchtime=1x ./internal/bulk/
 	mkdir -p results
 	$(GO) run ./cmd/gcdbench -table 4,5 -pairs 100 -moduli 96 -cpupairs 30 \
 	    -sizes 256,512 -json results/bench-smoke.json
+	$(GO) run ./cmd/gcdbench -crossover -engine pairs,batch,hybrid \
+	    -sizes 256 -json results/bench-smoke-engines.json
 
 selftest:
 	$(GO) run ./cmd/gcdselftest -n 5000 -v

@@ -8,9 +8,18 @@
 //     contribution is the Approximate Euclidean algorithm, which converges
 //     like the quotient-based Euclid while paying only one 64-bit division
 //     per iteration.
-//   - The attack ([FindSharedPrimes]): all-pairs GCD over a corpus of RSA
-//     moduli, factoring every pair that shares a prime and reconstructing
-//     the private keys.
+//
+//   - The attack ([New], [Attack.Run]): GCD over all pairs of a corpus of
+//     RSA moduli, factoring every pair that shares a prime and
+//     reconstructing the private keys. Three engines are available
+//     ([EnginePairs], [EngineBatch], [EngineHybrid]) behind one
+//     functional-options API:
+//
+//     rep, err := bulkgcd.New(
+//     bulkgcd.WithEngine(bulkgcd.EngineHybrid),
+//     bulkgcd.WithWorkers(8),
+//     ).Run(ctx, moduli)
+//
 //   - Corpus utilities ([GenerateWeakCorpus], [ReadCorpus], [WriteCorpus])
 //     to synthesize and exchange key sets with planted weak pairs.
 //
@@ -26,7 +35,6 @@ import (
 	"io"
 	"math/big"
 
-	"bulkgcd/internal/attack"
 	"bulkgcd/internal/corpus"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
@@ -155,26 +163,33 @@ func trailingZeros(v *big.Int) int {
 // AttackOptions configures FindSharedPrimes. The zero value selects the
 // recommended configuration: Approximate Euclidean, early termination,
 // public exponent 65537, one worker per CPU.
+//
+// Deprecated: use [New] with [Option] values; each field maps onto one
+// option (see the field comments).
 type AttackOptions struct {
 	// Algorithm selects the GCD engine (default Approximate).
+	// Equivalent to [WithAlgorithm].
 	Algorithm Algorithm
 	// DisableEarlyTerminate turns off the s/2 early termination. It is
 	// only useful for measurement; early termination never misses a
-	// shared prime of RSA moduli.
+	// shared prime of RSA moduli. Equivalent to
+	// [WithoutEarlyTermination].
 	DisableEarlyTerminate bool
 	// Workers is the parallelism of whichever engine runs, all-pairs or
-	// batch GCD (default: GOMAXPROCS).
+	// batch GCD (default: GOMAXPROCS). Equivalent to [WithWorkers].
 	Workers int
 	// Exponent is the RSA public exponent for key recovery (default 65537).
+	// Equivalent to [WithExponent].
 	Exponent uint64
 	// Progress, when non-nil, receives completed/total counts: pairs in
-	// all-pairs mode, tree operations in batch mode.
+	// all-pairs mode, tree operations in batch mode. Equivalent to
+	// [WithProgress].
 	Progress func(done, total int64)
 	// BatchGCD switches to the Bernstein product-tree batch GCD engine
 	// instead of the paper's all-pairs computation. Algorithm and
 	// DisableEarlyTerminate are ignored; Workers and Progress are
 	// honored. The report's Pairs and Stats are zero (batch GCD has no
-	// per-pair accounting).
+	// per-pair accounting). Equivalent to WithEngine(EngineBatch).
 	BatchGCD bool
 }
 
@@ -192,6 +207,8 @@ type BrokenKey struct {
 }
 
 // AttackReport is the outcome of FindSharedPrimes.
+//
+// Deprecated: [Attack.Run] returns the richer [Report].
 type AttackReport struct {
 	// Broken lists factored keys ordered by index.
 	Broken []BrokenKey
@@ -211,6 +228,11 @@ type AttackReport struct {
 // it computes the GCD of all pairs, factors every modulus that shares a
 // prime with another, and reconstructs the corresponding private keys.
 // All moduli must be positive and odd. opts may be nil for defaults.
+//
+// Deprecated: use [New] and [Attack.Run], which add engine selection,
+// checkpointing, quarantine, metrics and tracing. FindSharedPrimes is
+// equivalent to New().Run(context.Background(), moduli) with the
+// AttackOptions fields mapped onto their options.
 func FindSharedPrimes(moduli []*big.Int, opts *AttackOptions) (*AttackReport, error) {
 	return FindSharedPrimesContext(context.Background(), moduli, opts)
 }
@@ -219,52 +241,40 @@ func FindSharedPrimes(moduli []*big.Int, opts *AttackOptions) (*AttackReport, er
 // cancellation: when ctx is canceled mid-run the attack stops at the next
 // block boundary and returns the findings of the completed pairs with
 // AttackReport.Canceled set, rather than an error.
+//
+// Deprecated: use [New] and [Attack.Run] (see [FindSharedPrimes]).
 func FindSharedPrimesContext(ctx context.Context, moduli []*big.Int, opts *AttackOptions) (*AttackReport, error) {
 	var o AttackOptions
 	if opts != nil {
 		o = *opts
 	}
-	ialg, err := o.Algorithm.internalAlg()
+	av := []Option{
+		WithAlgorithm(o.Algorithm),
+		WithWorkers(o.Workers),
+	}
+	if o.DisableEarlyTerminate {
+		av = append(av, WithoutEarlyTermination())
+	}
+	if o.Exponent != 0 {
+		av = append(av, WithExponent(o.Exponent))
+	}
+	if o.Progress != nil {
+		av = append(av, WithProgress(o.Progress))
+	}
+	if o.BatchGCD {
+		av = append(av, WithEngine(EngineBatch))
+	}
+	rep, err := New(av...).Run(ctx, moduli)
 	if err != nil {
 		return nil, err
 	}
-	ms := make([]*mpnat.Nat, len(moduli))
-	for i, m := range moduli {
-		if m == nil || m.Sign() <= 0 {
-			return nil, fmt.Errorf("bulkgcd: modulus %d is not positive", i)
-		}
-		if m.Bit(0) == 0 {
-			return nil, fmt.Errorf("bulkgcd: modulus %d is even (not an RSA modulus)", i)
-		}
-		ms[i] = mpnat.FromBig(m)
-	}
-	rep, err := attack.RunContext(ctx, ms, attack.Options{
-		Algorithm: ialg,
-		Early:     !o.DisableEarlyTerminate,
-		Workers:   o.Workers,
-		Exponent:  o.Exponent,
-		Progress:  o.Progress,
-		BatchGCD:  o.BatchGCD,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := &AttackReport{
+	return &AttackReport{
+		Broken:     rep.Broken,
 		Duplicates: rep.Duplicates,
-		Pairs:      rep.Bulk.Pairs,
+		Pairs:      rep.Pairs,
+		Stats:      rep.Stats,
 		Canceled:   rep.Canceled,
-		Stats: Stats{
-			Iterations:  rep.Bulk.Stats.Iterations,
-			BetaNonZero: rep.Bulk.Stats.BetaNonZero,
-			MemOps:      rep.Bulk.Stats.MemOps,
-		},
-	}
-	for _, bk := range rep.Broken {
-		out.Broken = append(out.Broken, BrokenKey{
-			Index: bk.Index, N: bk.N, P: bk.P, Q: bk.Q, D: bk.D, FoundWith: bk.FoundWith,
-		})
-	}
-	return out, nil
+	}, nil
 }
 
 // PlantedPair records the ground truth of one generated weak pair.

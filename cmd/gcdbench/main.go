@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/experiments"
 	"bulkgcd/internal/obs"
 	"bulkgcd/internal/sigctx"
@@ -46,7 +47,8 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		table     = fs.String("table", "", "paper tables to reproduce: 4, 5, or a comma list like 4,5")
 		betastats = fs.Bool("betastats", false, "measure Section V beta>0 statistics")
 		memops    = fs.Bool("memops", false, "measure Section IV memory operations per iteration")
-		crossover = fs.Bool("crossover", false, "compare all-pairs vs Bernstein batch GCD over growing corpora")
+		crossover = fs.Bool("crossover", false, "compare the attack engines over growing corpora (see -engine)")
+		engines   = fs.String("engine", "pairs,batch,hybrid", "comma list of engines for -crossover: pairs|batch|hybrid")
 		ablation  = fs.Bool("ablation", false, "ablate the design choices: word size d and early-terminate threshold")
 		pairs     = fs.Int("pairs", 200, "random pairs per size (Table IV/stats; paper: 10000)")
 		moduli    = fs.Int("moduli", 192, "corpus size for the bulk run (Table V; paper: 16384)")
@@ -171,12 +173,19 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		fmt.Fprintf(stdout, "Baseline comparison at %d bits, %d workers per engine: all-pairs Approximate (this paper) vs batch GCD (Bernstein)\n\n", size, w)
-		ps, err := experiments.RunCrossoverContext(ctx, size, nil, w, *seed)
+		kinds, err := parseEngines(*engines)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(stdout, experiments.CrossoverTable(ps).String())
+		fmt.Fprintf(stdout, "Engine comparison at %d bits, %d workers per engine: %s\n\n", size, w, *engines)
+		ps, err := experiments.RunEngineComparisonContext(ctx, size, nil, w, *seed, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.EngineComparisonTable(ps, kinds).String())
+		if rpt != nil {
+			rpt.Tables["engine_comparison"] = experiments.EngineComparisonJSON(ps)
+		}
 	}
 	if *ablation {
 		ran = true
@@ -205,6 +214,31 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		fmt.Fprintf(stderrW, "gcdbench: wrote %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// parseEngines parses the -engine comma list into engine kinds,
+// preserving order and dropping duplicates.
+func parseEngines(s string) ([]engine.Kind, error) {
+	var out []engine.Kind
+	seen := map[engine.Kind]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := engine.ParseKind(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad engine %q (want pairs, batch or hybrid)", part)
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no engines given")
+	}
+	return out, nil
 }
 
 // parseTables parses the -table comma list ("", "4", "4,5") into a set.

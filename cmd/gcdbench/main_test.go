@@ -112,11 +112,23 @@ func TestCrossover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "batch GCD") {
-		t.Fatalf("crossover output wrong:\n%s", out.String())
+	for _, want := range []string{"t(pairs)", "t(batch)", "t(hybrid)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("crossover output missing %q:\n%s", want, out.String())
+		}
 	}
 	if !strings.Contains(out.String(), "2 workers per engine") {
 		t.Fatalf("crossover header missing pool size:\n%s", out.String())
+	}
+
+	// An explicit engine subset narrows the columns.
+	out.Reset()
+	err = run(context.Background(), []string{"-crossover", "-sizes", "256", "-workers", "2", "-engine", "hybrid"}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "t(hybrid)") || strings.Contains(out.String(), "t(batch)") {
+		t.Fatalf("engine subset not honored:\n%s", out.String())
 	}
 }
 

@@ -5,8 +5,9 @@
 // Usage:
 //
 //	rsafactor -in corpus.txt [-alg approximate] [-no-early] [-workers N] [-v]
-//	rsafactor -in corpus.txt -batch          # Bernstein batch-GCD engine
-//	                                         # (-workers and -v apply here too)
+//	rsafactor -in corpus.txt -engine=batch   # Bernstein batch-GCD engine
+//	rsafactor -in corpus.txt -engine=hybrid -tile 64  # tiled product-filter
+//	                                         # (-workers and -v apply everywhere)
 //	rsafactor -in corpus.txt -truth truth.txt # verify against ground truth
 //	rsafactor -in corpus.txt -checkpoint run.jsonl   # journal progress
 //	rsafactor -in corpus.txt -resume run.jsonl       # continue after a kill
@@ -41,6 +42,7 @@ import (
 	"bulkgcd/internal/attack"
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/corpus"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/obs"
@@ -74,7 +76,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		in         = fs.String("in", "-", "corpus file (- for stdin)")
 		algName    = fs.String("alg", "approximate", "gcd algorithm: original|fast|binary|fastbinary|approximate")
 		noEarly    = fs.Bool("no-early", false, "disable s/2 early termination")
-		batch      = fs.Bool("batch", false, "use the Bernstein product-tree batch GCD instead of all-pairs")
+		engName    = fs.String("engine", "pairs", "attack engine: pairs|batch|hybrid")
+		batch      = fs.Bool("batch", false, "deprecated alias for -engine=batch")
+		tile       = fs.Int("tile", 0, "hybrid engine tile width (0 = default 64)")
+		subBudget  = fs.Int64("subprod-budget", 0, "hybrid subproduct cache byte budget (0 = unlimited)")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
 		e          = fs.Uint64("e", 65537, "RSA public exponent for key recovery")
 		prev       = fs.String("prev", "", "previously scanned corpus (same formats); compute only pairs involving the new corpus")
@@ -100,11 +105,21 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q", *algName)
 	}
+	kind, err := engine.ParseKind(*engName)
+	if err != nil {
+		return fmt.Errorf("unknown engine %q (want pairs, batch or hybrid)", *engName)
+	}
+	if *batch {
+		if kind == engine.Hybrid {
+			return fmt.Errorf("-batch conflicts with -engine=hybrid; drop the deprecated -batch flag")
+		}
+		kind = engine.Batch
+	}
 	if *ckptPath != "" && *resumePath != "" {
 		return fmt.Errorf("-checkpoint starts a fresh journal and -resume continues one; use exactly one")
 	}
-	if (*ckptPath != "" || *resumePath != "") && *batch {
-		return fmt.Errorf("checkpointing requires the all-pairs engine; drop -batch")
+	if (*ckptPath != "" || *resumePath != "") && kind == engine.Batch {
+		return fmt.Errorf("checkpointing requires the pairs or hybrid engine")
 	}
 
 	r := stdin
@@ -135,8 +150,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if *truth != "" {
 			return fmt.Errorf("-truth cannot be combined with -prev (indices are offset)")
 		}
-		if *batch {
-			return fmt.Errorf("-batch cannot be combined with -prev (batch GCD is not incremental)")
+		if kind != engine.Pairs {
+			return fmt.Errorf("-prev requires the pairs engine (incremental mode computes explicit cross pairs)")
 		}
 		if len(moduli) < 1 {
 			return fmt.Errorf("new corpus is empty")
@@ -146,12 +161,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 
 	opt := attack.Options{
-		Algorithm:  alg,
-		Early:      !*noEarly,
-		Workers:    *workers,
-		Exponent:   *e,
-		BatchGCD:   *batch,
-		Quarantine: *quarantine,
+		Config:        engine.Config{Workers: *workers},
+		Algorithm:     alg,
+		Early:         !*noEarly,
+		Exponent:      *e,
+		Engine:        kind,
+		Quarantine:    *quarantine,
+		TileSize:      *tile,
+		SubprodBudget: *subBudget,
 	}
 
 	// Observability: the registry feeds both the live status server and
@@ -173,13 +190,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if *report != "" {
 		rpt = obs.NewReport("rsafactor")
 		rpt.Params = map[string]any{
-			"alg":        alg.String(),
-			"early":      !*noEarly,
-			"batch":      *batch,
-			"workers":    *workers,
-			"quarantine": *quarantine,
-			"checkpoint": *ckptPath,
-			"resume":     *resumePath,
+			"alg":         alg.String(),
+			"early":       !*noEarly,
+			"engine":      kind.String(),
+			"tile":        *tile,
+			"workers":     *workers,
+			"quarantine":  *quarantine,
+			"checkpoint":  *ckptPath,
+			"resume":      *resumePath,
 			"incremental": *prev != "",
 		}
 	}
@@ -218,7 +236,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	var pp *obs.ProgressPrinter
 	if *verbose {
 		unit := "pairs"
-		if *batch {
+		if kind == engine.Batch {
 			unit = "tree ops"
 		}
 		pp = obs.NewProgressPrinter(stderr, unit, 250*time.Millisecond)
@@ -261,10 +279,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 
 	fmt.Fprintf(stdout, "corpus: %d moduli, %d bits\n", rep.Moduli, moduli[0].BitLen())
-	if *batch {
+	switch kind {
+	case engine.Batch:
 		fmt.Fprintf(stdout, "method: batch GCD (product/remainder tree, %d workers) in %v\n",
 			rep.Bulk.Workers, rep.Bulk.Elapsed.Round(1000))
-	} else {
+	case engine.Hybrid:
+		fmt.Fprintf(stdout, "method: hybrid tiled product filter with %s (%d workers) in %v\n",
+			alg, rep.Bulk.Workers, rep.Bulk.Elapsed.Round(1000))
+		fmt.Fprintf(stdout, "pairs: %d covered (%.0f pairs/s); %d GCD iterations on the descended pairs\n",
+			rep.Bulk.Pairs, rep.Bulk.PairsPerSecond(), rep.Bulk.Stats.Iterations)
+	default:
 		fmt.Fprintf(stdout, "pairs: %d computed with %s (%d workers) in %v (%.0f pairs/s)\n",
 			rep.Bulk.Pairs, alg, rep.Bulk.Workers, rep.Bulk.Elapsed.Round(1000),
 			rep.Bulk.PairsPerSecond())

@@ -1,13 +1,17 @@
 // Enginecompare: the paper's all-pairs attack vs the Bernstein batch-GCD
-// baseline (the algorithm behind fastgcd) on the same weak corpus. Both
-// find exactly the same broken keys; their costs scale differently -
+// baseline (the algorithm behind fastgcd) vs the hybrid tiled
+// product-filter engine, on the same weak corpus. All engines find
+// exactly the same broken keys; their costs scale differently -
 // all-pairs is O(m^2) trivially-parallel work with the paper's fast
-// per-pair kernel, batch GCD is O(m log^2 m) big-multiplication work.
+// per-pair kernel, batch GCD is O(m log^2 m) big-multiplication work,
+// and the hybrid spends one subproduct GCD per row and tile to skip
+// the provably coprime bulk of the pair triangle.
 //
 //	go run ./examples/enginecompare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +21,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	moduli, planted, err := bulkgcd.GenerateWeakCorpus(96, 512, 4, 7)
 	if err != nil {
@@ -26,17 +31,18 @@ func main() {
 
 	type engine struct {
 		name string
-		opts *bulkgcd.AttackOptions
+		opts []bulkgcd.Option
 	}
 	engines := []engine{
-		{"all-pairs Approximate (this paper)", &bulkgcd.AttackOptions{Algorithm: bulkgcd.Approximate}},
-		{"all-pairs Binary (baseline C)", &bulkgcd.AttackOptions{Algorithm: bulkgcd.Binary}},
-		{"batch GCD (Bernstein)", &bulkgcd.AttackOptions{BatchGCD: true}},
+		{"all-pairs Approximate (this paper)", []bulkgcd.Option{bulkgcd.WithAlgorithm(bulkgcd.Approximate)}},
+		{"all-pairs Binary (baseline C)", []bulkgcd.Option{bulkgcd.WithAlgorithm(bulkgcd.Binary)}},
+		{"batch GCD (Bernstein)", []bulkgcd.Option{bulkgcd.WithEngine(bulkgcd.EngineBatch)}},
+		{"hybrid product filter (tile 16)", []bulkgcd.Option{bulkgcd.WithEngine(bulkgcd.EngineHybrid), bulkgcd.WithTileSize(16)}},
 	}
 	var reference []int
 	for _, e := range engines {
 		start := time.Now()
-		rep, err := bulkgcd.FindSharedPrimes(moduli, e.opts)
+		rep, err := bulkgcd.New(e.opts...).Run(ctx, moduli)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -24,8 +25,9 @@ func main() {
 	fmt.Printf("corpus: %d moduli of %d bits, %d weak pairs planted\n",
 		len(moduli), moduli[0].BitLen(), len(planted))
 
-	// The attack: all-pairs GCD with the Approximate Euclidean algorithm.
-	report, err := bulkgcd.FindSharedPrimes(moduli, nil)
+	// The attack: all-pairs GCD with the Approximate Euclidean algorithm
+	// (the defaults; every knob is an Option on New).
+	report, err := bulkgcd.New().Run(context.Background(), moduli)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,16 +15,21 @@ import (
 	"bulkgcd/internal/batchgcd"
 	"bulkgcd/internal/bulk"
 	"bulkgcd/internal/checkpoint"
-	"bulkgcd/internal/faultinject"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
-	"bulkgcd/internal/obs"
 	"bulkgcd/internal/rsakey"
 )
 
-// Options configures an attack run.
+// Options configures an attack run. The cross-engine surface (Workers,
+// Progress, Metrics, Trace, Checkpoint/Resume, Fault) is the embedded
+// engine.Config; Progress counts pairs for the pairs and hybrid engines
+// and tree operations for batch GCD. Checkpoint/Resume require the
+// pairs or hybrid engine.
 type Options struct {
-	// Algorithm selects the GCD engine; the default (zero value requires
+	engine.Config
+
+	// Algorithm selects the GCD kernel; the default (zero value requires
 	// explicit choice, so Run defaults to Approximate when unset via
 	// DefaultOptions) is the paper's Approximate Euclidean.
 	Algorithm gcd.Algorithm
@@ -33,50 +38,59 @@ type Options struct {
 	// DefaultOptions; it is safe for RSA moduli and halves the work).
 	Early bool
 
-	// Workers sizes the worker pool of whichever engine runs: the bulk
-	// all-pairs executor, or the batch-GCD tree engine in BatchGCD mode.
-	// 0 means GOMAXPROCS. GroupSize is passed to the bulk executor only.
-	Workers   int
+	// GroupSize is passed to the pairs engine only (the paper's r).
 	GroupSize int
 
 	// Exponent is the public exponent for private-key recovery.
 	Exponent uint64
 
-	// Progress, when non-nil, receives completion updates: pair counts in
-	// all-pairs mode, tree-operation counts in batch mode. Whichever
-	// engine runs serializes delivery with strictly increasing done
-	// values, so the callback needs no locking of its own.
-	Progress func(done, total int64)
+	// Engine selects the attack engine: engine.Pairs (default) is the
+	// paper's all-pairs computation, engine.Batch the Bernstein
+	// product-tree baseline (Algorithm, Early and GroupSize are ignored
+	// there), engine.Hybrid the tiled product-filter engine.
+	Engine engine.Kind
 
-	// Metrics, when non-nil, collects the run's instruments: the
-	// underlying engine's metrics plus attack_broken_keys_total and
-	// attack_duplicate_pairs_total. Nil disables collection.
-	Metrics *obs.Registry
-
-	// Trace, when non-nil, receives the engine's JSONL span events.
-	Trace *obs.Tracer
-
-	// BatchGCD switches from the paper's all-pairs computation to the
-	// Bernstein product-tree batch GCD baseline. Algorithm, Early and
-	// GroupSize are ignored in this mode; Workers and Progress are
-	// honored.
+	// BatchGCD is the pre-Engine selector.
+	//
+	// Deprecated: set Engine to engine.Batch instead. When true it
+	// overrides Engine.
 	BatchGCD bool
 
-	// Quarantine makes the all-pairs engines skip zero/even moduli and
-	// report them per-index in Report.Quarantined instead of failing the
-	// whole run. Ignored in BatchGCD mode (the product tree has no way to
-	// excise an input without changing the fingerprint of the run).
+	// Quarantine makes the pairs and hybrid engines skip zero/even moduli
+	// and report them per-index in Report.Quarantined instead of failing
+	// the whole run. Ignored in batch mode (the product tree has no way
+	// to excise an input without changing the fingerprint of the run).
 	Quarantine bool
 
-	// Checkpoint, when non-nil, journals every completed work unit so an
-	// interrupted run can be resumed. Resume, when non-nil, is a journal
-	// loaded from a previous run whose completed units are skipped. Both
-	// require the all-pairs engine.
-	Checkpoint *checkpoint.Writer
-	Resume     *checkpoint.State
+	// TileSize is the hybrid engine's tile width; 0 means 64. Findings
+	// are identical at every value.
+	TileSize int
 
-	// Fault is the test-only fault-injection hook; nil in production.
-	Fault *faultinject.Hook
+	// SubprodBudget caps the hybrid engine's cached subproduct bytes
+	// (LRU); 0 means unlimited.
+	SubprodBudget int64
+}
+
+// EngineKind resolves the selected engine, honoring the deprecated
+// BatchGCD flag.
+func (o Options) EngineKind() engine.Kind {
+	if o.BatchGCD {
+		return engine.Batch
+	}
+	return o.Engine
+}
+
+// bulkConfig maps the Options onto the bulk engines' configuration.
+func (o Options) bulkConfig() bulk.Config {
+	return bulk.Config{
+		Config:        o.Config,
+		Algorithm:     o.Algorithm,
+		Early:         o.Early,
+		GroupSize:     o.GroupSize,
+		Quarantine:    o.Quarantine,
+		TileSize:      o.TileSize,
+		SubprodBudget: o.SubprodBudget,
+	}
 }
 
 // DefaultOptions returns the recommended configuration: Approximate
@@ -139,22 +153,18 @@ func RunContext(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report,
 	if opt.Exponent == 0 {
 		opt.Exponent = rsakey.DefaultExponent
 	}
-	if opt.BatchGCD {
+	var res *bulk.Result
+	var err error
+	switch opt.EngineKind() {
+	case engine.Batch:
 		return runBatch(ctx, moduli, opt)
+	case engine.Hybrid:
+		res, err = bulk.HybridContext(ctx, moduli, opt.bulkConfig())
+	case engine.Pairs:
+		res, err = bulk.AllPairsContext(ctx, moduli, opt.bulkConfig())
+	default:
+		return nil, fmt.Errorf("attack: unknown engine %v", opt.EngineKind())
 	}
-	res, err := bulk.AllPairsContext(ctx, moduli, bulk.Config{
-		Algorithm:  opt.Algorithm,
-		Early:      opt.Early,
-		Workers:    opt.Workers,
-		GroupSize:  opt.GroupSize,
-		Progress:   opt.Progress,
-		Quarantine: opt.Quarantine,
-		Checkpoint: opt.Checkpoint,
-		Resume:     opt.Resume,
-		Metrics:    opt.Metrics,
-		Trace:      opt.Trace,
-		Fault:      opt.Fault,
-	})
 	if err != nil {
 		return nil, err
 	}
@@ -164,15 +174,14 @@ func RunContext(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report,
 // JournalHeader returns the checkpoint header an all-pairs attack over
 // this corpus writes, for verifying a journal before resuming.
 func JournalHeader(moduli []*mpnat.Nat, opt Options) (checkpoint.Header, error) {
-	if opt.BatchGCD {
-		return checkpoint.Header{}, fmt.Errorf("attack: checkpointing requires the all-pairs engine")
+	switch opt.EngineKind() {
+	case engine.Batch:
+		return checkpoint.Header{}, fmt.Errorf("attack: checkpointing requires the pairs or hybrid engine")
+	case engine.Hybrid:
+		return bulk.HybridJournalHeader(moduli, opt.bulkConfig())
+	default:
+		return bulk.JournalHeader(moduli, opt.bulkConfig())
 	}
-	return bulk.JournalHeader(moduli, bulk.Config{
-		Algorithm:  opt.Algorithm,
-		Early:      opt.Early,
-		GroupSize:  opt.GroupSize,
-		Quarantine: opt.Quarantine,
-	})
 }
 
 // RunIncremental attacks only the pairs involving a new modulus: the
@@ -188,21 +197,10 @@ func RunIncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, opt
 	if opt.Exponent == 0 {
 		opt.Exponent = rsakey.DefaultExponent
 	}
-	if opt.BatchGCD {
-		return nil, fmt.Errorf("attack: incremental mode requires the all-pairs engine")
+	if opt.EngineKind() != engine.Pairs {
+		return nil, fmt.Errorf("attack: incremental mode requires the pairs engine")
 	}
-	res, err := bulk.IncrementalContext(ctx, old, newModuli, bulk.Config{
-		Algorithm:  opt.Algorithm,
-		Early:      opt.Early,
-		Workers:    opt.Workers,
-		Progress:   opt.Progress,
-		Quarantine: opt.Quarantine,
-		Checkpoint: opt.Checkpoint,
-		Resume:     opt.Resume,
-		Metrics:    opt.Metrics,
-		Trace:      opt.Trace,
-		Fault:      opt.Fault,
-	})
+	res, err := bulk.IncrementalContext(ctx, old, newModuli, opt.bulkConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +267,7 @@ func recordOutcome(opt Options, rep *Report) {
 // whole modulus resolve to duplicates; proper divisors factor the key.
 func runBatch(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report, error) {
 	if opt.Checkpoint != nil || opt.Resume != nil {
-		return nil, fmt.Errorf("attack: checkpointing requires the all-pairs engine")
+		return nil, fmt.Errorf("attack: checkpointing requires the pairs or hybrid engine")
 	}
 	if len(moduli) < 2 {
 		return nil, fmt.Errorf("attack: need at least 2 moduli, got %d", len(moduli))
@@ -281,10 +279,7 @@ func runBatch(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report, e
 		}
 		big_[i] = m.ToBig()
 	}
-	cfg := batchgcd.Config{
-		Workers: opt.Workers, Progress: opt.Progress,
-		Metrics: opt.Metrics, Trace: opt.Trace, Fault: opt.Fault,
-	}
+	cfg := batchgcd.Config{Config: opt.Config}
 	start := time.Now()
 	findings, err := batchgcd.RunContext(ctx, big_, cfg)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/rsakey"
@@ -100,7 +101,8 @@ func TestDifferentialEngines(t *testing.T) {
 					combos = append(combos, combo{
 						name: fmt.Sprintf("%s/early=%v", alg, early),
 						opt: Options{
-							Algorithm: alg, Early: early, Workers: 2,
+							Config:    engine.Config{Workers: 2},
+							Algorithm: alg, Early: early,
 							Exponent: rsakey.DefaultExponent,
 						},
 					})
@@ -110,10 +112,25 @@ func TestDifferentialEngines(t *testing.T) {
 				combos = append(combos, combo{
 					name: fmt.Sprintf("batch/workers=%d", w),
 					opt: Options{
-						BatchGCD: true, Workers: w,
+						Config:   engine.Config{Workers: w},
+						Engine:   engine.Batch,
 						Exponent: rsakey.DefaultExponent,
 					},
 				})
+			}
+			for _, tile := range []int{1, 4, 32, len(moduli)} {
+				for _, w := range []int{1, 8} {
+					combos = append(combos, combo{
+						name: fmt.Sprintf("hybrid/tile=%d/workers=%d", tile, w),
+						opt: Options{
+							Config:    engine.Config{Workers: w},
+							Engine:    engine.Hybrid,
+							Algorithm: gcd.Approximate, Early: true,
+							TileSize: tile,
+							Exponent: rsakey.DefaultExponent,
+						},
+					})
+				}
 			}
 
 			var base *Report

@@ -104,12 +104,12 @@ func TestBatchModeRejectsCheckpoint(t *testing.T) {
 	opt := DefaultOptions()
 	opt.BatchGCD = true
 	opt.Checkpoint = w
-	if _, err := Run(c.Moduli(), opt); err == nil || !strings.Contains(err.Error(), "all-pairs") {
+	if _, err := Run(c.Moduli(), opt); err == nil || !strings.Contains(err.Error(), "pairs or hybrid") {
 		t.Fatalf("batch + checkpoint: %v", err)
 	}
 	opt.Checkpoint = nil
 	opt.Resume = &checkpoint.State{}
-	if _, err := Run(c.Moduli(), opt); err == nil || !strings.Contains(err.Error(), "all-pairs") {
+	if _, err := Run(c.Moduli(), opt); err == nil || !strings.Contains(err.Error(), "pairs or hybrid") {
 		t.Fatalf("batch + resume: %v", err)
 	}
 }

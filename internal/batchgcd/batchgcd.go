@@ -32,57 +32,30 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/faultinject"
 	"bulkgcd/internal/obs"
+	"bulkgcd/internal/subprod"
 )
 
 // one is the shared constant 1.
 var one = big.NewInt(1)
 
-// Config controls a batch-GCD run, mirroring bulk.Config for the
-// all-pairs engine so the two attack paths are tuned the same way.
+// Config controls a batch-GCD run. It is the shared cross-engine
+// configuration verbatim: batch GCD adds no knobs of its own. Workers
+// only split independent node computations within a tree level, so the
+// result is identical for every pool size; Progress counts
+// tree-operation units (product multiplications, remainder reductions,
+// leaf GCD extractions — the output-sensitive resolution pass over the
+// handful of flagged moduli is not counted). Checkpoint/Resume are
+// rejected: the tree has no resumable unit decomposition (use the pairs
+// or hybrid engine when resumable progress matters).
 type Config struct {
-	// Workers is the goroutine pool size; 0 means GOMAXPROCS. The result
-	// is identical for every setting: workers only split independent node
-	// computations within a tree level.
-	Workers int
-
-	// Progress, when non-nil, receives completion counts in
-	// tree-operation units: product-tree multiplications, remainder-tree
-	// reductions and leaf GCD extractions. (The output-sensitive
-	// resolution pass over the handful of flagged moduli is not counted.)
-	// The engine serializes delivery and guarantees strictly increasing
-	// done values — invocations never overlap and stale updates are
-	// dropped — so callbacks need no locking of their own.
-	Progress func(done, total int64)
-
-	// Metrics, when non-nil, receives the run's instruments: tree-op
-	// throughput, per-level product/remainder timings and the leaf-GCD
-	// latency histogram (DESIGN.md section 5c lists the names). Nil
-	// disables collection with no measurable overhead.
-	Metrics *obs.Registry
-
-	// Trace, when non-nil, receives structured JSONL spans: one "run"
-	// span per batch invocation and one "phase" span per tree level.
-	Trace *obs.Tracer
-
-	// Fault is the test-only fault-injection hook (its Op trigger fires
-	// once per tree operation); nil in production.
-	Fault *faultinject.Hook
-}
-
-// EffectiveWorkers resolves the pool size a run with this Config uses.
-func (cfg Config) EffectiveWorkers() int {
-	if cfg.Workers > 0 {
-		return cfg.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+	engine.Config
 }
 
 // tracker carries the shared progress and observability state of one
@@ -157,48 +130,6 @@ func treeUnits(m int) (mults, reductions, leaves int64) {
 	return mults, reductions, int64(m)
 }
 
-// parallelEach runs fn(i, worker) for every i in [0, n) on up to workers
-// goroutines, handing items out one at a time through an atomic counter
-// (every item is a multi-precision operation, so counter contention is
-// negligible against the work it dispenses). With one worker or one item
-// it runs inline on the caller's goroutine. Workers check ctx before
-// claiming each item and stop cooperatively; the ctx error (if any) is
-// returned once all workers have drained.
-func parallelEach(ctx context.Context, n, workers int, fn func(i, worker int)) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			fn(i, 0)
-		}
-		return ctx.Err()
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1) - 1)
-				if i >= n {
-					return
-				}
-				fn(i, w)
-			}
-		}(w)
-	}
-	wg.Wait()
-	return ctx.Err()
-}
-
 // ProductTree holds the levels of the product tree: level 0 is the input
 // moduli, the last level is the single full product.
 type ProductTree struct {
@@ -233,6 +164,16 @@ func validate(moduli []*big.Int) error {
 	return nil
 }
 
+// rejectJournal enforces the Config contract: batch GCD has no
+// resumable unit decomposition, so journaling options are an error
+// rather than a silent no-op.
+func rejectJournal(cfg Config) error {
+	if cfg.Checkpoint != nil || cfg.Resume != nil {
+		return fmt.Errorf("batchgcd: checkpointing is not supported; use the pairs or hybrid engine")
+	}
+	return nil
+}
+
 // validateRSA adds the RSA-shape checks of the bulk engine to the plain
 // positivity validation: the attack entry points (Run and friends) reject
 // zero and even moduli up front, the same contract bulk.AllPairs enforces.
@@ -248,31 +189,22 @@ func validateRSA(moduli []*big.Int) error {
 	return nil
 }
 
-// buildTree constructs the levels bottom-up; the multiplications within
-// one level are independent and fan out over the pool.
+// buildTree constructs the levels bottom-up via the shared subproduct
+// builder; the multiplications within one level are independent and fan
+// out over the pool, and each level is wrapped in the tracker's phase
+// (trace span + level-duration histogram).
 func buildTree(ctx context.Context, moduli []*big.Int, workers int, tr *tracker) (*ProductTree, error) {
-	level := make([]*big.Int, len(moduli))
-	copy(level, moduli)
-	t := &ProductTree{Levels: [][]*big.Int{level}}
-	for len(level) > 1 {
-		pairs := len(level) / 2
-		next := make([]*big.Int, (len(level)+1)/2)
-		src := level
-		if err := tr.phase("product", len(t.Levels), pairs, tr.productH, func() error {
-			return parallelEach(ctx, pairs, workers, func(i, _ int) {
-				next[i] = new(big.Int).Mul(src[2*i], src[2*i+1])
-				tr.tick()
-			})
-		}); err != nil {
-			return nil, err
-		}
-		if len(level)%2 == 1 {
-			next[pairs] = level[len(level)-1] // odd node promotes unchanged
-		}
-		t.Levels = append(t.Levels, next)
-		level = next
+	st, err := subprod.Build(ctx, moduli, subprod.BuildOptions{
+		Workers: workers,
+		OnLevel: func(level, nodes int, run func() error) error {
+			return tr.phase("product", level, nodes, tr.productH, run)
+		},
+		OnNode: tr.tick,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return t, nil
+	return &ProductTree{Levels: st.Levels}, nil
 }
 
 // Product returns the root: the product of all moduli.
@@ -296,7 +228,7 @@ func (t *ProductTree) remainderTree(ctx context.Context, workers int, tr *tracke
 		next := make([]*big.Int, len(nodes))
 		parent := cur
 		if err := tr.phase("remainder", lvl, len(nodes), tr.remainderH, func() error {
-			return parallelEach(ctx, len(nodes), workers, func(i, w int) {
+			return subprod.ParallelEach(ctx, len(nodes), workers, func(i, w int) {
 				s := &scratch[w]
 				s.sq.Mul(nodes[i], nodes[i])
 				rem := new(big.Int)
@@ -333,6 +265,9 @@ func SharedFactorsConfig(moduli []*big.Int, cfg Config) ([]*big.Int, error) {
 // findings only exist once the remainder tree reaches the leaves — so
 // cancellation discards the incomplete tree.
 func SharedFactorsContext(ctx context.Context, moduli []*big.Int, cfg Config) ([]*big.Int, error) {
+	if err := rejectJournal(cfg); err != nil {
+		return nil, err
+	}
 	if err := validate(moduli); err != nil {
 		return nil, err
 	}
@@ -352,7 +287,7 @@ func SharedFactorsContext(ctx context.Context, moduli []*big.Int, cfg Config) ([
 	out := make([]*big.Int, len(moduli))
 	scratch := make([]big.Int, workers) // per-worker quotient
 	if err := tr.phase("leaf", 0, len(moduli), nil, func() error {
-		return parallelEach(ctx, len(moduli), workers, func(i, w int) {
+		return subprod.ParallelEach(ctx, len(moduli), workers, func(i, w int) {
 			// (P / n_i) mod n_i == (P mod n_i^2) / n_i for n_i | P.
 			q := &scratch[w]
 			q.Quo(rems[i], moduli[i])
@@ -404,6 +339,9 @@ func RunConfig(moduli []*big.Int, cfg Config) ([]Finding, error) {
 // no partial batch findings; use the all-pairs engine when resumable
 // partial progress matters).
 func RunContext(ctx context.Context, moduli []*big.Int, cfg Config) (findings []Finding, err error) {
+	if err := rejectJournal(cfg); err != nil {
+		return nil, err
+	}
 	if err := validateRSA(moduli); err != nil {
 		return nil, err
 	}
@@ -457,7 +395,7 @@ func resolveWhole(ctx context.Context, moduli []*big.Int, whole []int, proper []
 	}
 	out := make([]Finding, len(whole))
 	scratch := make([]big.Int, workers) // per-worker gcd
-	err := parallelEach(ctx, len(whole), workers, func(k, w int) {
+	err := subprod.ParallelEach(ctx, len(whole), workers, func(k, w int) {
 		i := whole[k]
 		g := &scratch[w]
 		f := Finding{Index: i, DuplicateOf: -1}

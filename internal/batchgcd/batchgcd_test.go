@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/rsakey"
 )
 
@@ -247,7 +248,7 @@ func TestRunConfigWorkersIdentical(t *testing.T) {
 	ms := bigModuli(c)
 	ms = append(ms, new(big.Int).Set(ms[10]), new(big.Int).Set(ms[11]), new(big.Int).Set(ms[10]))
 
-	base, err := RunConfig(ms, Config{Workers: 1})
+	base, err := RunConfig(ms, Config{Config: engine.Config{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestRunConfigWorkersIdentical(t *testing.T) {
 		t.Fatal("corpus with planted pairs produced no findings")
 	}
 	for _, w := range []int{2, 4, 8} {
-		got, err := RunConfig(ms, Config{Workers: w})
+		got, err := RunConfig(ms, Config{Config: engine.Config{Workers: w}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,7 +281,7 @@ func TestRunConfigProgress(t *testing.T) {
 		var mu sync.Mutex
 		var calls int64
 		var lastTotal, maxDone int64
-		cfg := Config{Workers: w, Progress: func(done, total int64) {
+		cfg := Config{Config: engine.Config{Workers: w, Progress: func(done, total int64) {
 			mu.Lock()
 			defer mu.Unlock()
 			calls++
@@ -288,7 +289,7 @@ func TestRunConfigProgress(t *testing.T) {
 			if done > maxDone {
 				maxDone = done
 			}
-		}}
+		}}}
 		if _, err := RunConfig(ms, cfg); err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"testing"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/obs"
 	"bulkgcd/internal/rsakey"
 )
@@ -28,7 +29,7 @@ func BenchmarkBatchGCD(b *testing.B) {
 	for _, w := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := RunConfig(ms, Config{Workers: w}); err != nil {
+				if _, err := RunConfig(ms, Config{Config: engine.Config{Workers: w}}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -39,7 +40,7 @@ func BenchmarkBatchGCD(b *testing.B) {
 	b.Run("workers=8/metrics", func(b *testing.B) {
 		reg := obs.NewRegistry()
 		for i := 0; i < b.N; i++ {
-			if _, err := RunConfig(ms, Config{Workers: 8, Metrics: reg}); err != nil {
+			if _, err := RunConfig(ms, Config{Config: engine.Config{Workers: 8, Metrics: reg}}); err != nil {
 				b.Fatal(err)
 			}
 		}

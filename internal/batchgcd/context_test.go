@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/faultinject"
 	"bulkgcd/internal/rsakey"
 )
@@ -34,7 +35,7 @@ func TestRunContextCancelAtOp(t *testing.T) {
 		plan := faultinject.NewPlan()
 		plan.CancelAtOp = at
 		plan.Cancel = cancel
-		_, err := RunContext(ctx, moduli, Config{Workers: 3, Fault: plan.Hook()})
+		_, err := RunContext(ctx, moduli, Config{Config: engine.Config{Workers: 3, Fault: plan.Hook()}})
 		cancel()
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("cancel at op %d: err = %v, want context.Canceled", at, err)
@@ -49,7 +50,7 @@ func TestRunContextPreCanceled(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		if _, err := RunContext(ctx, moduli, Config{Workers: workers}); !errors.Is(err, context.Canceled) {
+		if _, err := RunContext(ctx, moduli, Config{Config: engine.Config{Workers: workers}}); !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: err = %v", workers, err)
 		}
 	}
@@ -90,7 +91,7 @@ func TestRunContextMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaCtx, err := RunContext(context.Background(), moduli, Config{Workers: 3})
+	viaCtx, err := RunContext(context.Background(), moduli, Config{Config: engine.Config{Workers: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package batchgcd
 import (
 	"math/big"
 	"testing"
+
+	"bulkgcd/internal/engine"
 )
 
 // fuzzModuli decodes the fuzz input into 2..8 small odd positive moduli:
@@ -44,11 +46,11 @@ func FuzzBatchGCDMatchesNaive(f *testing.F) {
 		if ms == nil {
 			return
 		}
-		serial, err := RunConfig(ms, Config{Workers: 1})
+		serial, err := RunConfig(ms, Config{Config: engine.Config{Workers: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := RunConfig(ms, Config{Workers: 4})
+		parallel, err := RunConfig(ms, Config{Config: engine.Config{Workers: 4}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,14 +5,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bulkgcd/internal/checkpoint"
-	"bulkgcd/internal/faultinject"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/obs"
@@ -40,8 +39,15 @@ type Quarantined struct {
 	Reason string
 }
 
-// Config controls an all-pairs bulk run.
+// Config controls an all-pairs or hybrid bulk run. The cross-engine
+// surface (Workers, Progress, Metrics, Trace, Checkpoint/Resume, Fault)
+// is the embedded engine.Config; this struct adds the knobs specific to
+// the pairwise engines. Progress counts completed pairs at work-unit
+// granularity (blocks for AllPairs, tile cells for Hybrid; the hybrid
+// counts filter-skipped pairs as done — they are proven coprime).
 type Config struct {
+	engine.Config
+
 	// Algorithm selects the GCD algorithm (the paper's GPU kernels use
 	// Approximate; Binary and FastBinary are the baselines of Table V).
 	Algorithm gcd.Algorithm
@@ -51,53 +57,25 @@ type Config struct {
 	// recommends for RSA moduli (Section V).
 	Early bool
 
-	// Workers is the goroutine pool size; 0 means GOMAXPROCS.
-	Workers int
-
 	// GroupSize is the paper's r (threads per CUDA block, 64 there);
 	// 0 means 64. It only affects work partitioning, not results.
 	GroupSize int
-
-	// Progress, when non-nil, receives the number of completed pairs at
-	// block granularity. The engine serializes delivery and guarantees
-	// strictly increasing done values: invocations never overlap, and an
-	// update racing a larger one from another worker is dropped rather
-	// than delivered out of order. Callbacks therefore need no locking of
-	// their own. (Before PR 3 the callback was invoked concurrently from
-	// every worker; that contract is gone.)
-	Progress func(done, total int64)
-
-	// Metrics, when non-nil, receives the run's counters, gauges and
-	// histograms — throughput, per-block latency, early exits,
-	// quarantines, checkpoint flush times and per-algorithm iteration
-	// histograms. DESIGN.md section 5c lists every exported name. Nil
-	// disables collection with no measurable overhead.
-	Metrics *obs.Registry
-
-	// Trace, when non-nil, receives structured JSONL span events: one
-	// "run" span per engine invocation, one "block" span per completed
-	// work unit, and point events for quarantines and recovered panics.
-	Trace *obs.Tracer
 
 	// Quarantine, when true, skips zero/even/nil moduli — reporting them
 	// in Result.Quarantined with index and reason — instead of failing
 	// the whole run. Factor indices always refer to the original slice.
 	Quarantine bool
 
-	// Checkpoint, when non-nil, journals the run: the header at start and
-	// one record per completed block, each written only after the block's
-	// pairs and findings are final. Use checkpoint.Create or OpenAppend.
-	Checkpoint *checkpoint.Writer
+	// TileSize is the hybrid engine's tile width T: the corpus is cut
+	// into tiles of T moduli, each cross-tile cell is filtered with one
+	// subproduct GCD per row modulus, and only filter hits descend to
+	// per-pair GCDs. 0 means 64. Findings are identical at every value.
+	TileSize int
 
-	// Resume, when non-nil, is a loaded journal from an earlier
-	// interrupted run. Its fingerprint is verified against this corpus and
-	// configuration; recorded blocks are skipped and their findings
-	// merged, so an interrupted-and-resumed run reports exactly what an
-	// uninterrupted one would. Stats cover only freshly computed pairs.
-	Resume *checkpoint.State
-
-	// Fault is the test-only fault-injection hook; nil in production.
-	Fault *faultinject.Hook
+	// SubprodBudget caps the bytes of tile subproducts the hybrid engine
+	// caches (LRU); 0 means unlimited. Evictions trade recompute time
+	// for memory, never results.
+	SubprodBudget int64
 }
 
 // Result reports an all-pairs bulk run.
@@ -356,10 +334,7 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 		return nil, err
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := cfg.EffectiveWorkers()
 	outs := make([]blockOut, workers)
 
 	metrics := newRunMetrics(cfg.Metrics, cfg.Algorithm)
@@ -526,6 +501,6 @@ func sortBadPairs(bs []BadPair) {
 // the repository's stand-in for the paper's CPU measurements (Table V's
 // Xeon column) and doubles as the oracle for testing AllPairs.
 func Sequential(moduli []*mpnat.Nat, alg gcd.Algorithm, early bool) (*Result, error) {
-	cfg := Config{Algorithm: alg, Early: early, Workers: 1, GroupSize: len(moduli)}
+	cfg := Config{Config: engine.Config{Workers: 1}, Algorithm: alg, Early: early, GroupSize: len(moduli)}
 	return AllPairs(moduli, cfg)
 }

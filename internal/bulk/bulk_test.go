@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/rsakey"
@@ -120,7 +121,7 @@ func TestAllPairsMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := AllPairs(c.Moduli(), Config{Algorithm: gcd.Approximate, Workers: 4, GroupSize: 4})
+	par, err := AllPairs(c.Moduli(), Config{Config: engine.Config{Workers: 4}, Algorithm: gcd.Approximate, GroupSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestAllPairsProgress(t *testing.T) {
 	res, err := AllPairs(c.Moduli(), Config{
 		Algorithm: gcd.FastBinary,
 		GroupSize: 3,
-		Progress: func(done, total int64) {
+		Config: engine.Config{Progress: func(done, total int64) {
 			mu.Lock()
 			if done > last {
 				last = done
@@ -187,7 +188,7 @@ func TestAllPairsProgress(t *testing.T) {
 				t.Errorf("total = %d, want 66", total)
 			}
 			mu.Unlock()
-		},
+		}},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,79 @@
+package bulk
+
+import (
+	"fmt"
+	"testing"
+
+	"bulkgcd/internal/engine"
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/obs"
+	"bulkgcd/internal/rsakey"
+)
+
+// BenchmarkHybrid measures the tiled product-filter engine on a
+// 4096-moduli 512-bit planted corpus (512 moduli under -short), across
+// tile widths. Unlike BenchmarkBatchGCD's pseudo corpus this one uses
+// real semiprimes: pseudo moduli are plain random odd values whose
+// ubiquitous shared small primes make almost every row a legitimate
+// filter hit, while the filter's selectivity — the whole point of the
+// engine — shows only on RSA-structured (pairwise coprime outside the
+// planted pairs) inputs. Alongside wall-clock it reports the two counts
+// that justify the engine: full per-pair GCD descents (via the
+// gcd.Metrics iteration histogram, which the filter GCDs bypass) and
+// filter GCDs, and it fails outright if the filter does not cut full
+// GCD invocations at least 3x below the all-pairs schedule — the
+// soundness-preserving speedup the design claims.
+func BenchmarkHybrid(b *testing.B) {
+	count := 4096
+	if testing.Short() {
+		count = 512
+	}
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: count, Bits: 512, WeakPairs: 8, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := c.Moduli()
+	totalPairs := int64(count) * int64(count-1) / 2
+
+	var refFactors []string
+	for _, tile := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("tile=%d", tile), func(b *testing.B) {
+			var descended, filters float64
+			for i := 0; i < b.N; i++ {
+				reg := obs.NewRegistry()
+				res, err := Hybrid(ms, Config{
+					Config:    engine.Config{Workers: 8, Metrics: reg},
+					Algorithm: gcd.Approximate, Early: true, TileSize: tile,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Pairs != totalPairs {
+					b.Fatalf("covered %d of %d pairs", res.Pairs, totalPairs)
+				}
+				// Findings must be identical at every tile width.
+				keys := factorKeys(res.Factors)
+				if refFactors == nil {
+					refFactors = keys
+					if len(keys) != len(c.Planted) {
+						b.Fatalf("found %d factors, planted %d", len(keys), len(c.Planted))
+					}
+				} else if fmt.Sprint(keys) != fmt.Sprint(refFactors) {
+					b.Fatalf("tile=%d: factors diverge from the first tile size", tile)
+				}
+				snap := reg.Snapshot()
+				d := snap.Histograms[gcd.IterationsMetric(gcd.Approximate)].Count
+				if int64(d)*3 > totalPairs {
+					b.Fatalf("filter too weak: %d full GCDs for %d pairs (need at least 3x fewer)", d, totalPairs)
+				}
+				descended += float64(d)
+				filters += float64(snap.Counters["bulk_hybrid_filter_gcds_total"])
+			}
+			b.ReportMetric(descended/float64(b.N), "descents/op")
+			b.ReportMetric(filters/float64(b.N), "filters/op")
+			b.ReportMetric(float64(totalPairs), "pairs/op")
+		})
+	}
+}

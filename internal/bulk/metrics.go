@@ -5,6 +5,7 @@ import (
 
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/obs"
+	"bulkgcd/internal/subprod"
 )
 
 // runMetrics pre-resolves the bulk engine's obs instruments once per
@@ -107,6 +108,101 @@ func (m *runMetrics) observeCheckpoint(dur time.Duration) {
 		return
 	}
 	m.ckptSeconds.ObserveDuration(int64(dur))
+}
+
+// hybridMetrics holds the instruments specific to the tiled
+// product-filter engine, alongside the shared runMetrics (for the
+// hybrid, bulk_pairs_total counts covered pairs: descended plus
+// filter-skipped). All nil-safe:
+//
+//	bulk_hybrid_filter_gcds_total     subproduct filter divisions+GCDs run
+//	bulk_hybrid_tile_hits_total       filter rows that descended
+//	bulk_hybrid_tile_skips_total      filter rows proven coprime
+//	bulk_hybrid_descended_pairs_total pairs computed exactly after a hit
+//	bulk_hybrid_skipped_pairs_total   pairs skipped as proven coprime
+//	bulk_hybrid_filter_seconds        per-row filter latency histogram
+//	bulk_hybrid_cell_seconds          per-cell latency histogram
+//	bulk_subprod_cache_hits_total     tile subproduct cache hits
+//	bulk_subprod_cache_misses_total   tile subproduct cache misses
+//	bulk_subprod_cache_evictions_total entries evicted to hold the budget
+//	bulk_subprod_cache_bytes          gauge: final cached payload size
+type hybridMetrics struct {
+	filterGCDs *obs.Counter
+	tileHits   *obs.Counter
+	tileSkips  *obs.Counter
+	descended  *obs.Counter
+	skipped    *obs.Counter
+
+	filterSeconds *obs.Histogram
+	cellSeconds   *obs.Histogram
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheBytes     *obs.Gauge
+}
+
+func newHybridMetrics(reg *obs.Registry) *hybridMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &hybridMetrics{
+		filterGCDs:     reg.Counter("bulk_hybrid_filter_gcds_total"),
+		tileHits:       reg.Counter("bulk_hybrid_tile_hits_total"),
+		tileSkips:      reg.Counter("bulk_hybrid_tile_skips_total"),
+		descended:      reg.Counter("bulk_hybrid_descended_pairs_total"),
+		skipped:        reg.Counter("bulk_hybrid_skipped_pairs_total"),
+		filterSeconds:  reg.Histogram("bulk_hybrid_filter_seconds", obs.DurationBuckets()),
+		cellSeconds:    reg.Histogram("bulk_hybrid_cell_seconds", obs.DurationBuckets()),
+		cacheHits:      reg.Counter("bulk_subprod_cache_hits_total"),
+		cacheMisses:    reg.Counter("bulk_subprod_cache_misses_total"),
+		cacheEvictions: reg.Counter("bulk_subprod_cache_evictions_total"),
+		cacheBytes:     reg.Gauge("bulk_subprod_cache_bytes"),
+	}
+}
+
+// observeFilter records one filter row's latency (the division plus the
+// subproduct GCD).
+func (m *hybridMetrics) observeFilter(dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.filterGCDs.Inc()
+	m.filterSeconds.ObserveDuration(int64(dur))
+}
+
+// observeRow records a filter verdict: hit rows descend to width exact
+// pairs, skip rows prove width pairs coprime.
+func (m *hybridMetrics) observeRow(hit bool, width int64) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.tileHits.Inc()
+		m.descended.Add(width)
+	} else {
+		m.tileSkips.Inc()
+		m.skipped.Add(width)
+	}
+}
+
+// observeCell records one completed cell's latency.
+func (m *hybridMetrics) observeCell(dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.cellSeconds.ObserveDuration(int64(dur))
+}
+
+// finish folds the subproduct cache's lifetime accounting in.
+func (m *hybridMetrics) finish(st subprod.CacheStats) {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Add(st.Hits)
+	m.cacheMisses.Add(st.Misses)
+	m.cacheEvictions.Add(st.Evictions)
+	m.cacheBytes.Set(float64(st.Bytes))
 }
 
 // finish derives the end-of-run gauges: aggregate throughput over the

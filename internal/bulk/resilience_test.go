@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/faultinject"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
@@ -53,8 +54,8 @@ func TestAllPairsCancelPartial(t *testing.T) {
 		plan.CancelAtPair = at
 		plan.Cancel = cancel
 		res, err := AllPairsContext(ctx, c.Moduli(), Config{
-			Algorithm: gcd.Approximate, Early: true, GroupSize: 4, Workers: 3,
-			Fault: plan.Hook(),
+			Config:    engine.Config{Workers: 3, Fault: plan.Hook()},
+			Algorithm: gcd.Approximate, Early: true, GroupSize: 4,
 		})
 		cancel()
 		if err != nil {
@@ -224,7 +225,7 @@ func TestResumeFingerprintMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Algorithm: gcd.Approximate, Early: true, Checkpoint: w}
+	cfg := Config{Config: engine.Config{Checkpoint: w}, Algorithm: gcd.Approximate, Early: true}
 	if _, err := AllPairs(c1.Moduli(), cfg); err != nil {
 		t.Fatal(err)
 	}
@@ -236,15 +237,15 @@ func TestResumeFingerprintMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Different corpus.
-	if _, err := AllPairs(c2.Moduli(), Config{Algorithm: gcd.Approximate, Early: true, Resume: st}); err == nil {
+	if _, err := AllPairs(c2.Moduli(), Config{Config: engine.Config{Resume: st}, Algorithm: gcd.Approximate, Early: true}); err == nil {
 		t.Error("journal accepted for a different corpus")
 	}
 	// Same corpus, different algorithm.
-	if _, err := AllPairs(c1.Moduli(), Config{Algorithm: gcd.Binary, Early: true, Resume: st}); err == nil {
+	if _, err := AllPairs(c1.Moduli(), Config{Config: engine.Config{Resume: st}, Algorithm: gcd.Binary, Early: true}); err == nil {
 		t.Error("journal accepted for a different algorithm")
 	}
 	// Same corpus, same config: accepted and fully replayed.
-	res, err := AllPairs(c1.Moduli(), Config{Algorithm: gcd.Approximate, Early: true, Resume: st})
+	res, err := AllPairs(c1.Moduli(), Config{Config: engine.Config{Resume: st}, Algorithm: gcd.Approximate, Early: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,8 +281,8 @@ func TestAllPairsPanicQuarantine(t *testing.T) {
 	plan := faultinject.NewPlan()
 	plan.PanicAtIJ = &target
 	res, err := AllPairs(c.Moduli(), Config{
-		Algorithm: gcd.Approximate, Early: true, GroupSize: 4, Workers: 3,
-		Fault: plan.Hook(),
+		Config:    engine.Config{Workers: 3, Fault: plan.Hook()},
+		Algorithm: gcd.Approximate, Early: true, GroupSize: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -314,8 +315,8 @@ func TestOrdinalPanicDoesNotCrash(t *testing.T) {
 		plan := faultinject.NewPlan()
 		plan.PanicAtPair = at
 		res, err := AllPairs(c.Moduli(), Config{
-			Algorithm: gcd.Approximate, Early: true, GroupSize: 3, Workers: 2,
-			Fault: plan.Hook(),
+			Config:    engine.Config{Workers: 2, Fault: plan.Hook()},
+			Algorithm: gcd.Approximate, Early: true, GroupSize: 3,
 		})
 		if err != nil {
 			t.Fatalf("panic at ordinal %d: %v", at, err)

@@ -1,0 +1,109 @@
+// Package engine holds the configuration surface shared by every attack
+// engine in the repository — the all-pairs executor (internal/bulk), the
+// Bernstein batch-GCD tree (internal/batchgcd), the tiled product-filter
+// hybrid (internal/bulk) and the attack pipeline that drives them
+// (internal/attack). Each of those packages embeds Config, so a new
+// cross-cutting knob (a metrics registry, a tracer, a fault hook) is
+// added exactly once and appears everywhere.
+//
+// The package also defines Kind, the canonical engine selector the CLIs
+// and the public API parse and print.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/faultinject"
+	"bulkgcd/internal/obs"
+)
+
+// Config is the cross-engine configuration every engine understands.
+// The zero value selects the defaults: a GOMAXPROCS-sized pool, no
+// progress callbacks, no metrics, no tracing, no journaling.
+type Config struct {
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS. Every
+	// engine guarantees identical findings at every pool size.
+	Workers int
+
+	// Progress, when non-nil, receives completion counts in the engine's
+	// work units (pairs for the all-pairs and hybrid engines, tree
+	// operations for batch GCD). Engines serialize delivery and guarantee
+	// strictly increasing done values — invocations never overlap and
+	// stale updates are dropped — so callbacks need no locking.
+	Progress func(done, total int64)
+
+	// Metrics, when non-nil, receives the run's counters, gauges and
+	// histograms (DESIGN.md section 5c lists every exported name). Nil
+	// disables collection with no measurable overhead.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, receives structured JSONL span events.
+	Trace *obs.Tracer
+
+	// Checkpoint, when non-nil, journals every completed work unit so an
+	// interrupted run can be resumed. Resume, when non-nil, is a journal
+	// loaded from a previous run whose completed units are skipped.
+	// Supported by the pairs and hybrid engines; batch GCD has no
+	// resumable unit decomposition and rejects both.
+	Checkpoint *checkpoint.Writer
+	Resume     *checkpoint.State
+
+	// Fault is the test-only fault-injection hook; nil in production.
+	Fault *faultinject.Hook
+}
+
+// EffectiveWorkers resolves the pool size a run with this Config uses.
+func (c Config) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Kind selects an attack engine. The zero value is Pairs, the paper's
+// all-pairs computation.
+type Kind int
+
+const (
+	// Pairs is the paper's all-pairs GCD engine: one full GCD per pair,
+	// block-decomposed over a worker pool.
+	Pairs Kind = iota
+	// Batch is Bernstein's product/remainder-tree batch GCD.
+	Batch
+	// Hybrid is the tiled product-filter engine: one subproduct-filter
+	// GCD per (modulus, tile) cell, descending to per-pair GCDs only on
+	// filter hits.
+	Hybrid
+)
+
+// Kinds lists every engine in declaration order.
+var Kinds = []Kind{Pairs, Batch, Hybrid}
+
+var kindNames = [...]string{"pairs", "batch", "hybrid"}
+
+// String returns the engine's canonical lowercase name, the form
+// ParseKind accepts and the CLIs expose.
+func (k Kind) String() string {
+	if k < Pairs || k > Hybrid {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind parses an engine name (case-insensitive). It accepts the
+// canonical names "pairs", "batch" and "hybrid", plus the legacy alias
+// "allpairs" for Pairs.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "pairs", "allpairs":
+		return Pairs, nil
+	case "batch":
+		return Batch, nil
+	case "hybrid":
+		return Hybrid, nil
+	}
+	return 0, fmt.Errorf("engine: unknown engine %q (want pairs, batch or hybrid)", s)
+}

@@ -16,6 +16,7 @@ import (
 
 	"bulkgcd/internal/bulk"
 	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/gpusim"
 	"bulkgcd/internal/mpnat"
@@ -399,7 +400,7 @@ func RunTableVContext(ctx context.Context, cfg TableVConfig) (*TableVResult, err
 // cell's corpus fingerprint is resumed; a stale or foreign one is
 // truncated and the cell starts over.
 func runTableVBulk(ctx context.Context, cfg TableVConfig, alg gcd.Algorithm, size int, moduli []*mpnat.Nat) (*bulk.Result, error) {
-	bcfg := bulk.Config{Algorithm: alg, Early: cfg.Early, Metrics: cfg.Metrics}
+	bcfg := bulk.Config{Config: engine.Config{Metrics: cfg.Metrics}, Algorithm: alg, Early: cfg.Early}
 	if cfg.CheckpointDir == "" {
 		return bulk.AllPairsContext(ctx, moduli, bcfg)
 	}

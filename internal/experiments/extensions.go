@@ -8,6 +8,7 @@ import (
 
 	"bulkgcd/internal/batchgcd"
 	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/gpusim"
 	"bulkgcd/internal/rsakey"
@@ -101,10 +102,37 @@ func RunCrossover(size int, ms []int, workers int, seed int64) ([]CrossoverPoint
 
 // RunCrossoverContext is RunCrossover with cooperative cancellation.
 func RunCrossoverContext(ctx context.Context, size int, ms []int, workers int, seed int64) ([]CrossoverPoint, error) {
+	cmp, err := RunEngineComparisonContext(ctx, size, ms, workers, seed, []engine.Kind{engine.Pairs, engine.Batch})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CrossoverPoint, len(cmp))
+	for i, c := range cmp {
+		out[i] = CrossoverPoint{M: c.M, AllPairs: c.Times[engine.Pairs], Batch: c.Times[engine.Batch]}
+	}
+	return out, nil
+}
+
+// EngineComparison is one corpus size in the engine-vs-engine timing
+// sweep: wall-clock per selected engine over the same corpus.
+type EngineComparison struct {
+	M     int
+	Times map[engine.Kind]time.Duration
+}
+
+// RunEngineComparisonContext times the selected attack engines over
+// growing corpora of the given modulus size; it generalizes the
+// all-pairs-vs-batch crossover to any engine subset, including the
+// tiled product-filter hybrid. Every engine runs on a worker pool of
+// the same size (0 = GOMAXPROCS) so the comparison is pool-vs-pool.
+func RunEngineComparisonContext(ctx context.Context, size int, ms []int, workers int, seed int64, kinds []engine.Kind) ([]EngineComparison, error) {
 	if len(ms) == 0 {
 		ms = []int{32, 64, 128, 256}
 	}
-	var out []CrossoverPoint
+	if len(kinds) == 0 {
+		kinds = []engine.Kind{engine.Pairs, engine.Batch, engine.Hybrid}
+	}
+	var out []EngineComparison
 	for _, m := range ms {
 		c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
 			Count: m, Bits: size, Seed: seed, Pseudo: true,
@@ -113,30 +141,89 @@ func RunCrossoverContext(ctx context.Context, size int, ms []int, workers int, s
 			return nil, err
 		}
 		moduli := c.Moduli()
-
-		start := time.Now()
-		bres, err := bulk.AllPairsContext(ctx, moduli, bulk.Config{Algorithm: gcd.Approximate, Early: true, Workers: workers})
-		if err != nil {
-			return nil, err
-		}
-		if bres.Canceled {
-			return nil, fmt.Errorf("experiments: crossover interrupted at m=%d", m)
-		}
-		allPairs := time.Since(start)
-
+		// The corpus-format conversion is setup, not engine work: keep it
+		// out of the timed region.
 		bigs := make([]*big.Int, len(moduli))
 		for i, n := range moduli {
 			bigs[i] = n.ToBig()
 		}
-		start = time.Now()
-		if _, err := batchgcd.RunContext(ctx, bigs, batchgcd.Config{Workers: workers}); err != nil {
-			return nil, err
+		point := EngineComparison{M: m, Times: map[engine.Kind]time.Duration{}}
+		for _, kind := range kinds {
+			bcfg := bulk.Config{Config: engine.Config{Workers: workers}, Algorithm: gcd.Approximate, Early: true}
+			start := time.Now()
+			switch kind {
+			case engine.Pairs:
+				bres, err := bulk.AllPairsContext(ctx, moduli, bcfg)
+				if err != nil {
+					return nil, err
+				}
+				if bres.Canceled {
+					return nil, fmt.Errorf("experiments: comparison interrupted at m=%d", m)
+				}
+			case engine.Hybrid:
+				bres, err := bulk.HybridContext(ctx, moduli, bcfg)
+				if err != nil {
+					return nil, err
+				}
+				if bres.Canceled {
+					return nil, fmt.Errorf("experiments: comparison interrupted at m=%d", m)
+				}
+			case engine.Batch:
+				if _, err := batchgcd.RunContext(ctx, bigs, batchgcd.Config{Config: engine.Config{Workers: workers}}); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("experiments: unknown engine %v", kind)
+			}
+			point.Times[kind] = time.Since(start)
 		}
-		batch := time.Since(start)
-
-		out = append(out, CrossoverPoint{M: m, AllPairs: allPairs, Batch: batch})
+		out = append(out, point)
 	}
 	return out, nil
+}
+
+// EngineComparisonJSON renders the sweep as a JSON-able structure for
+// the report artifact: per corpus size, the pair count and one
+// milliseconds entry per engine.
+func EngineComparisonJSON(ps []EngineComparison) []map[string]any {
+	out := make([]map[string]any, 0, len(ps))
+	for _, p := range ps {
+		ms := map[string]float64{}
+		for k, d := range p.Times {
+			ms[k.String()] = float64(d.Nanoseconds()) / 1e6
+		}
+		out = append(out, map[string]any{
+			"moduli": p.M,
+			"pairs":  p.M * (p.M - 1) / 2,
+			"ms":     ms,
+		})
+	}
+	return out
+}
+
+// EngineComparisonTable renders the sweep, one column per engine in the
+// order given (engines absent from a point print as "-").
+func EngineComparisonTable(ps []EngineComparison, kinds []engine.Kind) *tabfmt.Table {
+	header := []string{"moduli", "pairs"}
+	for _, k := range kinds {
+		header = append(header, "t("+k.String()+")")
+	}
+	t := tabfmt.NewTable(header...)
+	for _, p := range ps {
+		row := []string{
+			fmt.Sprintf("%d", p.M),
+			fmt.Sprintf("%d", p.M*(p.M-1)/2),
+		}
+		for _, k := range kinds {
+			if d, ok := p.Times[k]; ok {
+				row = append(row, d.Round(time.Microsecond).String())
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRowF(row...)
+	}
+	return t
 }
 
 // CrossoverTable renders the engine comparison.

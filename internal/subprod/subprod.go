@@ -1,0 +1,271 @@
+// Package subprod holds the subproduct machinery shared by the two
+// product-based attack engines: the level-parallel product tree that
+// batch GCD (internal/batchgcd) builds over the whole corpus, and the
+// per-tile subproducts that the hybrid product-filter engine
+// (internal/bulk) caches under a memory budget.
+//
+// Both engines reduce the same primitive — multiply a set of moduli into
+// one integer so a single division+GCD can interrogate all of them at
+// once — so the construction lives here and is configured by the caller:
+// big.Int trees with per-level hooks for batch GCD's observability,
+// plain mpnat products for the hybrid engine's word-level filter path.
+package subprod
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// ParallelEach runs fn(i, worker) for every i in [0, n) on up to workers
+// goroutines, handing items out one at a time through an atomic counter
+// (every item is a multi-precision operation, so counter contention is
+// negligible against the work it dispenses). With one worker or one item
+// it runs inline on the caller's goroutine. Workers check ctx before
+// claiming each item and stop cooperatively; the ctx error (if any) is
+// returned once all workers have drained.
+func ParallelEach(ctx context.Context, n, workers int, fn func(i, worker int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i, 0)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Tree holds the levels of a product tree: level 0 is the input slice,
+// the last level is the single full product. An odd node at the end of a
+// level is promoted unchanged, so parent i covers children 2i and 2i+1.
+type Tree struct {
+	Levels [][]*big.Int
+}
+
+// Root returns the product of all leaves.
+func (t *Tree) Root() *big.Int {
+	top := t.Levels[len(t.Levels)-1]
+	return top[0]
+}
+
+// BuildOptions configures Build. The zero value builds serially with no
+// hooks.
+type BuildOptions struct {
+	// Workers is the fan-out width within each level (the level's
+	// multiplications are independent); <= 1 runs inline.
+	Workers int
+	// OnLevel, when non-nil, wraps each level's computation: level is the
+	// 1-based index of the level being built, nodes the number of
+	// multiplications in it. The hook must invoke run exactly once and
+	// propagate its error (batch GCD threads its tracing/timing phase
+	// wrapper through here).
+	OnLevel func(level, nodes int, run func() error) error
+	// OnNode, when non-nil, is called once per completed multiplication
+	// (possibly concurrently from several workers).
+	OnNode func()
+}
+
+// Mults returns the number of multiplications a tree over m leaves
+// performs.
+func Mults(m int) int64 {
+	var total int64
+	for l := m; l > 1; l = (l + 1) / 2 {
+		total += int64(l / 2)
+	}
+	return total
+}
+
+// Build constructs the product tree of the leaves bottom-up. The leaf
+// slice is aliased as level 0, never modified.
+func Build(ctx context.Context, leaves []*big.Int, opt BuildOptions) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("subprod: empty input")
+	}
+	level := make([]*big.Int, len(leaves))
+	copy(level, leaves)
+	t := &Tree{Levels: [][]*big.Int{level}}
+	for len(level) > 1 {
+		pairs := len(level) / 2
+		next := make([]*big.Int, (len(level)+1)/2)
+		src := level
+		run := func() error {
+			return ParallelEach(ctx, pairs, opt.Workers, func(i, _ int) {
+				next[i] = new(big.Int).Mul(src[2*i], src[2*i+1])
+				if opt.OnNode != nil {
+					opt.OnNode()
+				}
+			})
+		}
+		var err error
+		if opt.OnLevel != nil {
+			err = opt.OnLevel(len(t.Levels), pairs, run)
+		} else {
+			err = run()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(level)%2 == 1 {
+			next[pairs] = level[len(level)-1] // odd node promotes unchanged
+		}
+		t.Levels = append(t.Levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// ProductNat multiplies the moduli into a single Nat by balanced pairwise
+// reduction (the schoolbook mpnat multiplier does best on balanced
+// operands). An empty slice yields 1. The inputs are never modified and
+// the result never aliases them, so cached products are safe to share
+// read-only across workers.
+func ProductNat(ms []*mpnat.Nat) *mpnat.Nat {
+	switch len(ms) {
+	case 0:
+		return mpnat.New(1)
+	case 1:
+		return ms[0].Clone()
+	}
+	cur := make([]*mpnat.Nat, len(ms))
+	copy(cur, ms)
+	for len(cur) > 1 {
+		next := cur[:(len(cur)+1)/2]
+		half := len(cur) / 2
+		for i := 0; i < half; i++ {
+			next[i] = new(mpnat.Nat).Mul(cur[2*i], cur[2*i+1])
+		}
+		if len(cur)%2 == 1 {
+			next[half] = cur[len(cur)-1]
+		}
+		cur = next[:len(next):len(next)]
+	}
+	return cur[0]
+}
+
+// NatBytes returns the in-memory size the cache accounts for a Nat.
+func NatBytes(n *mpnat.Nat) int64 {
+	return int64(n.Len()) * 4
+}
+
+// CacheStats is a point-in-time accounting snapshot of a Cache.
+type CacheStats struct {
+	// Hits and Misses count Get calls served from (resp. absent from)
+	// the cache; Builds counts build invocations (>= Misses only when
+	// concurrent Gets race on the same key).
+	Hits, Misses, Builds int64
+	// Evictions counts entries dropped to stay under the budget.
+	Evictions int64
+	// Bytes is the current cached payload size; Entries the entry count.
+	Bytes   int64
+	Entries int
+}
+
+// Cache is a byte-budgeted LRU cache of tile subproducts, keyed by tile
+// index. It is safe for concurrent use. Values must be treated as
+// read-only by callers (they are shared across workers).
+//
+// A Get miss builds outside the lock, so two workers racing on the same
+// key may both build; the extra build is wasted work, never a
+// correctness issue (the first insert wins and both callers return
+// equal values).
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64 // <= 0 means unlimited
+	used    int64
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[int]*list.Element
+
+	hits, misses, builds, evictions int64
+}
+
+type cacheEntry struct {
+	key int
+	val *mpnat.Nat
+}
+
+// NewCache returns a cache holding at most budget bytes of subproduct
+// payload (budget <= 0 means unlimited). A single value larger than the
+// whole budget is handed to the caller but never retained.
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, order: list.New(), entries: map[int]*list.Element{}}
+}
+
+// Get returns the cached value for key, building and (budget permitting)
+// inserting it on a miss.
+func (c *Cache) Get(key int, build func() *mpnat.Nat) *mpnat.Nat {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.misses++
+	c.builds++
+	c.mu.Unlock()
+
+	v := build()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A racing worker inserted first; its value is identical.
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).val
+	}
+	size := NatBytes(v)
+	if c.budget > 0 && size > c.budget {
+		return v // larger than the whole budget: use, don't retain
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: v})
+	c.used += size
+	for c.budget > 0 && c.used > c.budget && c.order.Len() > 1 {
+		back := c.order.Back()
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= NatBytes(e.val)
+		c.evictions++
+	}
+	return v
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Builds: c.builds,
+		Evictions: c.evictions, Bytes: c.used, Entries: c.order.Len(),
+	}
+}

@@ -1,0 +1,171 @@
+package subprod
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bulkgcd/internal/mpnat"
+)
+
+func randBig(r *rand.Rand, bits int) *big.Int {
+	v := new(big.Int)
+	for v.BitLen() < bits {
+		v.Lsh(v, 32)
+		v.Or(v, new(big.Int).SetUint64(uint64(r.Uint32())))
+	}
+	return v.SetBit(v, 0, 1) // odd, like a modulus
+}
+
+func TestBuildMatchesDirectProduct(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, m := range []int{1, 2, 3, 5, 8, 17, 64} {
+		for _, workers := range []int{1, 4} {
+			leaves := make([]*big.Int, m)
+			want := big.NewInt(1)
+			for i := range leaves {
+				leaves[i] = randBig(r, 96)
+				want = new(big.Int).Mul(want, leaves[i])
+			}
+			var nodes int64
+			var mu sync.Mutex
+			tree, err := Build(context.Background(), leaves, BuildOptions{
+				Workers: workers,
+				OnNode: func() {
+					mu.Lock()
+					nodes++
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatalf("m=%d workers=%d: %v", m, workers, err)
+			}
+			if tree.Root().Cmp(want) != 0 {
+				t.Fatalf("m=%d workers=%d: root != direct product", m, workers)
+			}
+			if nodes != Mults(m) {
+				t.Errorf("m=%d: %d multiplications, Mults says %d", m, nodes, Mults(m))
+			}
+		}
+	}
+}
+
+func TestBuildOnLevelWrapsEveryLevel(t *testing.T) {
+	leaves := make([]*big.Int, 9)
+	for i := range leaves {
+		leaves[i] = big.NewInt(int64(i + 2))
+	}
+	var levels []string
+	_, err := Build(context.Background(), leaves, BuildOptions{
+		OnLevel: func(level, nodes int, run func() error) error {
+			levels = append(levels, fmt.Sprintf("%d:%d", level, nodes))
+			return run()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 -> 5 -> 3 -> 2 -> 1: pairs per level 4, 2, 1, 1.
+	want := []string{"1:4", "2:2", "3:1", "4:1"}
+	if fmt.Sprint(levels) != fmt.Sprint(want) {
+		t.Errorf("levels = %v, want %v", levels, want)
+	}
+}
+
+func TestBuildCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	leaves := []*big.Int{big.NewInt(3), big.NewInt(5)}
+	if _, err := Build(ctx, leaves, BuildOptions{}); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestProductNat(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, m := range []int{0, 1, 2, 3, 7, 33} {
+		ms := make([]*mpnat.Nat, m)
+		want := big.NewInt(1)
+		for i := range ms {
+			b := randBig(r, 64)
+			ms[i] = mpnat.FromBig(b)
+			want = new(big.Int).Mul(want, b)
+		}
+		got := ProductNat(ms)
+		if got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("m=%d: product mismatch", m)
+		}
+		if m == 1 && got == ms[0] {
+			t.Fatal("single-element product must not alias the input")
+		}
+	}
+}
+
+func TestCacheBudgetAndLRU(t *testing.T) {
+	build := func(k int) func() *mpnat.Nat {
+		return func() *mpnat.Nat {
+			// 10 words = 40 bytes each.
+			ws := make([]uint32, 10)
+			for i := range ws {
+				ws[i] = uint32(k + 1)
+			}
+			return mpnat.NewFromWords(ws)
+		}
+	}
+	c := NewCache(100) // fits 2 of the 40-byte values
+	a := c.Get(0, build(0))
+	if got := c.Get(0, build(0)); got != a {
+		t.Fatal("hit should return the cached pointer")
+	}
+	c.Get(1, build(1))
+	c.Get(2, build(2)) // evicts key 0 (LRU)
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	if got := c.Get(0, build(0)); got == a {
+		t.Fatal("evicted key rebuilt: must be a fresh value")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 4 {
+		t.Fatalf("hit/miss accounting: %+v", st)
+	}
+
+	// A value bigger than the whole budget is returned but not retained.
+	tiny := NewCache(8)
+	tiny.Get(7, build(7))
+	if st := tiny.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized value retained: %+v", st)
+	}
+
+	// Unlimited budget never evicts.
+	unl := NewCache(0)
+	for k := 0; k < 50; k++ {
+		unl.Get(k, build(k))
+	}
+	if st := unl.Stats(); st.Evictions != 0 || st.Entries != 50 {
+		t.Fatalf("unlimited cache: %+v", st)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := i % 17
+				v := c.Get(k, func() *mpnat.Nat { return mpnat.New(uint64(k + 1)) })
+				if v.Uint64() != uint64(k+1) {
+					t.Errorf("key %d: got %d", k, v.Uint64())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
