@@ -17,9 +17,10 @@ test:
 
 # Every package with its own goroutine pool: the bulk all-pairs executor,
 # the batch-GCD tree engine, the attack pipeline that drives both, the
-# lock-free metrics layer, and the public facade.
+# lock-free metrics layer, the lane-batched kernel (shared per-worker
+# arenas), and the public facade.
 race:
-	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ .
+	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ ./internal/lanes/ .
 
 # Fault-injection hardening: the chaos suite (kill/resume/panic
 # campaigns, chaos_test.go) plus the resilience packages it drives, all
@@ -40,11 +41,14 @@ bench:
 # benchmark once) plus a small gcdbench sweep emitting the JSON report
 # artifacts CI uploads; catches benchmark rot without benchmark cost.
 # The hybrid line runs BenchmarkHybrid in -short mode (512-moduli corpus),
-# which self-enforces the >= 3x full-GCD reduction bound, and the engine
+# which self-enforces the >= 3x full-GCD reduction bound, the lane-kernel
+# line runs BenchmarkLaneKernel in -short mode (self-enforces the >= 1.5x
+# per-pair speedup over the scalar kernel at GOMAXPROCS=1), and the engine
 # comparison emits the three-engine timing table as a second artifact.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 	$(GO) test -short -run '^$$' -bench BenchmarkHybrid -benchtime=1x ./internal/bulk/
+	GOMAXPROCS=1 $(GO) test -short -run '^$$' -bench 'BenchmarkLaneKernel$$' -benchtime=1x ./internal/lanes/
 	mkdir -p results
 	$(GO) run ./cmd/gcdbench -table 4,5 -pairs 100 -moduli 96 -cpupairs 30 \
 	    -sizes 256,512 -json results/bench-smoke.json

@@ -78,6 +78,57 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
+// Kernel selects the per-pair GCD executor of the pairs and hybrid
+// engines. The zero value is KernelScalar.
+type Kernel int
+
+const (
+	// KernelScalar computes one GCD at a time, the default.
+	KernelScalar Kernel = iota
+	// KernelLanes computes a lane's worth of GCDs in lockstep over a
+	// column-major operand matrix, the CPU analog of the paper's bulk GPU
+	// execution. It requires the Approximate algorithm. Findings are
+	// byte-identical to KernelScalar at every lane width; only throughput
+	// and the iteration statistics differ.
+	KernelLanes
+)
+
+// Kernels lists every kernel.
+var Kernels = []Kernel{KernelScalar, KernelLanes}
+
+// kind maps the public enum onto the internal kernel registry.
+func (k Kernel) kind() (engine.KernelKind, error) {
+	switch k {
+	case KernelScalar:
+		return engine.KernelScalar, nil
+	case KernelLanes:
+		return engine.KernelLanes, nil
+	}
+	return 0, fmt.Errorf("bulkgcd: unknown kernel %d", int(k))
+}
+
+// String returns the kernel name: "scalar" or "lanes".
+func (k Kernel) String() string {
+	ik, err := k.kind()
+	if err != nil {
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+	return ik.String()
+}
+
+// ParseKernel parses a kernel name as accepted by the -kernel flags of
+// the cmd/ tools: "scalar" or "lanes". Matching is case-insensitive.
+func ParseKernel(s string) (Kernel, error) {
+	ik, err := engine.ParseKernelKind(s)
+	if err != nil {
+		return 0, fmt.Errorf("bulkgcd: unknown kernel %q (want scalar or lanes)", s)
+	}
+	if ik == engine.KernelLanes {
+		return KernelLanes, nil
+	}
+	return KernelScalar, nil
+}
+
 // Attack is a configured weak-RSA-key attack. Build one with New and
 // the With... options, then call Run; the zero configuration (plain
 // New()) is the recommended default: all-pairs engine, Approximate
@@ -89,6 +140,8 @@ func ParseEngine(s string) (Engine, error) {
 type Attack struct {
 	engine        Engine
 	algorithm     Algorithm
+	kernel        Kernel
+	laneWidth     int
 	noEarly       bool
 	workers       int
 	exponent      uint64
@@ -112,6 +165,17 @@ func WithEngine(e Engine) Option { return func(a *Attack) { a.engine = e } }
 // WithAlgorithm selects the GCD algorithm for the pairs and hybrid
 // engines (default Approximate). EngineBatch ignores it.
 func WithAlgorithm(alg Algorithm) Option { return func(a *Attack) { a.algorithm = alg } }
+
+// WithKernel selects the per-pair GCD executor of the pairs and hybrid
+// engines (default KernelScalar). KernelLanes requires the Approximate
+// algorithm and runs a lane's worth of GCDs in lockstep; findings are
+// identical, throughput is higher on bulk corpora. EngineBatch ignores
+// the kernel.
+func WithKernel(k Kernel) Option { return func(a *Attack) { a.kernel = k } }
+
+// WithLaneWidth sets the lane count of KernelLanes (default 16).
+// Findings are identical at every width; only throughput changes.
+func WithLaneWidth(l int) Option { return func(a *Attack) { a.laneWidth = l } }
 
 // WithoutEarlyTermination disables the s/2 early-termination shortcut.
 // Early termination never misses a shared prime of RSA moduli; turning
@@ -252,6 +316,10 @@ func (a *Attack) Run(ctx context.Context, moduli []*big.Int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	ikern, err := a.kernel.kind()
+	if err != nil {
+		return nil, err
+	}
 	ms := make([]*mpnat.Nat, len(moduli))
 	for i, m := range moduli {
 		if m == nil || m.Sign() < 0 {
@@ -281,6 +349,8 @@ func (a *Attack) Run(ctx context.Context, moduli []*big.Int) (*Report, error) {
 		Quarantine:    a.quarantine,
 		TileSize:      a.tileSize,
 		SubprodBudget: a.subprodBudget,
+		Kernel:        ikern,
+		LaneWidth:     a.laneWidth,
 	}
 	if a.metricsW != nil {
 		opt.Metrics = obs.NewRegistry()

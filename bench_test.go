@@ -79,6 +79,7 @@ func benchTableIV(b *testing.B, alg gcd.Algorithm, size int, early bool) {
 		opt.EarlyBits = size / 2
 	}
 	totalIters := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, st := scratch.Compute(alg, xs[i%pool], ys[i%pool], opt)
@@ -108,6 +109,7 @@ func benchTableVCPU(b *testing.B, alg gcd.Algorithm, size int) {
 	xs, ys := benchPairs(b, size, pool)
 	scratch := gcd.NewScratch(size)
 	opt := gcd.Options{EarlyBits: size / 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scratch.Compute(alg, xs[i%pool], ys[i%pool], opt)
@@ -206,6 +208,7 @@ func BenchmarkFig1_MemOpsPerIteration1024(b *testing.B) {
 	scratch := gcd.NewScratch(1024)
 	opt := gcd.Options{EarlyBits: 512}
 	var ops, iters int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, st := scratch.Compute(gcd.Approximate, xs[i%pool], ys[i%pool], opt)
@@ -284,6 +287,7 @@ func BenchmarkAttack64Keys512(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := FindSharedPrimes(moduli, nil)
@@ -338,6 +342,7 @@ func BenchmarkBaseline_BatchGCD96x1024(b *testing.B) {
 	for i, k := range c.Keys {
 		moduli[i] = k.N.ToBig()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := batchgcd.Run(moduli); err != nil {

@@ -49,6 +49,7 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		memops    = fs.Bool("memops", false, "measure Section IV memory operations per iteration")
 		crossover = fs.Bool("crossover", false, "compare the attack engines over growing corpora (see -engine)")
 		engines   = fs.String("engine", "pairs,batch,hybrid", "comma list of engines for -crossover: pairs|batch|hybrid")
+		kernel    = fs.String("kernel", "scalar", "per-pair GCD kernel for -crossover: scalar|lanes (lanes = lockstep lane batches)")
 		ablation  = fs.Bool("ablation", false, "ablate the design choices: word size d and early-terminate threshold")
 		pairs     = fs.Int("pairs", 200, "random pairs per size (Table IV/stats; paper: 10000)")
 		moduli    = fs.Int("moduli", 192, "corpus size for the bulk run (Table V; paper: 16384)")
@@ -177,8 +178,12 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "Engine comparison at %d bits, %d workers per engine: %s\n\n", size, w, *engines)
-		ps, err := experiments.RunEngineComparisonContext(ctx, size, nil, w, *seed, kinds)
+		kk, err := engine.ParseKernelKind(*kernel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Engine comparison at %d bits, %d workers per engine: %s (%s kernel)\n\n", size, w, *engines, kk)
+		ps, err := experiments.RunEngineComparisonContext(ctx, size, nil, w, *seed, kinds, kk)
 		if err != nil {
 			return err
 		}

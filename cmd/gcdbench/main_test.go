@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -129,6 +130,32 @@ func TestCrossover(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "t(hybrid)") || strings.Contains(out.String(), "t(batch)") {
 		t.Fatalf("engine subset not honored:\n%s", out.String())
+	}
+}
+
+func TestCrossoverLanesKernel(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-crossover", "-sizes", "256", "-workers", "2",
+		"-engine", "pairs,hybrid", "-kernel", "lanes", "-json", jsonPath}, &out, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(lanes kernel)") {
+		t.Fatalf("crossover header missing kernel:\n%s", out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kernel": "lanes"`) &&
+		!strings.Contains(string(data), `"kernel":"lanes"`) {
+		t.Fatalf("engine_comparison rows missing kernel field:\n%s", data)
+	}
+
+	var sink bytes.Buffer
+	if err := run(context.Background(), []string{"-crossover", "-kernel", "warp"}, &sink, &sink); err == nil {
+		t.Error("unknown kernel accepted")
 	}
 }
 

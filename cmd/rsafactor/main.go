@@ -8,6 +8,7 @@
 //	rsafactor -in corpus.txt -engine=batch   # Bernstein batch-GCD engine
 //	rsafactor -in corpus.txt -engine=hybrid -tile 64  # tiled product-filter
 //	                                         # (-workers and -v apply everywhere)
+//	rsafactor -in corpus.txt -kernel lanes   # lockstep lane-batched GCD kernel
 //	rsafactor -in corpus.txt -truth truth.txt # verify against ground truth
 //	rsafactor -in corpus.txt -checkpoint run.jsonl   # journal progress
 //	rsafactor -in corpus.txt -resume run.jsonl       # continue after a kill
@@ -77,6 +78,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		algName    = fs.String("alg", "approximate", "gcd algorithm: original|fast|binary|fastbinary|approximate")
 		noEarly    = fs.Bool("no-early", false, "disable s/2 early termination")
 		engName    = fs.String("engine", "pairs", "attack engine: pairs|batch|hybrid")
+		kernName   = fs.String("kernel", "scalar", "per-pair GCD kernel: scalar|lanes (lanes needs -alg approximate)")
+		laneWidth  = fs.Int("lanewidth", 0, "lanes kernel batch width (0 = default)")
 		batch      = fs.Bool("batch", false, "deprecated alias for -engine=batch")
 		tile       = fs.Int("tile", 0, "hybrid engine tile width (0 = default 64)")
 		subBudget  = fs.Int64("subprod-budget", 0, "hybrid subproduct cache byte budget (0 = unlimited)")
@@ -108,6 +111,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	kind, err := engine.ParseKind(*engName)
 	if err != nil {
 		return fmt.Errorf("unknown engine %q (want pairs, batch or hybrid)", *engName)
+	}
+	kern, err := engine.ParseKernelKind(*kernName)
+	if err != nil {
+		return err
+	}
+	if kern == engine.KernelLanes && kind == engine.Batch {
+		return fmt.Errorf("-kernel=lanes applies to the pairs and hybrid engines, not batch GCD")
 	}
 	if *batch {
 		if kind == engine.Hybrid {
@@ -166,6 +176,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		Early:         !*noEarly,
 		Exponent:      *e,
 		Engine:        kind,
+		Kernel:        kern,
+		LaneWidth:     *laneWidth,
 		Quarantine:    *quarantine,
 		TileSize:      *tile,
 		SubprodBudget: *subBudget,
@@ -193,6 +205,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			"alg":         alg.String(),
 			"early":       !*noEarly,
 			"engine":      kind.String(),
+			"kernel":      kern.String(),
 			"tile":        *tile,
 			"workers":     *workers,
 			"quarantine":  *quarantine,

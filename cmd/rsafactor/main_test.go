@@ -66,6 +66,32 @@ func TestRunBreaksWeakCorpus(t *testing.T) {
 	}
 }
 
+func TestRunLanesKernel(t *testing.T) {
+	dir := t.TempDir()
+	cp, tp := writeCorpus(t, dir, 12, 128, 2, 7)
+	for _, eng := range []string{"pairs", "hybrid"} {
+		var out bytes.Buffer
+		args := []string{"-in", cp, "-truth", tp, "-kernel", "lanes", "-lanewidth", "4", "-engine", eng}
+		if err := run(context.Background(), args, nil, &out, &bytes.Buffer{}); err != nil {
+			t.Fatalf("engine %s: %v\n%s", eng, err, out.String())
+		}
+		if !strings.Contains(out.String(), "verification: all 2 planted pairs recovered") {
+			t.Fatalf("engine %s: lanes kernel missed planted pairs:\n%s", eng, out.String())
+		}
+	}
+
+	var sink bytes.Buffer
+	if err := run(context.Background(), []string{"-in", cp, "-kernel", "warp"}, nil, &sink, &sink); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := run(context.Background(), []string{"-in", cp, "-kernel", "lanes", "-engine", "batch"}, nil, &sink, &sink); err == nil {
+		t.Error("lanes kernel accepted with the batch engine")
+	}
+	if err := run(context.Background(), []string{"-in", cp, "-kernel", "lanes", "-alg", "binary"}, nil, &sink, &sink); err == nil {
+		t.Error("lanes kernel accepted with a non-approximate algorithm")
+	}
+}
+
 func TestRunFromStdin(t *testing.T) {
 	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: 6, Bits: 128, WeakPairs: 1, Seed: 8})
 	if err != nil {

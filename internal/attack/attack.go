@@ -69,6 +69,15 @@ type Options struct {
 	// SubprodBudget caps the hybrid engine's cached subproduct bytes
 	// (LRU); 0 means unlimited.
 	SubprodBudget int64
+
+	// Kernel selects the per-pair GCD executor of the pairs and hybrid
+	// engines (the batch engine ignores it): engine.KernelScalar (the
+	// default) or engine.KernelLanes, the lane-batched lockstep kernel,
+	// which requires Algorithm == Approximate. Findings are identical.
+	Kernel engine.KernelKind
+
+	// LaneWidth is the lanes kernel's lane count; 0 means the default.
+	LaneWidth int
 }
 
 // EngineKind resolves the selected engine, honoring the deprecated
@@ -90,6 +99,8 @@ func (o Options) bulkConfig() bulk.Config {
 		Quarantine:    o.Quarantine,
 		TileSize:      o.TileSize,
 		SubprodBudget: o.SubprodBudget,
+		Kernel:        o.Kernel,
+		LaneWidth:     o.LaneWidth,
 	}
 }
 

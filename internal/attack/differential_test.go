@@ -132,6 +132,33 @@ func TestDifferentialEngines(t *testing.T) {
 					})
 				}
 			}
+			// Lane-batched kernel: both engines it serves, lane widths
+			// down to L=1, early on and off. Findings must be identical
+			// to every scalar combo above.
+			for _, lw := range []int{1, 4, 16} {
+				for _, early := range []bool{false, true} {
+					combos = append(combos, combo{
+						name: fmt.Sprintf("pairs/lanes=%d/early=%v", lw, early),
+						opt: Options{
+							Config:    engine.Config{Workers: 2},
+							Algorithm: gcd.Approximate, Early: early,
+							Kernel: engine.KernelLanes, LaneWidth: lw,
+							Exponent: rsakey.DefaultExponent,
+						},
+					})
+				}
+				combos = append(combos, combo{
+					name: fmt.Sprintf("hybrid/lanes=%d", lw),
+					opt: Options{
+						Config:    engine.Config{Workers: 3},
+						Engine:    engine.Hybrid,
+						Algorithm: gcd.Approximate, Early: true,
+						TileSize: 4,
+						Kernel:   engine.KernelLanes, LaneWidth: lw,
+						Exponent: rsakey.DefaultExponent,
+					},
+				})
+			}
 
 			var base *Report
 			for _, cb := range combos {

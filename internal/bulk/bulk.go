@@ -76,6 +76,29 @@ type Config struct {
 	// caches (LRU); 0 means unlimited. Evictions trade recompute time
 	// for memory, never results.
 	SubprodBudget int64
+
+	// Kernel selects the per-pair GCD executor for the pairs and hybrid
+	// engines: the scalar kernel (the default) or the lane-batched
+	// lockstep kernel of internal/lanes, which requires Algorithm ==
+	// Approximate. Findings are identical across kernels; Result.Stats
+	// differs in iteration and memory accounting because the lane kernel
+	// packs two words per limb. The kernel is not part of the journal
+	// fingerprint, so a run checkpointed under one kernel resumes under
+	// the other.
+	Kernel engine.KernelKind
+
+	// LaneWidth is the lane count L of the lanes kernel; 0 means
+	// lanes.DefaultWidth. It only affects throughput, never results.
+	LaneWidth int
+}
+
+// validateKernel rejects configurations the selected kernel cannot honor.
+func validateKernel(cfg Config) error {
+	if cfg.Kernel == engine.KernelLanes && cfg.Algorithm != gcd.Approximate {
+		return fmt.Errorf("bulk: the lanes kernel implements only the %v algorithm (got %v)",
+			gcd.Approximate, cfg.Algorithm)
+	}
+	return nil
 }
 
 // Result reports an all-pairs bulk run.
@@ -180,6 +203,9 @@ type allPairsPlan struct {
 }
 
 func planAllPairs(moduli []*mpnat.Nat, cfg Config) (*allPairsPlan, error) {
+	if err := validateKernel(cfg); err != nil {
+		return nil, err
+	}
 	active, maxBits, bad, err := validateSet("", 0, moduli, cfg.Quarantine)
 	if err != nil {
 		return nil, err
@@ -251,9 +277,12 @@ func (b *blockOut) record(unit int) checkpoint.Record {
 
 // pairRunner computes single pairs with panic quarantine. One per worker;
 // the scratch is rebuilt after a recovered panic because the kernel may
-// have been interrupted mid-update.
+// have been interrupted mid-update. When Config.Kernel selects the
+// lane-batched kernel, lanes is non-nil and pairs queue up for lockstep
+// execution instead of running inline (see lanes.go).
 type pairRunner struct {
 	scratch *gcd.Scratch
+	lanes   *laneBatcher
 	maxBits int
 	cfg     *Config
 	moduli  []*mpnat.Nat
@@ -261,26 +290,53 @@ type pairRunner struct {
 	metrics *runMetrics
 }
 
+// newPairRunner builds one worker's runner for the configured kernel.
+func newPairRunner(cfg *Config, maxBits int, moduli []*mpnat.Nat, seq *atomic.Int64, metrics *runMetrics) pairRunner {
+	pr := pairRunner{
+		scratch: gcd.NewScratch(maxBits),
+		maxBits: maxBits,
+		cfg:     cfg,
+		moduli:  moduli,
+		seq:     seq,
+		metrics: metrics,
+	}
+	if cfg.Kernel == engine.KernelLanes {
+		pr.lanes = newLaneBatcher(cfg.LaneWidth, maxBits, newLanesMetrics(cfg.Metrics))
+	}
+	return pr
+}
+
+// quarantine records a recovered per-pair panic: the pair is reported as
+// bad (and accounted, keeping pair totals exact) and the scalar scratch
+// is rebuilt because the kernel may have been interrupted mid-update.
+func (p *pairRunner) quarantine(a, b int, r any, out *blockOut) {
+	out.bad = append(out.bad, BadPair{I: a, J: b, Err: fmt.Sprint(r)})
+	out.pairs++
+	p.scratch = gcd.NewScratch(p.maxBits)
+	p.cfg.Trace.Event("bad_pair", "i", a, "j", b, "err", fmt.Sprint(r))
+}
+
 func (p *pairRunner) run(a, b int, out *blockOut) {
 	defer func() {
 		if r := recover(); r != nil {
-			out.bad = append(out.bad, BadPair{I: a, J: b, Err: fmt.Sprint(r)})
-			out.pairs++ // the attempt is accounted, keeping pair totals exact
-			p.scratch = gcd.NewScratch(p.maxBits)
-			p.cfg.Trace.Event("bad_pair", "i", a, "j", b, "err", fmt.Sprint(r))
+			p.quarantine(a, b, r, out)
 		}
 	}()
 	if h := p.cfg.Fault; h != nil {
 		h.OnPair(p.seq.Add(1)-1, a, b)
 	}
+	p.computePair(a, b, out)
+}
+
+// computePair runs the scalar kernel on one pair. It carries no fault
+// hook and no recover: run wraps it for the inline path, and the lane
+// batcher's fallback wraps it separately (the hook already fired at
+// enqueue there, and must not fire twice).
+func (p *pairRunner) computePair(a, b int, out *blockOut) {
 	x, y := p.moduli[a], p.moduli[b]
 	opt := gcd.Options{}
 	if p.cfg.Early {
-		s := x.BitLen()
-		if yb := y.BitLen(); yb < s {
-			s = yb
-		}
-		opt.EarlyBits = s / 2
+		opt.EarlyBits = earlyBitsFor(x, y)
 	}
 	g, st := p.scratch.Compute(p.cfg.Algorithm, x, y, opt)
 	p.metrics.observePair(&st)
@@ -289,6 +345,15 @@ func (p *pairRunner) run(a, b int, out *blockOut) {
 	if g != nil && !g.IsOne() {
 		out.factors = append(out.factors, Factor{I: a, J: b, P: g})
 	}
+}
+
+// earlyBitsFor is the paper's s/2 threshold, s the smaller bit length.
+func earlyBitsFor(x, y *mpnat.Nat) int {
+	s := x.BitLen()
+	if yb := y.BitLen(); yb < s {
+		s = yb
+	}
+	return s / 2
 }
 
 // restoreJournal converts a verified resume state back into engine terms.
@@ -363,14 +428,7 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			pr := pairRunner{
-				scratch: gcd.NewScratch(plan.maxBits),
-				maxBits: plan.maxBits,
-				cfg:     &cfg,
-				moduli:  moduli,
-				seq:     &pairSeq,
-				metrics: metrics,
-			}
+			pr := newPairRunner(&cfg, plan.maxBits, moduli, &pairSeq, metrics)
 			out := &outs[w]
 			for {
 				if ctx.Err() != nil {
@@ -388,8 +446,9 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 				blkSpan := cfg.Trace.StartSpan("block", "block", bi, "worker", w)
 				var blk blockOut
 				sched.BlockPairs(blocks[bi], func(a, b int) {
-					pr.run(plan.active[a], plan.active[b], &blk)
+					pr.pair(plan.active[a], plan.active[b], &blk)
 				})
+				pr.flush(&blk) // drain the lane batch before the unit is sealed
 				blkDur := time.Since(blkStart)
 				if cfg.Checkpoint != nil {
 					ckStart := time.Now()

@@ -400,6 +400,7 @@ func BenchmarkAllPairs128x512(b *testing.B) {
 		b.Fatal(err)
 	}
 	moduli := c.Moduli()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := AllPairs(moduli, Config{Algorithm: gcd.Approximate, Early: true}); err != nil {

@@ -69,6 +69,9 @@ func (p *hybridPlan) tiles() int {
 }
 
 func planHybrid(moduli []*mpnat.Nat, cfg Config) (*hybridPlan, error) {
+	if err := validateKernel(cfg); err != nil {
+		return nil, err
+	}
 	active, maxBits, bad, err := validateSet("", 0, moduli, cfg.Quarantine)
 	if err != nil {
 		return nil, err
@@ -142,15 +145,19 @@ func (p *pairRunner) filterHit(n, prod *mpnat.Nat, hm *hybridMetrics) (hit bool)
 
 // runCell computes one cell into blk: diagonal cells run their
 // triangular half pairwise, cross cells filter each row against the
-// column tile's subproduct and descend only on hits.
+// column tile's subproduct and descend only on hits. Descended pairs go
+// through the kernel dispatch, so under the lanes kernel a cell's hit
+// rows accumulate into one lockstep batch drained before the cell is
+// sealed for journaling.
 func (p *pairRunner) runCell(plan *hybridPlan, c hybridCell, cache *subprod.Cache, hm *hybridMetrics, blk *blockOut) {
 	aLo, aHi := plan.tileSpan(c.A)
 	if c.A == c.B {
 		for k := aLo; k < aHi; k++ {
 			for u := k + 1; u < aHi; u++ {
-				p.run(plan.active[k], plan.active[u], blk)
+				p.pair(plan.active[k], plan.active[u], blk)
 			}
 		}
+		p.flush(blk)
 		return
 	}
 	bLo, bHi := plan.tileSpan(c.B)
@@ -166,13 +173,14 @@ func (p *pairRunner) runCell(plan *hybridPlan, c hybridCell, cache *subprod.Cach
 		if p.filterHit(p.moduli[i], prod, hm) {
 			hm.observeRow(true, int64(bHi-bLo))
 			for u := bLo; u < bHi; u++ {
-				p.run(i, plan.active[u], blk)
+				p.pair(i, plan.active[u], blk)
 			}
 		} else {
 			hm.observeRow(false, int64(bHi-bLo))
 			blk.pairs += int64(bHi - bLo) // proven coprime, accounted as done
 		}
 	}
+	p.flush(blk)
 }
 
 // Hybrid runs the tiled product-filter engine; see HybridContext.
@@ -229,14 +237,7 @@ func HybridContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Resul
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			pr := pairRunner{
-				scratch: gcd.NewScratch(plan.maxBits),
-				maxBits: plan.maxBits,
-				cfg:     &cfg,
-				moduli:  moduli,
-				seq:     &pairSeq,
-				metrics: metrics,
-			}
+			pr := newPairRunner(&cfg, plan.maxBits, moduli, &pairSeq, metrics)
 			out := &outs[w]
 			for {
 				if ctx.Err() != nil {

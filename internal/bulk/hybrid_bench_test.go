@@ -40,6 +40,7 @@ func BenchmarkHybrid(b *testing.B) {
 	var refFactors []string
 	for _, tile := range []int{4, 16, 64} {
 		b.Run(fmt.Sprintf("tile=%d", tile), func(b *testing.B) {
+			b.ReportAllocs()
 			var descended, filters float64
 			for i := 0; i < b.N; i++ {
 				reg := obs.NewRegistry()

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"bulkgcd/internal/checkpoint"
-	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/obs"
 )
@@ -28,6 +27,9 @@ type incrementalPlan struct {
 }
 
 func planIncremental(old, newModuli []*mpnat.Nat, cfg Config) (*incrementalPlan, error) {
+	if err := validateKernel(cfg); err != nil {
+		return nil, err
+	}
 	if len(newModuli) == 0 {
 		return nil, fmt.Errorf("bulk: no new moduli")
 	}
@@ -139,14 +141,7 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			pr := pairRunner{
-				scratch: gcd.NewScratch(plan.maxBits),
-				maxBits: plan.maxBits,
-				cfg:     &cfg,
-				moduli:  all,
-				seq:     &pairSeq,
-				metrics: metrics,
-			}
+			pr := newPairRunner(&cfg, plan.maxBits, all, &pairSeq, metrics)
 			out := &outs[w]
 			for {
 				if ctx.Err() != nil {
@@ -165,11 +160,12 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 				blkSpan := cfg.Trace.StartSpan("block", "stripe", j, "worker", w)
 				var blk blockOut
 				for _, gi := range plan.oldActive {
-					pr.run(gi, gj, &blk)
+					pr.pair(gi, gj, &blk)
 				}
 				for k := int(j) + 1; k < len(plan.newActive); k++ {
-					pr.run(gj, plan.newActive[k], &blk)
+					pr.pair(gj, plan.newActive[k], &blk)
 				}
+				pr.flush(&blk) // drain the lane batch before the unit is sealed
 				blkDur := time.Since(blkStart)
 				if cfg.Checkpoint != nil {
 					ckStart := time.Now()

@@ -1,0 +1,132 @@
+package bulk
+
+import (
+	"bulkgcd/internal/lanes"
+)
+
+// This file adapts the lane-batched kernel (internal/lanes) to the
+// pairRunner contract. Under engine.KernelLanes, pairs queue up during a
+// work unit (a schedule block or a hybrid cell) and execute as one
+// lockstep batch when the unit flushes, so checkpointing, accounting and
+// cancellation see exactly the scalar per-unit semantics: a unit is
+// journaled only after every one of its pairs — queued or inline — has a
+// final verdict. The findings are byte-identical to the scalar kernel
+// (DESIGN.md section 5e gives the argument); only throughput and the
+// iteration/memory statistics differ.
+
+// laneBatcher is one worker's lane kernel plus its pending-pair queue.
+type laneBatcher struct {
+	kernel  *lanes.Kernel
+	queue   []lanes.Pair
+	width   int
+	maxBits int
+	metrics *lanesMetrics
+	lastTel lanes.Telemetry // telemetry snapshot at the previous flush
+}
+
+func newLaneBatcher(width, maxBits int, metrics *lanesMetrics) *laneBatcher {
+	if width < 1 {
+		width = lanes.DefaultWidth
+	}
+	return &laneBatcher{
+		kernel:  lanes.NewKernel(width, maxBits),
+		width:   width,
+		maxBits: maxBits,
+		metrics: metrics,
+	}
+}
+
+// pair computes or queues one pair according to the configured kernel.
+// Lanes-mode callers must flush before sealing the work unit.
+func (p *pairRunner) pair(a, b int, out *blockOut) {
+	if p.lanes == nil {
+		p.run(a, b, out)
+		return
+	}
+	p.enqueue(a, b, out)
+}
+
+// enqueue adds a pair to the lane batch. The fault hook fires here — the
+// same per-pair sequence points as the scalar path — and a hook panic
+// quarantines the pair without enqueueing it.
+func (p *pairRunner) enqueue(a, b int, out *blockOut) {
+	if p.cfg.Fault != nil && !p.firePairHook(a, b, out) {
+		return
+	}
+	x, y := p.moduli[a], p.moduli[b]
+	early := 0
+	if p.cfg.Early {
+		early = earlyBitsFor(x, y)
+	}
+	p.lanes.queue = append(p.lanes.queue, lanes.Pair{A: a, B: b, X: x, Y: y, Early: early})
+}
+
+// firePairHook runs the fault hook for (a, b); a panic quarantines the
+// pair and reports false.
+func (p *pairRunner) firePairHook(a, b int, out *blockOut) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.quarantine(a, b, r, out)
+		}
+	}()
+	p.cfg.Fault.OnPair(p.seq.Add(1)-1, a, b)
+	return true
+}
+
+// flush executes the queued batch through the lane kernel and folds the
+// results into out. A kernel panic rebuilds the kernel and falls back to
+// the scalar kernel for the whole batch, pair by pair, so one poisoned
+// input quarantines only itself and every other queued pair still gets
+// its exact result.
+func (p *pairRunner) flush(out *blockOut) {
+	lb := p.lanes
+	if lb == nil || len(lb.queue) == 0 {
+		return
+	}
+	queue := lb.queue
+	lb.queue = queue[:0]
+	results, ok := lb.runBatch(queue)
+	if !ok {
+		p.cfg.Trace.Event("lanes_fallback", "pairs", len(queue))
+		for i := range queue {
+			p.fallbackPair(queue[i].A, queue[i].B, out)
+		}
+		return
+	}
+	for i := range results {
+		r := &results[i]
+		p.metrics.observePair(&r.Stats)
+		out.stats.Add(&r.Stats)
+		out.pairs++
+		if r.G != nil && !r.G.IsOne() {
+			out.factors = append(out.factors, Factor{I: r.A, J: r.B, P: r.G})
+		}
+	}
+	tel := lb.kernel.Telemetry
+	lb.metrics.observeBatch(tel, lb.lastTel)
+	lb.lastTel = tel
+}
+
+// runBatch runs the kernel under panic recovery. On a panic the kernel is
+// rebuilt — it may have been interrupted mid-update — and ok is false.
+func (lb *laneBatcher) runBatch(queue []lanes.Pair) (results []lanes.Result, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			lb.kernel = lanes.NewKernel(lb.width, lb.maxBits)
+			lb.lastTel = lanes.Telemetry{}
+			results, ok = nil, false
+		}
+	}()
+	return lb.kernel.Run(queue), true
+}
+
+// fallbackPair is the scalar path for one pair of a failed lane batch:
+// per-pair recover, no fault hook (it already fired at enqueue).
+func (p *pairRunner) fallbackPair(a, b int, out *blockOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.quarantine(a, b, r, out)
+		}
+	}()
+	p.computePair(a, b, out)
+}

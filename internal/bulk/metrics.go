@@ -1,9 +1,11 @@
 package bulk
 
 import (
+	"sync/atomic"
 	"time"
 
 	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/lanes"
 	"bulkgcd/internal/obs"
 	"bulkgcd/internal/subprod"
 )
@@ -203,6 +205,57 @@ func (m *hybridMetrics) finish(st subprod.CacheStats) {
 	m.cacheMisses.Add(st.Misses)
 	m.cacheEvictions.Add(st.Evictions)
 	m.cacheBytes.Set(float64(st.Bytes))
+}
+
+// lanesMetrics holds the instruments of the lane-batched kernel, fed
+// from each worker kernel's telemetry at every batch flush. All
+// nil-safe:
+//
+//	bulk_lanes_batches_total      lockstep batches executed
+//	bulk_lanes_supersteps_total   lockstep iterations over the lane matrix
+//	bulk_lanes_retirements_total  lanes that finished a pair
+//	bulk_lanes_refills_total      retired lanes reloaded mid-batch
+//	bulk_lanes_occupancy          gauge: mean fraction of lanes active
+type lanesMetrics struct {
+	batches     *obs.Counter
+	supersteps  *obs.Counter
+	retirements *obs.Counter
+	refills     *obs.Counter
+	occupancy   *obs.Gauge
+
+	// occupancy numerator/denominator accumulated across workers.
+	activeLanes atomic.Int64
+	laneSlots   atomic.Int64
+}
+
+func newLanesMetrics(reg *obs.Registry) *lanesMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &lanesMetrics{
+		batches:     reg.Counter("bulk_lanes_batches_total"),
+		supersteps:  reg.Counter("bulk_lanes_supersteps_total"),
+		retirements: reg.Counter("bulk_lanes_retirements_total"),
+		refills:     reg.Counter("bulk_lanes_refills_total"),
+		occupancy:   reg.Gauge("bulk_lanes_occupancy"),
+	}
+}
+
+// observeBatch folds the telemetry delta of one flushed batch in and
+// refreshes the run-wide mean occupancy gauge.
+func (m *lanesMetrics) observeBatch(tel, prev lanes.Telemetry) {
+	if m == nil {
+		return
+	}
+	m.batches.Add(tel.Batches - prev.Batches)
+	m.supersteps.Add(tel.Supersteps - prev.Supersteps)
+	m.retirements.Add(tel.Retirements - prev.Retirements)
+	m.refills.Add(tel.Refills - prev.Refills)
+	active := m.activeLanes.Add(tel.ActiveLanes - prev.ActiveLanes)
+	slots := m.laneSlots.Add(tel.LaneSlots - prev.LaneSlots)
+	if slots > 0 {
+		m.occupancy.Set(float64(active) / float64(slots))
+	}
 }
 
 // finish derives the end-of-run gauges: aggregate throughput over the

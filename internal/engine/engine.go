@@ -107,3 +107,43 @@ func ParseKind(s string) (Kind, error) {
 	}
 	return 0, fmt.Errorf("engine: unknown engine %q (want pairs, batch or hybrid)", s)
 }
+
+// KernelKind selects the per-pair GCD executor used by the pairs and
+// hybrid engines. The zero value is KernelScalar, the one-pair-at-a-time
+// kernel; the batch engine has no per-pair kernel and ignores the knob.
+type KernelKind int
+
+const (
+	// KernelScalar runs one GCD at a time on row-major operands
+	// (internal/gcd).
+	KernelScalar KernelKind = iota
+	// KernelLanes runs lane-batched GCDs in lockstep over a column-major
+	// operand matrix (internal/lanes). Findings are identical to
+	// KernelScalar; only throughput and per-pair statistics differ.
+	KernelLanes
+)
+
+// KernelKinds lists every kernel in declaration order.
+var KernelKinds = []KernelKind{KernelScalar, KernelLanes}
+
+var kernelNames = [...]string{"scalar", "lanes"}
+
+// String returns the kernel's canonical lowercase name, the form
+// ParseKernelKind accepts and the CLIs expose.
+func (k KernelKind) String() string {
+	if k < KernelScalar || k > KernelLanes {
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+	return kernelNames[k]
+}
+
+// ParseKernelKind parses a kernel name (case-insensitive).
+func ParseKernelKind(s string) (KernelKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "scalar":
+		return KernelScalar, nil
+	case "lanes":
+		return KernelLanes, nil
+	}
+	return 0, fmt.Errorf("engine: unknown kernel %q (want scalar or lanes)", s)
+}

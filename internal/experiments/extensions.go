@@ -102,7 +102,7 @@ func RunCrossover(size int, ms []int, workers int, seed int64) ([]CrossoverPoint
 
 // RunCrossoverContext is RunCrossover with cooperative cancellation.
 func RunCrossoverContext(ctx context.Context, size int, ms []int, workers int, seed int64) ([]CrossoverPoint, error) {
-	cmp, err := RunEngineComparisonContext(ctx, size, ms, workers, seed, []engine.Kind{engine.Pairs, engine.Batch})
+	cmp, err := RunEngineComparisonContext(ctx, size, ms, workers, seed, []engine.Kind{engine.Pairs, engine.Batch}, engine.KernelScalar)
 	if err != nil {
 		return nil, err
 	}
@@ -114,10 +114,12 @@ func RunCrossoverContext(ctx context.Context, size int, ms []int, workers int, s
 }
 
 // EngineComparison is one corpus size in the engine-vs-engine timing
-// sweep: wall-clock per selected engine over the same corpus.
+// sweep: wall-clock per selected engine over the same corpus, plus the
+// per-pair GCD kernel the Euclidean engines ran with.
 type EngineComparison struct {
-	M     int
-	Times map[engine.Kind]time.Duration
+	M      int
+	Kernel engine.KernelKind
+	Times  map[engine.Kind]time.Duration
 }
 
 // RunEngineComparisonContext times the selected attack engines over
@@ -125,7 +127,9 @@ type EngineComparison struct {
 // all-pairs-vs-batch crossover to any engine subset, including the
 // tiled product-filter hybrid. Every engine runs on a worker pool of
 // the same size (0 = GOMAXPROCS) so the comparison is pool-vs-pool.
-func RunEngineComparisonContext(ctx context.Context, size int, ms []int, workers int, seed int64, kinds []engine.Kind) ([]EngineComparison, error) {
+// kernel selects the per-pair GCD kernel for the pairs and hybrid
+// engines (batch GCD has no pair kernel and ignores it).
+func RunEngineComparisonContext(ctx context.Context, size int, ms []int, workers int, seed int64, kinds []engine.Kind, kernel engine.KernelKind) ([]EngineComparison, error) {
 	if len(ms) == 0 {
 		ms = []int{32, 64, 128, 256}
 	}
@@ -147,9 +151,13 @@ func RunEngineComparisonContext(ctx context.Context, size int, ms []int, workers
 		for i, n := range moduli {
 			bigs[i] = n.ToBig()
 		}
-		point := EngineComparison{M: m, Times: map[engine.Kind]time.Duration{}}
+		point := EngineComparison{M: m, Kernel: kernel, Times: map[engine.Kind]time.Duration{}}
 		for _, kind := range kinds {
-			bcfg := bulk.Config{Config: engine.Config{Workers: workers}, Algorithm: gcd.Approximate, Early: true}
+			bcfg := bulk.Config{
+				Config:    engine.Config{Workers: workers},
+				Algorithm: gcd.Approximate, Early: true,
+				Kernel: kernel,
+			}
 			start := time.Now()
 			switch kind {
 			case engine.Pairs:
@@ -183,8 +191,8 @@ func RunEngineComparisonContext(ctx context.Context, size int, ms []int, workers
 }
 
 // EngineComparisonJSON renders the sweep as a JSON-able structure for
-// the report artifact: per corpus size, the pair count and one
-// milliseconds entry per engine.
+// the report artifact: per corpus size, the pair count, the GCD kernel
+// the Euclidean engines ran, and one milliseconds entry per engine.
 func EngineComparisonJSON(ps []EngineComparison) []map[string]any {
 	out := make([]map[string]any, 0, len(ps))
 	for _, p := range ps {
@@ -195,6 +203,7 @@ func EngineComparisonJSON(ps []EngineComparison) []map[string]any {
 		out = append(out, map[string]any{
 			"moduli": p.M,
 			"pairs":  p.M * (p.M - 1) / 2,
+			"kernel": p.Kernel.String(),
 			"ms":     ms,
 		})
 	}

@@ -26,11 +26,13 @@ func done(Y *mpnat.Nat, opt Options, st *Stats) bool {
 }
 
 // runOriginal is algorithm (A): do { X <- X mod Y; swap } while Y != 0.
-func runOriginal(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+// The per-iteration long division runs through the worker's DivScratch so
+// the loop performs no allocation.
+func (s *Scratch) runOriginal(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
 	for {
 		lx, ly := X.Len(), Y.Len()
 		st.MemOps += int64(2*lx + ly)
-		X.Mod(X, Y)
+		s.div.Mod(X, X, Y)
 		X, Y = Y, X // X mod Y < Y always, so the swap is unconditional
 		record(st, opt, lx, ly, BranchFull, false, true)
 		st.Iterations++
@@ -46,11 +48,12 @@ func runOriginal(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
 //	Q even: X - Y*(Q-1)   = (X mod Y) + Y
 //
 // so the decremented-quotient update needs no multiprecision multiply.
-func runFast(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+func (s *Scratch) runFast(X, Y *mpnat.Nat, opt Options, st *Stats) *mpnat.Nat {
+	q, r := &s.q, &s.r
 	for {
 		lx, ly := X.Len(), Y.Len()
 		st.MemOps += int64(2*lx + ly)
-		q, r := mpnat.DivMod(X, Y)
+		s.div.DivMod(q, r, X, Y)
 		if q.IsEven() {
 			r.Add(r, Y)
 		}

@@ -1,0 +1,55 @@
+package gcd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/mpnat"
+)
+
+// TestComputeAllocsPerPair locks the zero-allocation contract of the scalar
+// kernel: once a worker's Scratch has warmed up, a coprime pair costs no
+// heap allocation at all (the gcd-is-1 result is a shared constant), and a
+// factor-sharing pair costs only the clone of the returned factor.
+func TestComputeAllocsPerPair(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	oddRand := func(bits int) *mpnat.Nat {
+		v := new(big.Int).Rand(rnd, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+		v.SetBit(v, bits-1, 1)
+		v.SetBit(v, 0, 1)
+		return mpnat.FromBig(v)
+	}
+	x, y := oddRand(512), oddRand(512)
+	s := NewScratch(512)
+
+	for _, alg := range Algorithms {
+		for _, opt := range []Options{{}, {EarlyBits: 256}} {
+			// Warm the scratch so amortized growth is out of the way.
+			s.Compute(alg, x, y, opt)
+			got := testing.AllocsPerRun(20, func() {
+				s.Compute(alg, x, y, opt)
+			})
+			if got != 0 {
+				t.Errorf("%v early=%d: %.1f allocs per coprime pair, want 0",
+					alg, opt.EarlyBits, got)
+			}
+		}
+	}
+
+	// A shared factor is allowed exactly the allocation of its clone.
+	p := oddRand(256)
+	px := mpnat.FromBig(new(big.Int).Mul(p.ToBig(), oddRand(256).ToBig()))
+	py := mpnat.FromBig(new(big.Int).Mul(p.ToBig(), oddRand(256).ToBig()))
+	s.Compute(Approximate, px, py, Options{})
+	got := testing.AllocsPerRun(20, func() {
+		g, _ := s.Compute(Approximate, px, py, Options{})
+		if g == nil || g.IsOne() {
+			t.Fatal("expected a non-trivial factor")
+		}
+	})
+	const maxFactorAllocs = 2 // the factor's Nat header and its word slice
+	if got > maxFactorAllocs {
+		t.Errorf("%.1f allocs per factor-sharing pair, want <= %d", got, maxFactorAllocs)
+	}
+}

@@ -159,9 +159,12 @@ func (s *Stats) Add(other *Stats) {
 // Scratch holds the working storage for GCD computations. A Scratch is not
 // safe for concurrent use; the bulk layer allocates one per worker. Reusing
 // a Scratch across computations avoids all per-pair allocation except for
-// the returned factor (allocated only when a non-trivial factor is found).
+// the returned factor (allocated only when a non-trivial factor is found;
+// coprime pairs return a shared constant).
 type Scratch struct {
 	x, y mpnat.Nat
+	q, r mpnat.Nat        // quotient/remainder temporaries for (A) and (B)
+	div  mpnat.DivScratch // long-division working storage for (A) and (B)
 }
 
 // NewScratch returns a Scratch sized for operands up to bits wide.
@@ -170,12 +173,20 @@ func NewScratch(bits int) *Scratch {
 	words := (bits+31)/32 + 2
 	s.x.Grow(words)
 	s.y.Grow(words)
+	s.q.Grow(words)
+	s.r.Grow(words)
 	return s
 }
 
+// one is the shared gcd-is-1 result. Callers receive it read-only: the
+// Compute contract forbids modifying the returned Nat.
+var one = mpnat.New(1)
+
 // Compute runs algorithm alg on x and y (both odd and positive; x and y are
 // not modified) and returns the gcd. For early-terminated runs the returned
-// gcd is nil, meaning "coprime at RSA scale" (the paper returns 1).
+// gcd is nil, meaning "coprime at RSA scale" (the paper returns 1). The
+// returned Nat must not be modified: when the gcd is 1 it is a shared
+// constant, so that the common coprime outcome allocates nothing.
 func (s *Scratch) Compute(alg Algorithm, x, y *mpnat.Nat, opt Options) (*mpnat.Nat, Stats) {
 	X, Y := &s.x, &s.y
 	X.Set(x)
@@ -187,9 +198,9 @@ func (s *Scratch) Compute(alg Algorithm, x, y *mpnat.Nat, opt Options) (*mpnat.N
 	var res *mpnat.Nat
 	switch alg {
 	case Original:
-		res = runOriginal(X, Y, opt, &st)
+		res = s.runOriginal(X, Y, opt, &st)
 	case Fast:
-		res = runFast(X, Y, opt, &st)
+		res = s.runFast(X, Y, opt, &st)
 	case Binary:
 		res = runBinary(X, Y, opt, &st)
 	case FastBinary:
@@ -201,6 +212,9 @@ func (s *Scratch) Compute(alg Algorithm, x, y *mpnat.Nat, opt Options) (*mpnat.N
 	}
 	if st.EarlyTerminated {
 		return nil, st
+	}
+	if res.IsOne() {
+		return one, st
 	}
 	return res.Clone(), st
 }

@@ -1,0 +1,266 @@
+package lanes
+
+import "math/bits"
+
+// This file holds the d = 64 quotient approximation and the two serialized
+// per-lane paths of the kernel: the exact 64-bit tail (approx Case 1) and
+// the rare beta > 0 update. The approximation mirrors Section III's
+// approx(X, Y) decision tree with the limb size doubled: alpha * D^beta is
+// a lower bound on X div Y built from the top one or two 64-bit limbs, so
+// each case below carries the same "alpha*D^beta*Y <= X" bound as its
+// d = 32 counterpart in internal/gcd.
+
+// approx64 computes (alpha, beta) for a lane with lx >= 2 and X >= Y,
+// from lengths and the top two limbs of each operand alone — the head
+// registers the kernel carries across iterations, so the steady-state
+// approximation makes no operand-matrix access at all. D = 2^64, beta
+// counts 64-bit limbs, alpha >= 1, and alpha * D^beta * Y <= X.
+func approx64(lx32, ly32 int32, x1, x2, y1, y2 uint64) (alpha uint64, beta int) {
+	lx, ly := int(lx32), int(ly32)
+	switch {
+	case ly == 1:
+		if x1 >= y1 {
+			// Case 2-A analog: alpha = x1 div y1.
+			return x1 / y1, lx - 1
+		}
+		// Case 2-B analog: two top limbs of X over y1; x1 < y1 is the
+		// bits.Div64 precondition.
+		q, _ := bits.Div64(x1, x2, y1)
+		return q, lx - 2
+	case lx > ly:
+		if x1 > y1 {
+			// Case 4-A analog: x1 > y1 implies y1 < 2^64-1, so y1+1
+			// cannot overflow, and alpha = x1 div (y1+1) >= 1.
+			return x1 / (y1 + 1), lx - ly
+		}
+		// Case 4-B analog. y1+1 overflows only when y1 is all ones, and
+		// dividing x1:x2 by D = 2^64 is just taking the top limb.
+		if y1 == ^uint64(0) {
+			return x1, lx - ly - 1
+		}
+		q, _ := bits.Div64(x1, x2, y1+1) // x1 <= y1 < y1+1: precondition holds
+		return q, lx - ly - 1
+	default:
+		// Case 4-C analog, sharpened: with equal lengths the d = 32 code
+		// falls back to alpha = 1, but at d = 64 the top two limbs give a
+		// 128-bit approximation alpha = x128 div (y128+1) that tracks the
+		// true quotient. Small quotients dominate (the Gauss-Kuzmin law
+		// puts ~76% of them below 4), so alpha in {1, 2, 3} is resolved
+		// with shift-and-subtract tests and only the tail pays for the
+		// 40-90 cycle hardware divide.
+		if x1 < y1 || (x1 == y1 && x2 <= y2) {
+			return 1, 0 // x128 <= y128: X - Y still holds (X >= Y)
+		}
+		d0, c := bits.Add64(y2, 1, 0)
+		d1 := y1 + c // y1 >= 1 keeps the quotient < 2^64
+		if d1>>63 != 0 {
+			return 1, 0 // 2*(y128+1) exceeds 2^128 > x128
+		}
+		t1, t0 := d1<<1|d0>>63, d0<<1 // 2*(y128+1)
+		_, br := bits.Sub64(x2, t0, 0)
+		_, br = bits.Sub64(x1, t1, br)
+		if br != 0 {
+			return 1, 0 // x128 < 2*(y128+1)
+		}
+		s0, cc := bits.Add64(t0, d0, 0) // 3*(y128+1), with 128-bit overflow in ov
+		s1, ov := bits.Add64(t1, d1, cc)
+		if ov == 0 {
+			_, br = bits.Sub64(x2, s0, 0)
+			_, br = bits.Sub64(x1, s1, br)
+		}
+		if ov != 0 || br != 0 {
+			return 2, 0 // x128 < 3*(y128+1); the odd adjustment makes this 1, like the scalar kernel
+		}
+		if d1>>62 == 0 {
+			q1, q0 := d1<<2|d0>>62, d0<<2 // 4*(y128+1)
+			_, br = bits.Sub64(x2, q0, 0)
+			_, br = bits.Sub64(x1, q1, br)
+			if br == 0 {
+				return div128(x1, x2, d1, d0), 0 // alpha >= 4: exact divide
+			}
+		}
+		return 3, 0
+	}
+}
+
+// div128 returns floor((u1:u0) / (d1:d0)) for d1 >= 1 and u128 < d128*2^64
+// (always true when d1 >= 1). This is the textbook 3-by-2 division: both
+// operands are normalized so the divisor's top bit is set, bits.Div64
+// produces a candidate quotient from the top limbs, and at most a few
+// corrections against the low divisor limb make it exact.
+func div128(u1, u0, d1, d0 uint64) uint64 {
+	s := uint(bits.LeadingZeros64(d1))
+	dh := d1<<s | cshift(d0, s)
+	dl := d0 << s
+	// The numerator shifted by s spans three limbs; nh < 2^s <= dh keeps
+	// the bits.Div64 precondition.
+	nh := cshift(u1, s)
+	nm := u1<<s | cshift(u0, s)
+	nl := u0 << s
+	q, r := bits.Div64(nh, nm, dh)
+	for {
+		th, tl := bits.Mul64(q, dl)
+		if th < r || (th == r && tl <= nl) {
+			return q
+		}
+		q--
+		var c uint64
+		r, c = bits.Add64(r, dh, 0)
+		if c != 0 {
+			return q // remainder grew past 64 bits: q*dl can no longer exceed it
+		}
+	}
+}
+
+// cshift returns v >> (64-s), with the s == 0 case yielding 0 (a plain Go
+// shift by 64 would not).
+func cshift(v uint64, s uint) uint64 {
+	if s == 0 {
+		return 0
+	}
+	return v >> (64 - s)
+}
+
+// tail finishes lane j once both operands fit in one limb, with the exact
+// semantics and accounting of the scalar runApproximate64: exact 64-bit
+// quotient, decremented to odd, subtract, strip. The lane retires here, so
+// a refill joins the lockstep at the next superstep.
+func (k *Kernel) tail(j int) {
+	xm, ym := k.lanePlanes(j)
+	x, y := xm[j], ym[j]
+	early := int(k.early[j])
+	for {
+		lx, ly := wordsOf64(x), wordsOf64(y)
+		k.iters[j]++
+		k.tailIters[j]++
+		k.memops[j] += int64(2*lx + ly)
+		q := x / y
+		r := x - q*y
+		if q&1 == 0 {
+			// Even quotient: effective alpha is q-1, value (X mod Y) + Y,
+			// which can carry past 64 bits; the value is even, so the
+			// carry folds into the strip shift.
+			sum, carry := bits.Add64(r, y, 0)
+			x = stripWithCarry(sum, carry)
+		} else {
+			x = strip64(r)
+		}
+		if x < y {
+			x, y = y, x
+		}
+		if y == 0 {
+			xm[j] = x
+			k.lx[j] = 1
+			ym[j] = 0
+			k.ly[j] = 0
+			k.retire(j, false)
+			return
+		}
+		if early > 0 && bits.Len64(y) < early {
+			k.retire(j, true)
+			return
+		}
+	}
+}
+
+// strip64 removes trailing zero bits; strip64(0) = 0.
+func strip64(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return v >> uint(bits.TrailingZeros64(v))
+}
+
+// stripWithCarry strips trailing zeros of the 65-bit value carry:sum,
+// which is known to be even and non-zero.
+func stripWithCarry(sum, carry uint64) uint64 {
+	if carry == 0 {
+		return strip64(sum)
+	}
+	if sum == 0 {
+		return 1 // the value is exactly 2^64
+	}
+	tz := uint(bits.TrailingZeros64(sum))
+	return sum>>tz | 1<<(64-tz)
+}
+
+// wordsOf64 is the 32-bit word length of v, for memory-op accounting in
+// the paper's units.
+func wordsOf64(v uint64) int {
+	switch {
+	case v == 0:
+		return 0
+	case v>>32 == 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// betaUpdate applies the beta > 0 update to lane j:
+//
+//	X <- X + Y - Y*alpha*D^beta, then strip trailing zeros,
+//
+// the multiplier alpha*D^beta - 1 made odd exactly as the scalar
+// SubMulShiftAddRshift. The addition runs first so the intermediate never
+// underflows. This path is rare (Section V bounds it below 1e-8 per
+// iteration at d = 32, and doubling d only shrinks it), so it runs
+// serialized per lane over the extracted column.
+func (k *Kernel) betaUpdate(j int, alpha uint64, beta int) {
+	xm, ym := k.lanePlanes(j)
+	l := k.l
+	lx, ly := int(k.lx[j]), int(k.ly[j])
+	u := k.utmp[:lx+1]
+
+	// u = X + Y. Y's column is zero-padded, so the loop reads it flat.
+	var carry uint64
+	for i := 0; i < lx; i++ {
+		u[i], carry = bits.Add64(xm[i*l+j], ym[i*l+j], carry)
+	}
+	u[lx] = carry
+
+	// u -= Y*alpha << (64*beta).
+	var mulCarry, borrow uint64
+	for i := 0; i < ly; i++ {
+		hi, lo := bits.Mul64(ym[i*l+j], alpha)
+		lo, c := bits.Add64(lo, mulCarry, 0)
+		mulCarry = hi + c
+		u[beta+i], borrow = bits.Sub64(u[beta+i], lo, borrow)
+	}
+	for i := beta + ly; i <= lx; i++ {
+		u[i], borrow = bits.Sub64(u[i], mulCarry, borrow)
+		mulCarry = 0
+	}
+	if borrow != 0 || mulCarry != 0 {
+		panic("lanes: beta update underflow")
+	}
+
+	// Strip trailing zeros and write the column back. The result is
+	// X - (alpha*D^beta - 1)*Y < X, so it fits lx limbs and u[lx] == 0.
+	t0 := 0
+	for t0 <= lx && u[t0] == 0 {
+		t0++
+	}
+	newLen := 0
+	if t0 <= lx {
+		sh := uint(bits.TrailingZeros64(u[t0]))
+		n := lx + 1 - t0
+		for i := 0; i < n; i++ {
+			var hi uint64
+			if t0+i+1 <= lx {
+				hi = u[t0+i+1]
+			}
+			// hi<<(64-sh) is 0 in Go when sh == 0, which is exactly right.
+			xm[i*l+j] = u[t0+i]>>sh | hi<<(64-sh)
+		}
+		newLen = n
+		for newLen > 0 && xm[(newLen-1)*l+j] == 0 {
+			newLen--
+		}
+	}
+	for i := newLen; i < lx; i++ {
+		xm[i*l+j] = 0
+	}
+	k.lx[j] = int32(newLen)
+	k.betaCnt[j]++
+}

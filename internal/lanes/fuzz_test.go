@@ -1,0 +1,80 @@
+package lanes
+
+import (
+	"math/big"
+	"testing"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+)
+
+// FuzzLanesMatchesScalar feeds arbitrary odd operands — optionally with a
+// planted common factor — through the lane kernel at a fuzzed width and
+// requires the result to match both the scalar Approximate kernel and the
+// math/big GCD oracle, with and without early termination. The early
+// threshold is the bulk engines' s/2, which keeps the findings-identity
+// argument of DESIGN.md section 5e applicable: the gcd's size alone
+// decides early versus exact, so all three must agree exactly.
+func FuzzLanesMatchesScalar(f *testing.F) {
+	f.Add([]byte{0xff}, []byte{0x03}, []byte{}, uint8(0), false)
+	f.Add([]byte{0xab, 0xcd, 0xef, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc},
+		[]byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99}, []byte{}, uint8(3), true)
+	f.Add([]byte{0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+		[]byte{0x01}, []byte{0x0d}, uint8(15), false)
+	f.Add([]byte{0x7f, 0xee, 0xdd}, []byte{0x7f, 0xee, 0xdd}, []byte{0x09}, uint8(1), true)
+
+	f.Fuzz(func(t *testing.T, xb, yb, pb []byte, width uint8, useEarly bool) {
+		x := new(big.Int).SetBytes(xb)
+		y := new(big.Int).SetBytes(yb)
+		x.SetBit(x, 0, 1) // the kernels require odd positive operands
+		y.SetBit(y, 0, 1)
+		if len(pb) > 0 {
+			p := new(big.Int).SetBytes(pb)
+			p.SetBit(p, 0, 1)
+			x.Mul(x, p)
+			y.Mul(y, p)
+		}
+		maxBits := x.BitLen()
+		if yb := y.BitLen(); yb > maxBits {
+			maxBits = yb
+		}
+		if maxBits > 4096 {
+			return // cap the work per input
+		}
+		early := 0
+		if useEarly {
+			s := x.BitLen()
+			if yb := y.BitLen(); yb < s {
+				s = yb
+			}
+			early = s / 2
+		}
+
+		xn, yn := mpnat.FromBig(x), mpnat.FromBig(y)
+		k := NewKernel(int(width%16)+1, maxBits)
+		res := k.Run([]Pair{{X: xn, Y: yn, Early: early}})
+		got := res[0].G
+
+		want, _ := gcd.NewScratch(maxBits).Compute(gcd.Approximate, xn, yn, gcd.Options{EarlyBits: early})
+		oracle := new(big.Int).GCD(nil, nil, x, y)
+
+		if early > 0 && oracle.BitLen() < early {
+			// gcd below the threshold: every kernel must early-terminate.
+			if got != nil || want != nil {
+				t.Fatalf("early=%d gcd=%v: lanes=%v scalar=%v, want both early-terminated",
+					early, oracle, hex(got), hex(want))
+			}
+			return
+		}
+		if got == nil || want == nil {
+			t.Fatalf("early=%d gcd=%v: lanes=%v scalar=%v, want both exact",
+				early, oracle, hex(got), hex(want))
+		}
+		if got.ToBig().Cmp(oracle) != 0 {
+			t.Fatalf("lanes gcd = %s, oracle %v", got.Hex(), oracle)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("lanes gcd = %s, scalar %s", got.Hex(), want.Hex())
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package lanes
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+)
+
+// oddRand returns a random odd nat of exactly bits bits.
+func oddRand(rnd *rand.Rand, bits int) *mpnat.Nat {
+	v := new(big.Int).Rand(rnd, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+	v.SetBit(v, bits-1, 1)
+	v.SetBit(v, 0, 1)
+	return mpnat.FromBig(v)
+}
+
+// checkAgainstScalar runs every pair through a fresh kernel of the given
+// width and compares each result with the scalar Approximate kernel.
+func checkAgainstScalar(t *testing.T, width, maxBits int, pairs []Pair) {
+	t.Helper()
+	k := NewKernel(width, maxBits)
+	res := k.Run(pairs)
+	if len(res) != len(pairs) {
+		t.Fatalf("width %d: %d results for %d pairs", width, len(res), len(pairs))
+	}
+	s := gcd.NewScratch(maxBits)
+	for i, p := range pairs {
+		want, _ := s.Compute(gcd.Approximate, p.X, p.Y, gcd.Options{EarlyBits: p.Early})
+		got := res[i].G
+		if res[i].A != p.A || res[i].B != p.B {
+			t.Fatalf("width %d pair %d: labels (%d,%d), want (%d,%d)",
+				width, i, res[i].A, res[i].B, p.A, p.B)
+		}
+		switch {
+		case want == nil && got == nil:
+		case want == nil || got == nil:
+			t.Errorf("width %d pair %d (early=%d): got %v, want %v",
+				width, i, p.Early, hex(got), hex(want))
+		case got.Cmp(want) != 0:
+			t.Errorf("width %d pair %d (early=%d): got %s, want %s",
+				width, i, p.Early, got.Hex(), want.Hex())
+		}
+	}
+}
+
+func hex(n *mpnat.Nat) string {
+	if n == nil {
+		return "<early>"
+	}
+	return n.Hex()
+}
+
+// TestKernelMatchesScalar drives random pairs of many shapes through
+// several lane widths — including L=1 and batches that leave the final
+// supersteps ragged — and requires results identical to the scalar kernel.
+func TestKernelMatchesScalar(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	const maxBits = 1024
+	var pairs []Pair
+
+	add := func(x, y *mpnat.Nat, early int) {
+		pairs = append(pairs, Pair{A: len(pairs), B: -len(pairs), X: x, Y: y, Early: early})
+	}
+
+	// Random coprime-ish pairs across sizes, early on and off.
+	for _, bits := range []int{64, 65, 127, 128, 192, 512, 1024} {
+		for i := 0; i < 6; i++ {
+			x, y := oddRand(rnd, bits), oddRand(rnd, bits)
+			add(x, y, 0)
+			add(x, y, bits/2)
+		}
+	}
+	// Factor-sharing pairs: the bulk attack's payoff path.
+	for i := 0; i < 8; i++ {
+		p := oddRand(rnd, 256)
+		x := mpnat.FromBig(new(big.Int).Mul(p.ToBig(), oddRand(rnd, 256).ToBig()))
+		y := mpnat.FromBig(new(big.Int).Mul(p.ToBig(), oddRand(rnd, 256).ToBig()))
+		add(x, y, 0)
+		add(x, y, 256)
+	}
+	// Skewed lengths: exercises the ly == 1 and lx > ly approx cases and
+	// the beta > 0 path.
+	for i := 0; i < 8; i++ {
+		add(oddRand(rnd, 1024), oddRand(rnd, 64), 0)
+		add(oddRand(rnd, 1000), oddRand(rnd, 70), 0)
+		add(oddRand(rnd, 512), oddRand(rnd, 129), 0)
+	}
+	// Divisibility and equality edges: Y | X retires with gcd Y; X == Y
+	// drives the subtract-to-zero sweep path.
+	for i := 0; i < 4; i++ {
+		y := oddRand(rnd, 128)
+		x := mpnat.FromBig(new(big.Int).Mul(y.ToBig(), oddRand(rnd, 512).ToBig()))
+		add(x, y, 0)
+		eq := oddRand(rnd, 320)
+		add(eq, eq, 0)
+		add(eq, eq, 160)
+	}
+	// Tiny operands: straight into the 64-bit tail.
+	for i := 0; i < 8; i++ {
+		add(mpnat.New(uint64(rnd.Int63())|1), mpnat.New(uint64(rnd.Int63())|1), 0)
+		add(mpnat.New(uint64(rnd.Int63())|1), mpnat.New(3), 0)
+	}
+
+	for _, width := range []int{1, 3, 16} {
+		checkAgainstScalar(t, width, maxBits, pairs)
+	}
+}
+
+// TestKernelForcedBeta builds operands shaped so approx returns beta > 0
+// with a top-limb ratio near 1 (the hardest correction cases) and checks
+// them against the scalar kernel.
+func TestKernelForcedBeta(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	var pairs []Pair
+	for i := 0; i < 24; i++ {
+		// X = Y * D^k + r with r tiny: the first approximation strips k
+		// limbs at once and the top limbs nearly tie.
+		y := oddRand(rnd, 64+rnd.Intn(129))
+		k := 1 + rnd.Intn(6)
+		x := new(big.Int).Lsh(y.ToBig(), uint(64*k))
+		x.Add(x, big.NewInt(int64(rnd.Int31())|1))
+		pairs = append(pairs, Pair{A: i, B: i, X: mpnat.FromBig(x), Y: y})
+	}
+	for _, width := range []int{1, 5, 16} {
+		checkAgainstScalar(t, width, 1024, pairs)
+	}
+}
+
+// TestKernelTelemetry checks the run counters add up.
+func TestKernelTelemetry(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	var pairs []Pair
+	for i := 0; i < 50; i++ {
+		pairs = append(pairs, Pair{X: oddRand(rnd, 256), Y: oddRand(rnd, 256), Early: 128})
+	}
+	k := NewKernel(8, 256)
+	k.Run(pairs[:30])
+	k.Run(pairs[30:])
+	tel := k.Telemetry
+	if tel.Batches != 2 {
+		t.Errorf("Batches = %d, want 2", tel.Batches)
+	}
+	if tel.Retirements != 50 {
+		t.Errorf("Retirements = %d, want 50", tel.Retirements)
+	}
+	// Every retired lane beyond the initial loads of each batch is a refill.
+	if want := int64(50 - 2*8); tel.Refills != want {
+		t.Errorf("Refills = %d, want %d", tel.Refills, want)
+	}
+	if tel.LaneSlots != 8*tel.Supersteps {
+		t.Errorf("LaneSlots = %d with %d supersteps at width 8", tel.LaneSlots, tel.Supersteps)
+	}
+	if tel.ActiveLanes <= 0 || tel.ActiveLanes > tel.LaneSlots {
+		t.Errorf("ActiveLanes = %d out of range (LaneSlots = %d)", tel.ActiveLanes, tel.LaneSlots)
+	}
+	// Per-pair stats must be populated.
+	res := k.Run(pairs[:4])
+	for i, r := range res {
+		if r.Stats.Iterations <= 0 || r.Stats.MemOps <= 0 {
+			t.Errorf("pair %d: empty stats %+v", i, r.Stats)
+		}
+	}
+}
+
+// TestKernelZeroAllocSteadyState locks the arena contract: once warmed, a
+// batch of coprime pairs runs with zero heap allocations (the gcd-is-1
+// result is a shared constant, early terminations return nil).
+func TestKernelZeroAllocSteadyState(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	var pairs []Pair
+	for i := 0; i < 40; i++ {
+		pairs = append(pairs, Pair{X: oddRand(rnd, 512), Y: oddRand(rnd, 512), Early: 256})
+	}
+	k := NewKernel(16, 512)
+	k.Run(pairs) // warm the result buffer and conversion scratch
+	got := testing.AllocsPerRun(10, func() {
+		k.Run(pairs)
+	})
+	if got != 0 {
+		t.Errorf("%.1f allocs per warmed batch, want 0", got)
+	}
+}

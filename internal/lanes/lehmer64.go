@@ -1,0 +1,238 @@
+package lanes
+
+import "math/bits"
+
+// This file holds the head-batched quotient composition: the lane analog
+// of Lehmer's trick, fitted to the Approximate-Euclidean update. When a
+// lane's operands have equal limb length, several quotient steps are
+// simulated on the 64-bit normalized heads the kernel already carries in
+// registers, composed into a 2x2 unimodular matrix, and applied to the
+// operand columns in one dual-output fused sweep. One column pass then
+// pays for ~10 quotient steps instead of one, which is what lifts the
+// lane kernel past the scalar kernel: the per-step serial borrow/multiply
+// chain over the column was the dominant cost, and iteration counts of
+// the d = 64 and d = 32 kernels are otherwise identical (the average
+// quotient is small, so packing two words per limb does not shrink the
+// step count — see DESIGN.md section 5e).
+//
+// Correctness does not depend on the simulated quotients agreeing with
+// full-precision Euclid. The composed matrix M has det +-1 by
+// construction, so gcd(M * (X, Y)) = gcd(X, Y) for ANY quotient
+// sequence; the only obligations are that both outputs stay nonnegative
+// and strictly smaller, which the acceptance condition below guarantees
+// from the head error bound alone. The trailing-zero strips fused into
+// the apply preserve the odd gcd exactly like the scalar kernel's
+// rshift. Findings therefore stay byte-identical to the scalar kernel
+// by the same invariance argument as the per-step path.
+
+// maxBatchQ caps a simulated quotient: a step with q at or above 2^31
+// ends the batch and lets the full-precision path take it (such a step
+// removes 31+ bits on its own, so nothing is lost).
+const maxBatchQ = 1 << 31
+
+// headBatch tries to advance lane j by a batch of quotient steps
+// simulated on the normalized 64-bit heads. It requires lx == ly (the
+// caller checks) and returns false — lane untouched — when the heads
+// cannot certify even one step; the caller then falls back to the
+// single-step path, which guarantees outer progress.
+//
+// Head error bound: with W = 2^(p-64) for p = bitlen(X), X = (xh+ex)*W
+// and Y = (yh+ey)*W with ex, ey in [0,1). A composed row with
+// magnitudes (a, b) evaluates to (a*sim_x - b*sim_y + a*ex - b*ey)*W,
+// i.e. sim*W with an additive error strictly inside (-b, a) head units.
+// Requiring sim_x >= u0+u1 and sim_y >= v0+v1 after every accepted step
+// therefore keeps both true outputs strictly positive at apply time.
+func (k *Kernel) headBatch(j int) bool {
+	// Normalize both heads to X's top bit: xh gets its MSB set, yh is
+	// Y's bits in the same window (yh < 2^64 because Y <= X).
+	s := uint(bits.LeadingZeros64(k.hx1[j]))
+	xh := k.hx1[j]<<s | cshift(k.hx2[j], s)
+	yh := k.hy1[j]<<s | cshift(k.hy2[j], s)
+	if yh == 0 {
+		return false // Y more than 64 bits below X: one 4-C step strips plenty
+	}
+	u0, u1 := uint64(1), uint64(0) // row of X: +u0*X - u1*Y (parity even)
+	v0, v1 := uint64(0), uint64(1) // row of Y: -v0*X + v1*Y
+	sx, sy := xh, yh
+	t := 0
+	for {
+		// Quotient of the simulated remainders. Small quotients dominate
+		// (Gauss-Kuzmin), so peel q in {1, 2, 3} with subtractions before
+		// paying for a hardware divide.
+		var q, r uint64
+		switch d := sx - sy; {
+		case d < sy:
+			q, r = 1, d
+		case d-sy < sy:
+			q, r = 2, d-sy
+		case d-2*sy < sy:
+			q, r = 3, d-2*sy
+		default:
+			q = sx / sy
+			r = sx - q*sy
+			if q >= maxBatchQ {
+				break // huge step: let full precision take it
+			}
+		}
+		// Candidate coefficient row, with overflow guards.
+		h0, m0 := bits.Mul64(q, v0)
+		h1, m1 := bits.Mul64(q, v1)
+		nv0, c0 := bits.Add64(m0, u0, 0)
+		nv1, c1 := bits.Add64(m1, u1, 0)
+		if h0|c0|h1|c1 != 0 {
+			break
+		}
+		// Acceptance: the post-step invariant sim >= sum of its row's
+		// coefficients, for both rows, keeps the eventual apply
+		// nonnegative. sy >= v0+v1 holds inductively for the new X row;
+		// the new Y row needs r >= nv0+nv1.
+		sum, cs := bits.Add64(nv0, nv1, 0)
+		if cs != 0 || r < sum {
+			break
+		}
+		u0, u1, v0, v1 = v0, v1, nv0, nv1
+		sx, sy = sy, r
+		t++
+	}
+	if t == 0 {
+		return false
+	}
+	// Apply the composed matrix. Signs alternate with step parity: after
+	// an even number of steps the X row is (+u0, -u1) and the Y row
+	// (-v0, +v1); odd parity flips both. Renaming the planes folds the
+	// parity away: newX = a*P - b*Q and newY = d*Q - c*P.
+	xm, ym := k.lanePlanes(j)
+	var a, b, c, d uint64
+	var pm, qm []uint64
+	if t&1 == 0 {
+		a, b, c, d = u0, u1, v0, v1
+		pm, qm = xm, ym
+	} else {
+		a, b, c, d = u1, u0, v1, v0
+		pm, qm = ym, xm
+	}
+	// Account the batch before the apply shrinks the lengths: t quotient
+	// steps, one read and one write of each column, in the paper's
+	// 32-bit-word units.
+	k.memops[j] += 8 * int64(k.lx[j])
+	k.applyLane(j, a, b, c, d, pm, qm, xm, ym)
+	k.iters[j] += int32(t)
+	return true
+}
+
+// applyLane streams newX = a*P - b*Q into the X plane and
+// newY = d*Q - c*P into the Y plane in one fused column pass, with the
+// same trailing-zero strip, head capture and zero-padding as sweepLane.
+// P and Q are the X/Y planes in parity order; both write cursors trail
+// the shared read cursor, so the update is in place.
+func (k *Kernel) applyLane(j int, a, b, c, d uint64, pm, qm, xm, ym []uint64) {
+	l := k.l
+	lx := int(k.lx[j])
+	var carA, carB, carC, carD uint64 // multiply carries of a*P, b*Q, c*P, d*Q
+	var borX, borY uint64             // borrows of the two subtractions
+	var pendX, pendY, shX, shY, lastX, lastY uint64
+	startedX, startedY := false, false
+	idx := j
+	outX, outY := j, j
+	outLenX, outLenY := 0, 0
+	for i := 0; i < lx; i++ {
+		pv, qv := pm[idx], qm[idx]
+		idx += l
+
+		hiA, loA := bits.Mul64(pv, a)
+		loA, cc := bits.Add64(loA, carA, 0)
+		carA = hiA + cc
+		hiB, loB := bits.Mul64(qv, b)
+		loB, cc = bits.Add64(loB, carB, 0)
+		carB = hiB + cc
+		dx, br := bits.Sub64(loA, loB, borX)
+		borX = br
+
+		hiD, loD := bits.Mul64(qv, d)
+		loD, cc = bits.Add64(loD, carD, 0)
+		carD = hiD + cc
+		hiC, loC := bits.Mul64(pv, c)
+		loC, cc = bits.Add64(loC, carC, 0)
+		carC = hiC + cc
+		dy, br2 := bits.Sub64(loD, loC, borY)
+		borY = br2
+
+		if startedX {
+			w := pendX | dx<<(64-shX)
+			xm[outX] = w
+			lastX = w
+			outX += l
+			outLenX++
+			pendX = dx >> shX
+		} else if dx != 0 {
+			startedX = true
+			shX = uint64(bits.TrailingZeros64(dx))
+			pendX = dx >> shX
+		}
+		if startedY {
+			w := pendY | dy<<(64-shY)
+			ym[outY] = w
+			lastY = w
+			outY += l
+			outLenY++
+			pendY = dy >> shY
+		} else if dy != 0 {
+			startedY = true
+			shY = uint64(bits.TrailingZeros64(dy))
+			pendY = dy >> shY
+		}
+	}
+	// Both combinations are nonnegative and below 2^(64*lx): the
+	// leftover multiply carries must cancel against the borrows.
+	if carA != carB+borX || carD != carC+borY {
+		panic("lanes: batch apply underflow")
+	}
+	newLenX := 0
+	if startedX {
+		xm[outX] = pendX
+		newLenX = outLenX + 1
+		k.hx1[j] = pendX
+		k.hx2[j] = 0
+		if outLenX > 0 {
+			k.hx2[j] = lastX
+		}
+		if pendX == 0 {
+			for newLenX > 0 && xm[(newLenX-1)*l+j] == 0 {
+				newLenX--
+			}
+		}
+	} else {
+		k.hx1[j], k.hx2[j] = 0, 0
+	}
+	newLenY := 0
+	if startedY {
+		ym[outY] = pendY
+		newLenY = outLenY + 1
+		k.hy1[j] = pendY
+		k.hy2[j] = 0
+		if outLenY > 0 {
+			k.hy2[j] = lastY
+		}
+		if pendY == 0 {
+			for newLenY > 0 && ym[(newLenY-1)*l+j] == 0 {
+				newLenY--
+			}
+		}
+	} else {
+		k.hy1[j], k.hy2[j] = 0, 0
+	}
+	for i := newLenX; i < lx; i++ {
+		xm[i*l+j] = 0
+	}
+	for i := newLenY; i < lx; i++ {
+		ym[i*l+j] = 0
+	}
+	k.lx[j] = int32(newLenX)
+	k.ly[j] = int32(newLenY)
+	if startedX && pendX == 0 {
+		k.reloadXHead(j)
+	}
+	if startedY && pendY == 0 {
+		k.reloadYHead(j)
+	}
+}

@@ -147,9 +147,15 @@ func (n *Nat) MulWord(y *Nat, alpha uint32) *Nat {
 		return n
 	}
 	ly := len(y.w)
-	out := make([]uint32, ly+1)
+	out := n.w
+	if cap(out) < ly+1 {
+		out = make([]uint32, ly+1)
+	} else {
+		out = out[:ly+1]
+	}
 	var carry uint32
 	for i := 0; i < ly; i++ {
+		// In-place (n == y) is safe: position i is read before written.
 		hi, lo := word.MulAdd(y.w[i], alpha, carry, 0)
 		out[i] = lo
 		carry = hi

@@ -136,6 +136,15 @@ func (n *Nat) Clone() *Nat {
 	return &Nat{w: append([]uint32(nil), n.w...)}
 }
 
+// SetWords sets n from little-endian words, copying into n's own storage
+// (reused when capacity allows) and normalizing. The lane-batched kernel
+// uses it to hand back retired results without allocating.
+func (n *Nat) SetWords(ws []uint32) *Nat {
+	n.w = append(n.w[:0], ws...)
+	n.norm()
+	return n
+}
+
 // Cmp compares n and x, returning -1, 0 or +1. Lengths are compared first
 // and only on equal lengths are words inspected from the most significant
 // end, exactly the "X < Y" procedure of Section IV.
@@ -336,6 +345,142 @@ func (n *Nat) Div(x, y *Nat) *Nat {
 // DivMod returns (x div y, x mod y) as fresh Nats. y must be non-zero.
 func DivMod(x, y *Nat) (q, r *Nat) {
 	return divmod(x, y)
+}
+
+// DivScratch carries the working storage of a long division, so that hot
+// loops (the per-iteration Mod of the Original Euclidean algorithm, the
+// per-iteration DivMod of Fast) run without per-call allocation. A
+// DivScratch is not safe for concurrent use; pools hold one per worker.
+type DivScratch struct {
+	u, v []uint32
+	q    Nat // quotient storage for Mod, where the caller discards it
+}
+
+// grow resizes a scratch buffer to n words, reusing capacity.
+func grow(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	return buf[:n]
+}
+
+// DivMod sets q = x div y and r = x mod y without allocating when q, r
+// and the scratch have sufficient capacity. y must be non-zero; q and r
+// must not alias each other, x, or y.
+func (s *DivScratch) DivMod(q, r, x, y *Nat) {
+	divmodInto(q, r, x, y, s)
+}
+
+// Mod sets r = x mod y through the scratch; the quotient is discarded.
+// y must be non-zero. r may alias x (the dividend is copied into the
+// scratch before r is written) but must not alias y.
+func (s *DivScratch) Mod(r, x, y *Nat) {
+	divmodInto(&s.q, r, x, y, s)
+}
+
+// divmodInto is the allocation-free core of divmod: quotient and
+// remainder land in the caller's Nats, every intermediate lives in the
+// scratch. The algorithm is the same Knuth D as divmod below.
+func divmodInto(q, r, x, y *Nat, s *DivScratch) {
+	if y.IsZero() {
+		panic("mpnat: division by zero")
+	}
+	if x.Cmp(y) < 0 {
+		q.w = q.w[:0]
+		r.Set(x)
+		return
+	}
+	if len(y.w) == 1 {
+		divmodWordInto(q, r, x, y.w[0])
+		return
+	}
+	shift := word.LeadingZeros32(y.w[len(y.w)-1])
+	// u = x << shift with one extra high word; v = y << shift.
+	s.u = grow(s.u, len(x.w)+2)
+	s.v = grow(s.v, len(y.w)+1)
+	uw := lshiftInto(s.u, x.w, shift)
+	vw := lshiftInto(s.v, y.w, shift)
+	nn := len(vw)
+	m := len(uw) - nn
+	uw = append(uw, 0)
+	s.u = uw[:0]
+	q.w = grow(q.w, m+1)
+	qw := q.w
+	vTop := uint64(vw[nn-1])
+	vNext := uint64(vw[nn-2])
+	for j := m; j >= 0; j-- {
+		num := word.Join(uw[j+nn], uw[j+nn-1])
+		qh := num / vTop
+		rh := num % vTop
+		for qh >= word.Base || qh*vNext > (rh<<word.Bits|uint64(uw[j+nn-2])) {
+			qh--
+			rh += vTop
+			if rh >= word.Base {
+				break
+			}
+		}
+		var borrow uint32
+		var mulCarry uint32
+		for i := 0; i < nn; i++ {
+			hi, lo := word.MulAdd(uint32(qh), vw[i], mulCarry, 0)
+			uw[j+i], borrow = word.Sub32(uw[j+i], lo, borrow)
+			mulCarry = hi
+		}
+		uw[j+nn], borrow = word.Sub32(uw[j+nn], mulCarry, borrow)
+		if borrow != 0 {
+			qh--
+			var c uint32
+			for i := 0; i < nn; i++ {
+				uw[j+i], c = word.Add32(uw[j+i], vw[i], c)
+			}
+			uw[j+nn] += c
+		}
+		qw[j] = uint32(qh)
+	}
+	q.w = qw
+	q.norm()
+	// Remainder: uw[:nn] >> shift, into r without touching uw's backing
+	// (r survives the next scratch reuse because Rshift copies).
+	var rem Nat
+	rem.w = uw[:nn]
+	rem.norm()
+	r.Rshift(&rem, shift)
+}
+
+// lshiftInto writes src << shift into dst (sized len(src)+1) and returns
+// the normalized slice. shift < 32.
+func lshiftInto(dst, src []uint32, shift int) []uint32 {
+	n := len(src)
+	dst = dst[:n+1]
+	if shift == 0 {
+		copy(dst, src)
+		dst[n] = 0
+	} else {
+		var carry uint32
+		for i := 0; i < n; i++ {
+			dst[i] = src[i]<<shift | carry
+			carry = src[i] >> (32 - shift)
+		}
+		dst[n] = carry
+	}
+	i := len(dst)
+	for i > 0 && dst[i-1] == 0 {
+		i--
+	}
+	return dst[:i]
+}
+
+// divmodWordInto divides x by a single non-zero word into q and r.
+func divmodWordInto(q, r *Nat, x *Nat, y uint32) {
+	q.w = grow(q.w, len(x.w))
+	var rem uint64
+	for i := len(x.w) - 1; i >= 0; i-- {
+		cur := rem<<word.Bits | uint64(x.w[i])
+		q.w[i] = uint32(cur / uint64(y))
+		rem = cur % uint64(y)
+	}
+	q.norm()
+	r.SetUint64(rem)
 }
 
 // divmod implements schoolbook base-2^32 long division (Knuth Algorithm D
