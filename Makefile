@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos cover bench bench-smoke selftest reproduce clean
+.PHONY: all build test vet race chaos cover bench bench-smoke fuzz-smoke selftest reproduce clean
 
 all: build vet test
 
@@ -16,11 +16,12 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Every package with its own goroutine pool: the bulk all-pairs executor,
-# the batch-GCD tree engine, the attack pipeline that drives both, the
-# lock-free metrics layer, the lane-batched kernel (shared per-worker
-# arenas), and the public facade.
+# the batch-GCD tree engine (both tree backends), the attack pipeline
+# that drives both, the lock-free metrics layer, the lane-batched kernel
+# (shared per-worker arenas), the subquadratic multiplier + generic tree
+# builder they all multiply through, and the public facade.
 race:
-	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ ./internal/lanes/ .
+	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ ./internal/lanes/ ./internal/mpnat/ ./internal/subprod/ .
 
 # Fault-injection hardening: the chaos suite (kill/resume/panic
 # campaigns, chaos_test.go) plus the resilience packages it drives, all
@@ -49,11 +50,22 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 	$(GO) test -short -run '^$$' -bench BenchmarkHybrid -benchtime=1x ./internal/bulk/
 	GOMAXPROCS=1 $(GO) test -short -run '^$$' -bench 'BenchmarkLaneKernel$$' -benchtime=1x ./internal/lanes/
+	GOMAXPROCS=1 $(GO) test -short -run '^$$' -bench 'BenchmarkTreeMul$$' -benchtime=1x ./internal/mpnat/
 	mkdir -p results
 	$(GO) run ./cmd/gcdbench -table 4,5 -pairs 100 -moduli 96 -cpupairs 30 \
 	    -sizes 256,512 -json results/bench-smoke.json
 	$(GO) run ./cmd/gcdbench -crossover -engine pairs,batch,hybrid \
 	    -sizes 256 -json results/bench-smoke-engines.json
+
+# 30-second budget per fuzzer over the arithmetic core: the multiplication
+# dispatch, division, the fused update, and hex parsing, each differential
+# against math/big (the corpus seeds pin the dispatch boundaries).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMulMatchesBig -fuzztime 30s ./internal/mpnat/
+	$(GO) test -run '^$$' -fuzz FuzzDivMod -fuzztime 30s ./internal/mpnat/
+	$(GO) test -run '^$$' -fuzz FuzzSubMulRshift -fuzztime 30s ./internal/mpnat/
+	$(GO) test -run '^$$' -fuzz FuzzHexRoundTrip -fuzztime 30s ./internal/mpnat/
+	$(GO) test -run '^$$' -fuzz FuzzLanesMatchesScalar -fuzztime 30s ./internal/lanes/
 
 selftest:
 	$(GO) run ./cmd/gcdselftest -n 5000 -v

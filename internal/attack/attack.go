@@ -19,6 +19,7 @@ import (
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/rsakey"
+	"bulkgcd/internal/subprod"
 )
 
 // Options configures an attack run. The cross-engine surface (Workers,
@@ -78,6 +79,12 @@ type Options struct {
 
 	// LaneWidth is the lanes kernel's lane count; 0 means the default.
 	LaneWidth int
+
+	// Tree selects the batch engine's product/remainder tree arithmetic
+	// (the pairs and hybrid engines ignore it): subprod.BackendBig (the
+	// default) or subprod.BackendNat, the packed-word subquadratic mpnat
+	// path. Findings are identical across backends.
+	Tree subprod.TreeBackend
 }
 
 // EngineKind resolves the selected engine, honoring the deprecated
@@ -290,7 +297,7 @@ func runBatch(ctx context.Context, moduli []*mpnat.Nat, opt Options) (*Report, e
 		}
 		big_[i] = m.ToBig()
 	}
-	cfg := batchgcd.Config{Config: opt.Config}
+	cfg := batchgcd.Config{Config: opt.Config, Tree: opt.Tree}
 	start := time.Now()
 	findings, err := batchgcd.RunContext(ctx, big_, cfg)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/rsakey"
+	"bulkgcd/internal/subprod"
 )
 
 // differentialCorpus builds a seeded corpus exercising every finding
@@ -109,14 +110,17 @@ func TestDifferentialEngines(t *testing.T) {
 				}
 			}
 			for _, w := range []int{1, 3} {
-				combos = append(combos, combo{
-					name: fmt.Sprintf("batch/workers=%d", w),
-					opt: Options{
-						Config:   engine.Config{Workers: w},
-						Engine:   engine.Batch,
-						Exponent: rsakey.DefaultExponent,
-					},
-				})
+				for _, tree := range []subprod.TreeBackend{subprod.BackendBig, subprod.BackendNat} {
+					combos = append(combos, combo{
+						name: fmt.Sprintf("batch/workers=%d/tree=%s", w, tree),
+						opt: Options{
+							Config:   engine.Config{Workers: w},
+							Engine:   engine.Batch,
+							Tree:     tree,
+							Exponent: rsakey.DefaultExponent,
+						},
+					})
+				}
 			}
 			for _, tile := range []int{1, 4, 32, len(moduli)} {
 				for _, w := range []int{1, 8} {
@@ -234,5 +238,69 @@ func checkReportsIdentical(t *testing.T, a, b *Report) {
 		if a.Duplicates[i] != b.Duplicates[i] {
 			t.Fatalf("duplicate %d differs: %v vs %v", i, a.Duplicates[i], b.Duplicates[i])
 		}
+	}
+}
+
+// TestDifferentialEnginesSubquadraticTiles is the end-to-end gate of
+// the subquadratic multiplication backbone: with the mpnat cutoffs
+// lowered to (4, 10) words, the hybrid engine's tile subproducts and
+// the batch engine's nat-backed trees cross the Karatsuba and Toom-3
+// dispatch boundaries even on this 128-bit corpus (a full-corpus tile
+// multiplies ~32x32-word operands at the top of the balanced
+// reduction). Every report must stay byte-identical to the scalar
+// all-pairs engine and correct against the naive oracle — if a dispatch
+// band miscomputed a single word, a subproduct would lose or invent a
+// shared factor and the reports would diverge.
+func TestDifferentialEnginesSubquadraticTiles(t *testing.T) {
+	defer mpnat.SetMulThresholds(4, 10)()
+	for seed := int64(75); seed < 77; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			moduli := differentialCorpus(t, seed)
+			wantBroken, wantDups := naiveReference(moduli)
+
+			base, err := Run(moduli, Options{
+				Config:    engine.Config{Workers: 2},
+				Algorithm: gcd.Approximate, Early: true,
+				Exponent: rsakey.DefaultExponent,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstNaive(t, moduli, base, wantBroken, wantDups)
+
+			// Tile sizes straddling both lowered cutoffs: products of 2, 5,
+			// 8 and all moduli put the balanced reduction's top level below,
+			// between, and above the Karatsuba and Toom-3 boundaries.
+			for _, tile := range []int{2, 5, 8, len(moduli)} {
+				rep, err := Run(moduli, Options{
+					Config:    engine.Config{Workers: 3},
+					Engine:    engine.Hybrid,
+					Algorithm: gcd.Approximate, Early: true,
+					TileSize: tile,
+					Exponent: rsakey.DefaultExponent,
+				})
+				if err != nil {
+					t.Fatalf("hybrid tile=%d: %v", tile, err)
+				}
+				checkAgainstNaive(t, moduli, rep, wantBroken, wantDups)
+				checkReportsIdentical(t, base, rep)
+			}
+
+			// Batch GCD on the nat tree: the full product tree and the
+			// remainder-tree squares run deep in Karatsuba/Toom-3 territory.
+			for _, w := range []int{1, 4} {
+				rep, err := Run(moduli, Options{
+					Config:   engine.Config{Workers: w},
+					Engine:   engine.Batch,
+					Tree:     subprod.BackendNat,
+					Exponent: rsakey.DefaultExponent,
+				})
+				if err != nil {
+					t.Fatalf("batch nat workers=%d: %v", w, err)
+				}
+				checkAgainstNaive(t, moduli, rep, wantBroken, wantDups)
+				checkReportsIdentical(t, base, rep)
+			}
+		})
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"bulkgcd/internal/engine"
 	"bulkgcd/internal/rsakey"
+	"bulkgcd/internal/subprod"
 )
 
 func weakCorpus(t testing.TB, count, bits, weak int, seed int64) *rsakey.Corpus {
@@ -317,6 +318,83 @@ func BenchmarkBatchGCD128x512(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := SharedFactors(ms); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestBatchGCDTreeBackends is the backend differential gate of the
+// subquadratic-multiplication PR: the Finding list must be
+// byte-identical whether the product and remainder trees run on
+// math/big or on the packed-word mpnat path, serial and parallel, on a
+// corpus with planted shared primes and duplicates. The progress
+// accounting must be identical too — the unit totals are a documented
+// part of the Config contract.
+func TestBatchGCDTreeBackends(t *testing.T) {
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
+		Count: 301, Bits: 256, WeakPairs: 6, Seed: 12, Pseudo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := bigModuli(c) // odd count exercises promoted nodes on both paths
+	ms = append(ms, new(big.Int).Set(ms[3]), new(big.Int).Set(ms[4]))
+
+	progress := func(n *int64) func(done, total int64) {
+		var mu sync.Mutex
+		return func(done, total int64) { mu.Lock(); *n++; mu.Unlock() }
+	}
+	var bigTicks int64
+	base, err := RunConfig(ms, Config{
+		Config: engine.Config{Workers: 1, Progress: progress(&bigTicks)},
+		Tree:   subprod.BackendBig,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("corpus with planted pairs produced no findings")
+	}
+	for _, w := range []int{1, 3, 8} {
+		var natTicks int64
+		got, err := RunConfig(ms, Config{
+			Config: engine.Config{Workers: w, Progress: progress(&natTicks)},
+			Tree:   subprod.BackendNat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("nat workers=%d: %d findings, big backend has %d", w, len(got), len(base))
+		}
+		for i := range got {
+			g, b := got[i], base[i]
+			if g.Index != b.Index || g.DuplicateOf != b.DuplicateOf || g.Factor.Cmp(b.Factor) != 0 {
+				t.Fatalf("nat workers=%d: finding %d differs: %+v vs %+v", w, i, g, b)
+			}
+		}
+		if w == 1 && natTicks != bigTicks {
+			t.Fatalf("progress ticks differ across backends: big %d, nat %d", bigTicks, natTicks)
+		}
+	}
+}
+
+// TestSharedFactorsTreeBackends pins the backend equivalence one layer
+// down: the per-modulus g_i vector itself, not just the resolved
+// findings.
+func TestSharedFactorsTreeBackends(t *testing.T) {
+	c := weakCorpus(t, 64, 128, 3, 13)
+	ms := bigModuli(c)
+	want, err := SharedFactorsConfig(ms, Config{Tree: subprod.BackendBig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SharedFactorsConfig(ms, Config{Tree: subprod.BackendNat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Cmp(got[i]) != 0 {
+			t.Fatalf("g_%d differs: big %v, nat %v", i, want[i], got[i])
 		}
 	}
 }

@@ -1,0 +1,67 @@
+package mpnat
+
+import "sync/atomic"
+
+// A MulBackend intercepts multiplications before the native dispatch in
+// mul.go runs. It returns true when it handled z = x*y, false to
+// decline (the native schoolbook/Karatsuba/Toom-3 path then runs). A
+// backend must produce exactly the mathematical product — every
+// differential suite in this repository asserts findings are
+// byte-identical with and without one installed.
+//
+// The intended use is the tree-level escape hatch of DESIGN.md section
+// 5f: product and remainder trees over large corpora multiply operands
+// of 10^5..10^7 words, where math/big's assembly inner loops and
+// deeper recursion beat this package's portable word loops, while the
+// GCD kernels keep the paper's d = 32/64 word layout untouched (they
+// never multiply). BigMulBackend is that backend; SetMulBackend
+// installs any other.
+type MulBackend func(z, x, y *Nat) bool
+
+// mulBackend is consulted on every Mul. An atomic pointer keeps the
+// read race-free against a concurrent SetMulBackend, but engines are
+// expected to install a backend before spawning workers: swapping it
+// mid-run is safe, merely unhelpful.
+var mulBackend atomic.Pointer[MulBackend]
+
+// SetMulBackend installs (or with nil, removes) the package-wide
+// multiplication backend and returns a function restoring the previous
+// one. The build tag "mpnat_bigmul" installs BigMulBackend
+// (DefaultBigMulWords) at init; this call overrides it either way.
+func SetMulBackend(b MulBackend) (restore func()) {
+	var p *MulBackend
+	if b != nil {
+		p = &b
+	}
+	prev := mulBackend.Swap(p)
+	return func() { mulBackend.Store(prev) }
+}
+
+// loadMulBackend returns the installed backend or nil.
+func loadMulBackend() MulBackend {
+	if p := mulBackend.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// DefaultBigMulWords is the word cutoff the mpnat_bigmul build tag
+// installs BigMulBackend with: below it the conversion round trip costs
+// more than math/big's inner loops save.
+const DefaultBigMulWords = 2048
+
+// BigMulBackend returns a MulBackend routing multiplications where both
+// operands have at least minWords 32-bit words through math/big
+// (conversion is O(n) each way via the word-packing fast paths of
+// FromBig/ToBig). Smaller multiplications are declined and stay on the
+// native subquadratic path.
+func BigMulBackend(minWords int) MulBackend {
+	return func(z, x, y *Nat) bool {
+		if len(x.w) < minWords || len(y.w) < minWords {
+			return false
+		}
+		xb, yb := x.ToBig(), y.ToBig()
+		z.SetBig(xb.Mul(xb, yb))
+		return true
+	}
+}

@@ -1,0 +1,12 @@
+//go:build mpnat_bigmul
+
+package mpnat
+
+// Building with -tags mpnat_bigmul routes every multiplication whose
+// operands both reach DefaultBigMulWords through math/big's assembly
+// fast paths (see backend.go). The word-level GCD kernels are
+// unaffected — they never multiply — so this is a pure tree-build
+// accelerator for very large corpora. SetMulBackend still overrides.
+func init() {
+	SetMulBackend(BigMulBackend(DefaultBigMulWords))
+}

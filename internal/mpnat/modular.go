@@ -1,6 +1,6 @@
 package mpnat
 
-import "bulkgcd/internal/word"
+import "sync"
 
 // This file completes the arithmetic substrate with the modular operations
 // the RSA layer needs: multiplication, modular exponentiation (RSA encrypt
@@ -11,30 +11,33 @@ import "bulkgcd/internal/word"
 // math/big remains only in conversions, reference oracles and the batch
 // GCD baseline.
 
-// Mul sets n = x * y and returns n (schoolbook multiplication).
+// mulScratchPool backs Nat.Mul calls that arrive without a caller-owned
+// MulScratch; hot tree builders hold one per worker instead.
+var mulScratchPool = sync.Pool{New: func() any { return new(MulScratch) }}
+
+// Mul sets n = x * y and returns n. Operands below KaratsubaThreshold
+// run the schoolbook loop; larger ones dispatch through the
+// subquadratic path of mul.go (Karatsuba, then Toom-3) on a pooled
+// MulScratch, honoring any installed MulBackend.
 // Aliasing among n, x, y is allowed.
 func (n *Nat) Mul(x, y *Nat) *Nat {
-	if x.IsZero() || y.IsZero() {
+	lx, ly := len(x.w), len(y.w)
+	if lx == 0 || ly == 0 {
 		n.w = n.w[:0]
 		return n
 	}
-	lx, ly := len(x.w), len(y.w)
-	out := make([]uint32, lx+ly)
-	for i := 0; i < lx; i++ {
-		var carry uint32
-		xi := x.w[i]
-		if xi == 0 {
-			continue
-		}
-		for j := 0; j < ly; j++ {
-			hi, lo := word.MulAdd(xi, y.w[j], out[i+j], carry)
-			out[i+j] = lo
-			carry = hi
-		}
-		out[i+ly] = carry
+	if (lx < karatsubaThreshold || ly < karatsubaThreshold) && loadMulBackend() == nil {
+		// Small operands: one schoolbook pass into a fresh buffer
+		// (aliasing-safe), no arena needed.
+		out := make([]uint32, lx+ly)
+		basicMul(out, x.w, y.w)
+		n.w = out
+		n.norm()
+		return n
 	}
-	n.w = out
-	n.norm()
+	s := mulScratchPool.Get().(*MulScratch)
+	s.Mul(n, x, y)
+	mulScratchPool.Put(s)
 	return n
 }
 

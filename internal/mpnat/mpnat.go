@@ -18,6 +18,7 @@ package mpnat
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"strings"
 
 	"bulkgcd/internal/word"
@@ -561,29 +562,43 @@ func divmodWord(x *Nat, y uint32) (q, r *Nat) {
 	return q, New(rem)
 }
 
-// ToBig returns the value of n as a fresh big.Int.
+// wordsPerBig is how many 32-bit words one big.Word holds (2 on 64-bit
+// platforms, 1 on 32-bit ones).
+const wordsPerBig = bits.UintSize / word.Bits
+
+// ToBig returns the value of n as a fresh big.Int. The conversion packs
+// the word slice directly into big.Word limbs (O(n)), so routing a
+// tree-level multiplication through math/big costs two linear passes,
+// not a quadratic shift-and-or loop.
 func (n *Nat) ToBig() *big.Int {
-	out := new(big.Int)
-	for i := len(n.w) - 1; i >= 0; i-- {
-		out.Lsh(out, word.Bits)
-		out.Or(out, big.NewInt(int64(n.w[i])))
+	bw := make([]big.Word, (len(n.w)+wordsPerBig-1)/wordsPerBig)
+	for i, w := range n.w {
+		bw[i/wordsPerBig] |= big.Word(w) << ((i % wordsPerBig) * word.Bits)
 	}
-	return out
+	return new(big.Int).SetBits(bw)
+}
+
+// SetBig sets n to the value of b, which must be non-negative, and
+// returns n. Like ToBig it unpacks big.Word limbs directly (O(n)).
+func (n *Nat) SetBig(b *big.Int) *Nat {
+	if b.Sign() < 0 {
+		panic("mpnat: SetBig of negative value")
+	}
+	bw := b.Bits()
+	n.w = n.w[:0]
+	n.Grow(len(bw) * wordsPerBig)
+	for _, w := range bw {
+		for k := 0; k < wordsPerBig; k++ {
+			n.w = append(n.w, uint32(w>>(k*word.Bits)))
+		}
+	}
+	n.norm()
+	return n
 }
 
 // FromBig returns a Nat holding the value of b, which must be non-negative.
 func FromBig(b *big.Int) *Nat {
-	if b.Sign() < 0 {
-		panic("mpnat: FromBig of negative value")
-	}
-	t := new(big.Int).Set(b)
-	mask := big.NewInt(int64(word.Mask))
-	var ws []uint32
-	for t.Sign() != 0 {
-		ws = append(ws, uint32(new(big.Int).And(t, mask).Uint64()))
-		t.Rsh(t, word.Bits)
-	}
-	return &Nat{w: ws}
+	return new(Nat).SetBig(b)
 }
 
 // String formats n in decimal.

@@ -1,0 +1,105 @@
+package mpnat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// treeMulWords is the operand size of the enforced benchmark: 64k
+// 32-bit words = 2 Mbit, the top-level multiplication of a product
+// tree over ~4096 512-bit moduli — exactly the shape the batch and
+// hybrid engines feed Mul. Short mode shrinks it so bench-smoke stays
+// cheap while still enforcing the bound.
+const treeMulWords = 64 * 1024
+
+// timeMul measures one z = x*y with the current dispatch settings.
+func timeMul(z, x, y *Nat, s *MulScratch) time.Duration {
+	start := time.Now()
+	s.Mul(z, x, y)
+	return time.Since(start)
+}
+
+// BenchmarkTreeMul is the self-enforcing regression gate of the
+// subquadratic multiplication backbone (archived in BENCH_PR6.json):
+// it multiplies two tree-level-sized operands with the schoolbook loop
+// and with the subquadratic dispatch, verifies the products are
+// identical, fails the run outright if the subquadratic path is not at
+// least 2x faster, and then reports the subquadratic ns/op. Run it at
+// GOMAXPROCS=1: both paths are single-goroutine, and the paper's
+// per-core accounting keeps the comparison honest.
+func BenchmarkTreeMul(b *testing.B) {
+	words := treeMulWords
+	reps := 1
+	if testing.Short() {
+		words = 8 * 1024
+		reps = 2
+	}
+	r := rand.New(rand.NewSource(612))
+	x, y := randNat(r, words), randNat(r, words)
+	s := new(MulScratch)
+	school, sub := new(Nat).Grow(2*words), new(Nat).Grow(2*words)
+
+	restore := SetMulThresholds(1<<30, 1<<30) // everything schoolbook
+	var schoolNs time.Duration
+	for i := 0; i < reps; i++ {
+		schoolNs += timeMul(school, x, y, s)
+	}
+	restore()
+	var subNs time.Duration
+	for i := 0; i < reps; i++ {
+		subNs += timeMul(sub, x, y, s)
+	}
+	if school.Cmp(sub) != 0 {
+		b.Fatal("subquadratic product differs from schoolbook")
+	}
+	speedup := float64(schoolNs) / float64(subNs)
+	b.Logf("%d-word operands: schoolbook %v, subquadratic %v, speedup %.1fx",
+		words, schoolNs/time.Duration(reps), subNs/time.Duration(reps), speedup)
+	if speedup < 2 {
+		b.Fatalf("subquadratic Mul is only %.2fx schoolbook on %d-word operands, want >= 2x", speedup, words)
+	}
+	b.ReportMetric(speedup, "x-vs-schoolbook")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Mul(sub, x, y)
+	}
+	b.ReportMetric(float64(words), "words")
+}
+
+// BenchmarkMulThresholds is the tuning sweep behind the shipped
+// (24, 256) cutoffs: at each size it times the schoolbook loop, plain
+// Karatsuba (Toom-3 disabled), Toom-3 forced at the top level, and the
+// full dispatch, so `go test -bench BenchmarkMulThresholds` re-derives
+// both crossover points on any machine. On the reference amd64 box
+// Karatsuba passes schoolbook near 48 words and Toom-3 passes
+// Karatsuba between 256 and 768 words (see BENCH_PR6.json). Not
+// enforced — BenchmarkTreeMul is the gate.
+func BenchmarkMulThresholds(b *testing.B) {
+	r := rand.New(rand.NewSource(613))
+	for _, words := range []int{16, 24, 32, 48, 64, 96, 128, 256, 512, 1024, 2048} {
+		x, y := randNat(r, words), randNat(r, words)
+		s := new(MulScratch)
+		z := new(Nat).Grow(2 * words)
+		for _, mode := range []struct {
+			name  string
+			k, t3 int
+		}{
+			{"schoolbook", 1 << 30, 1 << 30},
+			{"karatsuba", 24, 1 << 30},
+			{"toom3", 24, words},
+			{"dispatch", 24, 256},
+		} {
+			b.Run(fmt.Sprintf("words=%d/%s", words, mode.name), func(b *testing.B) {
+				defer SetMulThresholds(mode.k, mode.t3)()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Mul(z, x, y)
+				}
+			})
+		}
+	}
+}

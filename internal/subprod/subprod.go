@@ -77,6 +77,49 @@ func (t *Tree) Root() *big.Int {
 	return top[0]
 }
 
+// NatTree is the mpnat twin of Tree: the same level layout and
+// odd-node promotion rule, with nodes held in the packed 32-bit word
+// representation the kernels and the hybrid filter consume directly.
+type NatTree struct {
+	Levels [][]*mpnat.Nat
+}
+
+// Root returns the product of all leaves.
+func (t *NatTree) Root() *mpnat.Nat {
+	top := t.Levels[len(t.Levels)-1]
+	return top[0]
+}
+
+// TreeBackend selects the arithmetic representation a product (and, in
+// batch GCD, remainder) tree is built on. Both backends produce the
+// same mathematical nodes — every differential suite asserts findings
+// are byte-identical across them — so the choice is purely about
+// performance shape: BackendBig rides math/big's assembly inner loops
+// and recursive division, BackendNat stays in the packed word layout
+// the subquadratic mpnat multiplier and the GCD kernels share, skipping
+// the conversion at the tree/kernel boundary.
+type TreeBackend int
+
+const (
+	// BackendBig builds tree nodes as *big.Int (the default).
+	BackendBig TreeBackend = iota
+	// BackendNat builds tree nodes as *mpnat.Nat with per-worker
+	// MulScratch arenas.
+	BackendNat
+)
+
+// String names the backend for logs and test labels.
+func (b TreeBackend) String() string {
+	switch b {
+	case BackendBig:
+		return "big"
+	case BackendNat:
+		return "nat"
+	default:
+		return fmt.Sprintf("TreeBackend(%d)", int(b))
+	}
+}
+
 // BuildOptions configures Build. The zero value builds serially with no
 // hooks.
 type BuildOptions struct {
@@ -104,22 +147,28 @@ func Mults(m int) int64 {
 	return total
 }
 
-// Build constructs the product tree of the leaves bottom-up. The leaf
-// slice is aliased as level 0, never modified.
-func Build(ctx context.Context, leaves []*big.Int, opt BuildOptions) (*Tree, error) {
+// buildLevels is the one tree-construction loop both backends share:
+// pair-and-promote bottom-up, level-parallel via ParallelEach, with the
+// OnLevel/OnNode observability hooks threaded through identically. The
+// backend enters only as the mul callback (worker is the ParallelEach
+// worker index, for per-worker scratch arenas), so the big.Int and
+// mpnat trees cannot drift apart structurally — the historical bug this
+// replaces was exactly two hand-rolled copies of this loop disagreeing
+// on representation details.
+func buildLevels[T any](ctx context.Context, leaves []T, opt BuildOptions, mul func(worker int, x, y T) T) ([][]T, error) {
 	if len(leaves) == 0 {
 		return nil, fmt.Errorf("subprod: empty input")
 	}
-	level := make([]*big.Int, len(leaves))
+	level := make([]T, len(leaves))
 	copy(level, leaves)
-	t := &Tree{Levels: [][]*big.Int{level}}
+	levels := [][]T{level}
 	for len(level) > 1 {
 		pairs := len(level) / 2
-		next := make([]*big.Int, (len(level)+1)/2)
+		next := make([]T, (len(level)+1)/2)
 		src := level
 		run := func() error {
-			return ParallelEach(ctx, pairs, opt.Workers, func(i, _ int) {
-				next[i] = new(big.Int).Mul(src[2*i], src[2*i+1])
+			return ParallelEach(ctx, pairs, opt.Workers, func(i, w int) {
+				next[i] = mul(w, src[2*i], src[2*i+1])
 				if opt.OnNode != nil {
 					opt.OnNode()
 				}
@@ -127,7 +176,7 @@ func Build(ctx context.Context, leaves []*big.Int, opt BuildOptions) (*Tree, err
 		}
 		var err error
 		if opt.OnLevel != nil {
-			err = opt.OnLevel(len(t.Levels), pairs, run)
+			err = opt.OnLevel(len(levels), pairs, run)
 		} else {
 			err = run()
 		}
@@ -137,17 +186,53 @@ func Build(ctx context.Context, leaves []*big.Int, opt BuildOptions) (*Tree, err
 		if len(level)%2 == 1 {
 			next[pairs] = level[len(level)-1] // odd node promotes unchanged
 		}
-		t.Levels = append(t.Levels, next)
+		levels = append(levels, next)
 		level = next
 	}
-	return t, nil
+	return levels, nil
 }
 
-// ProductNat multiplies the moduli into a single Nat by balanced pairwise
-// reduction (the schoolbook mpnat multiplier does best on balanced
-// operands). An empty slice yields 1. The inputs are never modified and
-// the result never aliases them, so cached products are safe to share
-// read-only across workers.
+// Build constructs the big.Int product tree of the leaves bottom-up.
+// The leaf slice is aliased as level 0, never modified.
+func Build(ctx context.Context, leaves []*big.Int, opt BuildOptions) (*Tree, error) {
+	levels, err := buildLevels(ctx, leaves, opt, func(_ int, x, y *big.Int) *big.Int {
+		return new(big.Int).Mul(x, y)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Levels: levels}, nil
+}
+
+// BuildNat constructs the mpnat product tree of the leaves bottom-up on
+// the same pair-and-promote path as Build, multiplying through the
+// subquadratic mpnat dispatch with one MulScratch arena per worker. The
+// leaf slice is aliased as level 0, never modified; every interior node
+// is freshly allocated and never aliases a leaf.
+func BuildNat(ctx context.Context, leaves []*mpnat.Nat, opt BuildOptions) (*NatTree, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	scratch := make([]*mpnat.MulScratch, workers)
+	for i := range scratch {
+		scratch[i] = new(mpnat.MulScratch)
+	}
+	levels, err := buildLevels(ctx, leaves, opt, func(w int, x, y *mpnat.Nat) *mpnat.Nat {
+		return scratch[w].Mul(new(mpnat.Nat), x, y)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &NatTree{Levels: levels}, nil
+}
+
+// ProductNat multiplies the moduli into a single Nat by balanced
+// pairwise reduction on the same buildLevels path as BuildNat (balanced
+// operands keep the subquadratic multiplier in its best regime). An
+// empty slice yields 1. The inputs are never modified and the result
+// never aliases them, so cached products are safe to share read-only
+// across workers.
 func ProductNat(ms []*mpnat.Nat) *mpnat.Nat {
 	switch len(ms) {
 	case 0:
@@ -155,20 +240,13 @@ func ProductNat(ms []*mpnat.Nat) *mpnat.Nat {
 	case 1:
 		return ms[0].Clone()
 	}
-	cur := make([]*mpnat.Nat, len(ms))
-	copy(cur, ms)
-	for len(cur) > 1 {
-		next := cur[:(len(cur)+1)/2]
-		half := len(cur) / 2
-		for i := 0; i < half; i++ {
-			next[i] = new(mpnat.Nat).Mul(cur[2*i], cur[2*i+1])
-		}
-		if len(cur)%2 == 1 {
-			next[half] = cur[len(cur)-1]
-		}
-		cur = next[:len(next):len(next)]
+	t, err := BuildNat(context.Background(), ms, BuildOptions{})
+	if err != nil {
+		// Unreachable: the input is non-empty and a background context
+		// with no hooks cannot fail.
+		panic("subprod: ProductNat: " + err.Error())
 	}
-	return cur[0]
+	return t.Root()
 }
 
 // NatBytes returns the in-memory size the cache accounts for a Nat.

@@ -169,3 +169,106 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestBuildNatMatchesBig pins the satellite fix of this PR: the big.Int
+// and mpnat tree builds now share one buildLevels loop, so every node of
+// every level — not just the root — must be the same integer, for even
+// and odd leaf counts, serial and parallel, with the observability
+// hooks firing identically.
+func TestBuildNatMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for _, m := range []int{1, 2, 3, 5, 9, 16, 33, 64} {
+		for _, workers := range []int{1, 4} {
+			big_ := make([]*big.Int, m)
+			nat := make([]*mpnat.Nat, m)
+			for i := range big_ {
+				big_[i] = randBig(r, 128)
+				nat[i] = mpnat.FromBig(big_[i])
+			}
+			var bigNodes, natNodes int64
+			var mu sync.Mutex
+			count := func(n *int64) func() {
+				return func() { mu.Lock(); *n++; mu.Unlock() }
+			}
+			bt, err := Build(context.Background(), big_, BuildOptions{Workers: workers, OnNode: count(&bigNodes)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nt, err := BuildNat(context.Background(), nat, BuildOptions{Workers: workers, OnNode: count(&natNodes)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bt.Levels) != len(nt.Levels) {
+				t.Fatalf("m=%d: %d big levels vs %d nat levels", m, len(bt.Levels), len(nt.Levels))
+			}
+			for l := range bt.Levels {
+				if len(bt.Levels[l]) != len(nt.Levels[l]) {
+					t.Fatalf("m=%d level %d: width %d vs %d", m, l, len(bt.Levels[l]), len(nt.Levels[l]))
+				}
+				for i := range bt.Levels[l] {
+					if nt.Levels[l][i].ToBig().Cmp(bt.Levels[l][i]) != 0 {
+						t.Fatalf("m=%d workers=%d: node (%d,%d) differs across backends", m, workers, l, i)
+					}
+				}
+			}
+			if bigNodes != natNodes || bigNodes != Mults(m) {
+				t.Fatalf("m=%d: OnNode fired %d (big) / %d (nat), want %d", m, bigNodes, natNodes, Mults(m))
+			}
+		}
+	}
+}
+
+// TestBuildNatLeavesUntouched: level 0 aliases the caller's leaves and
+// interior nodes never alias them, so a tree build must leave every
+// input word-for-word intact (the hybrid engine shares leaves across
+// cached tiles).
+func TestBuildNatLeavesUntouched(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	leaves := make([]*mpnat.Nat, 7)
+	snapshots := make([]*mpnat.Nat, 7)
+	for i := range leaves {
+		leaves[i] = mpnat.FromBig(randBig(r, 96))
+		snapshots[i] = leaves[i].Clone()
+	}
+	tree, err := BuildNat(context.Background(), leaves, BuildOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range leaves {
+		if leaves[i].Cmp(snapshots[i]) != 0 {
+			t.Fatalf("leaf %d mutated by BuildNat", i)
+		}
+		if tree.Levels[0][i] != leaves[i] {
+			t.Fatalf("level 0 entry %d does not alias the input leaf", i)
+		}
+	}
+	for l := 1; l < len(tree.Levels); l++ {
+		for _, node := range tree.Levels[l] {
+			for _, leaf := range leaves {
+				if node == leaf && l == len(tree.Levels)-1 {
+					t.Fatalf("root aliases a leaf")
+				}
+			}
+		}
+	}
+}
+
+// TestBuildNatCanceled mirrors TestBuildCanceled on the Nat path.
+func TestBuildNatCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	leaves := []*mpnat.Nat{mpnat.New(3), mpnat.New(5)}
+	if _, err := BuildNat(ctx, leaves, BuildOptions{}); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+// TestTreeBackendString keeps the log/test labels stable.
+func TestTreeBackendString(t *testing.T) {
+	if BackendBig.String() != "big" || BackendNat.String() != "nat" {
+		t.Fatalf("backend names drifted: %s, %s", BackendBig, BackendNat)
+	}
+	if TreeBackend(9).String() != "TreeBackend(9)" {
+		t.Fatalf("unknown backend label: %s", TreeBackend(9))
+	}
+}
