@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos cover bench bench-smoke fuzz-smoke selftest reproduce clean
+.PHONY: all build test vet race chaos fleet-smoke cover bench bench-smoke fuzz-smoke selftest reproduce clean
 
 all: build vet test
 
@@ -21,16 +21,23 @@ test:
 # (shared per-worker arenas), the subquadratic multiplier + generic tree
 # builder they all multiply through, and the public facade.
 race:
-	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ ./internal/lanes/ ./internal/mpnat/ ./internal/subprod/ .
+	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ ./internal/lanes/ ./internal/mpnat/ ./internal/subprod/ ./internal/fleet/ .
 
 # Fault-injection hardening: the chaos suite (kill/resume/panic
-# campaigns, chaos_test.go) plus the resilience packages it drives, all
-# under the race detector. -short keeps only the soak tests out; the
-# chaos tests themselves stay enabled with reduced rounds.
+# campaigns plus the fleet partition/crash/poison campaigns,
+# chaos_test.go) and the resilience packages it drives, all under the
+# race detector. -short keeps only the soak tests out; the chaos tests
+# themselves stay enabled with reduced rounds.
 chaos:
 	$(GO) test -race -short -run 'TestChaos' .
 	$(GO) test -race -short ./internal/checkpoint/ ./internal/faultinject/ ./internal/sigctx/ \
-	    ./internal/bulk/ ./internal/attack/ ./cmd/rsafactor/ ./cmd/gcdbench/
+	    ./internal/bulk/ ./internal/attack/ ./internal/fleet/ ./cmd/rsafactor/ ./cmd/gcdbench/
+
+# Real-process fleet run: one coordinator + two workers as separate
+# rsafactor processes over loopback HTTP, findings diffed against a
+# single-process run of the same corpus.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 cover:
 	$(GO) test -cover ./...

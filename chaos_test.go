@@ -9,14 +9,22 @@ package bulkgcd
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"bulkgcd/internal/attack"
+	"bulkgcd/internal/bulk"
 	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/faultinject"
+	"bulkgcd/internal/fleet"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 )
 
 func chaosRounds(full int) int {
@@ -271,5 +279,379 @@ func TestChaosBigIntOracle(t *testing.T) {
 	}
 	if len(full.Broken) != 4 {
 		t.Fatalf("oracle broke %d keys, want 4", len(full.Broken))
+	}
+}
+
+// chaosFleetOptions builds a randomized hybrid attack configuration for
+// the fleet campaigns (fleet mode distributes hybrid cells).
+func chaosFleetOptions(r *rand.Rand) attack.Options {
+	opt := attack.DefaultOptions()
+	opt.Engine = engine.Hybrid
+	opt.TileSize = 3 + r.Intn(4)
+	return opt
+}
+
+// chaosFleetWorkers runs n workers concurrently with per-worker configs
+// and fails the test on any worker error.
+func chaosFleetWorkers(t *testing.T, ctx context.Context, n int, mk func(i int) fleet.WorkerConfig) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = fleet.RunWorker(ctx, mk(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// assembleFleet rebuilds the attack report from the coordinator's
+// records, exactly as rsafactor -serve does after the scan.
+func assembleFleet(t *testing.T, nats []*mpnat.Nat, opt attack.Options, coord *fleet.Coordinator) *attack.Report {
+	t.Helper()
+	runner, err := bulk.NewCellRunner(nats, opt.BulkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Assemble(coord.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := attack.Interpret(nats, res, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// assertFleetJournal asserts the exactly-once contract: the journal
+// holds one record per cell (completed or quarantined), nothing ignored.
+func assertFleetJournal(t *testing.T, path string, hdr checkpoint.Header, wantQuarantined int) {
+	t.Helper()
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Verify(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != hdr.Units || st.Ignored != 0 {
+		t.Fatalf("journal: %d/%d cells recorded, %d lines ignored", len(st.Done), hdr.Units, st.Ignored)
+	}
+	if q := st.Quarantined(); len(q) != wantQuarantined {
+		t.Fatalf("journal: %d quarantined cells, want %d: %v", len(q), wantQuarantined, q)
+	}
+}
+
+// TestChaosFleetPartition drops, duplicates and stalls protocol messages
+// between three workers and the coordinator — stalls longer than the
+// lease TTL, so leases expire under their holders and cells are
+// re-leased mid-compute — and asserts the assembled findings are
+// identical to an undisturbed single-process run, with every cell
+// journaled exactly once.
+func TestChaosFleetPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(2004))
+	for round := 0; round < chaosRounds(4); round++ {
+		nats, _ := chaosCorpus(t, r, int64(8000+round))
+		opt := chaosFleetOptions(r)
+		oracle, err := attack.Run(nats, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, err := attack.JournalHeader(nats, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "fleet.jsonl")
+		w, err := checkpoint.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Header: hdr, LeaseTTL: 60 * time.Millisecond, Journal: w, Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := fleet.NewLoopback(coord)
+
+		ctx := context.Background()
+		chaosFleetWorkers(t, ctx, 3, func(i int) fleet.WorkerConfig {
+			wcfg := opt.BulkConfig()
+			wcfg.Metrics = obs.NewRegistry()
+			return fleet.WorkerConfig{
+				ID: fmt.Sprintf("w%d", i),
+				Transport: &fleet.ChaosTransport{Inner: lb, Plan: &faultinject.RPCPlan{
+					PDropRequest: 0.1, PDropReply: 0.1, PDuplicate: 0.15,
+					PDelay: 0.05, Delay: 70 * time.Millisecond,
+					Seed: int64(100*round + i + 1),
+				}},
+				Moduli: nats, Config: wcfg,
+				Backoff: fleet.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Attempts: 200},
+			}
+		})
+		waitCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		err = coord.Wait(waitCtx)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: scan never finished: %v", round, err)
+		}
+		rep := assembleFleet(t, nats, opt, coord)
+		sameBroken(t, "fleet partition", rep.Broken, oracle.Broken)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertFleetJournal(t, path, hdr, 0)
+	}
+}
+
+// TestChaosFleetCoordinatorCrash kills the coordinator twice mid-scan —
+// in-flight leases and unsent acks die with it — rebuilds it from its
+// journal and swaps it back in while the workers are still retrying.
+// The finished scan must match the oracle and the journal must hold
+// every cell exactly once across all three coordinator incarnations.
+func TestChaosFleetCoordinatorCrash(t *testing.T) {
+	r := rand.New(rand.NewSource(2005))
+	for round := 0; round < chaosRounds(3); round++ {
+		nats, _ := chaosCorpus(t, r, int64(8500+round))
+		opt := chaosFleetOptions(r)
+		oracle, err := attack.Run(nats, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, err := attack.JournalHeader(nats, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "crash.jsonl")
+		w, err := checkpoint.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Header: hdr, LeaseTTL: 50 * time.Millisecond, Journal: w, Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := fleet.NewLoopback(coord)
+
+		ctx := context.Background()
+		workersDone := make(chan struct{})
+		go func() {
+			defer close(workersDone)
+			chaosFleetWorkers(t, ctx, 3, func(i int) fleet.WorkerConfig {
+				wcfg := opt.BulkConfig()
+				wcfg.Metrics = obs.NewRegistry()
+				return fleet.WorkerConfig{
+					ID: fmt.Sprintf("w%d", i), Transport: lb, Moduli: nats, Config: wcfg,
+					Backoff: fleet.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Attempts: 2000},
+				}
+			})
+		}()
+
+		for crash := 0; crash < 2 && !coord.Done(); crash++ {
+			time.Sleep(time.Duration(5+r.Intn(20)) * time.Millisecond)
+			// Kill: every call now fails like a refused connection, and the
+			// journal file is all that survives.
+			lb.SetDown(true)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st, err := checkpoint.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err = checkpoint.OpenAppend(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, err = fleet.NewCoordinator(fleet.CoordinatorConfig{
+				Header: hdr, LeaseTTL: 50 * time.Millisecond, Journal: w, Resume: st,
+				Metrics: obs.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatalf("round %d crash %d: restart from journal: %v", round, crash, err)
+			}
+			lb.Swap(coord)
+		}
+
+		select {
+		case <-workersDone:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("round %d: workers never finished", round)
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, time.Second)
+		err = coord.Wait(waitCtx)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: final coordinator not done: %v", round, err)
+		}
+		rep := assembleFleet(t, nats, opt, coord)
+		sameBroken(t, "coordinator crash", rep.Broken, oracle.Broken)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertFleetJournal(t, path, hdr, 0)
+	}
+}
+
+// TestChaosFleetPoisonedCell panics every worker on one randomly chosen
+// cell: the distinct-worker quorum must quarantine exactly that cell,
+// the scan must still terminate, and the findings must equal a local
+// assembly of every *other* cell — quarantine loses only the poisoned
+// cell's pairs, never a healthy cell's findings.
+func TestChaosFleetPoisonedCell(t *testing.T) {
+	r := rand.New(rand.NewSource(2006))
+	for round := 0; round < chaosRounds(3); round++ {
+		nats, _ := chaosCorpus(t, r, int64(9000+round))
+		opt := chaosFleetOptions(r)
+		runner, err := bulk.NewCellRunner(nats, opt.BulkConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := runner.Header()
+		poison := r.Intn(hdr.Units)
+
+		// Expected findings: every cell but the poisoned one, computed
+		// locally.
+		records := map[int]checkpoint.Record{}
+		for u := 0; u < hdr.Units; u++ {
+			if u == poison {
+				continue
+			}
+			rec, err := runner.RunUnit(context.Background(), u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			records[u] = rec
+		}
+		res, err := runner.Assemble(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected, err := attack.Interpret(nats, res, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		path := filepath.Join(t.TempDir(), "poison.jsonl")
+		w, err := checkpoint.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Header: hdr, LeaseTTL: 200 * time.Millisecond, FailQuorum: 2,
+			Journal: w, Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := fleet.NewLoopback(coord)
+		ctx := context.Background()
+		chaosFleetWorkers(t, ctx, 3, func(i int) fleet.WorkerConfig {
+			wcfg := opt.BulkConfig()
+			wcfg.Metrics = obs.NewRegistry()
+			wcfg.Fault = &faultinject.Hook{Block: func(u int) {
+				if u == poison {
+					panic("chaos: poisoned cell")
+				}
+			}}
+			return fleet.WorkerConfig{
+				ID: fmt.Sprintf("w%d", i), Transport: lb, Moduli: nats, Config: wcfg,
+				Backoff: fleet.Backoff{Base: time.Millisecond, Attempts: 50},
+			}
+		})
+		waitCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		err = coord.Wait(waitCtx)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: scan never finished: %v", round, err)
+		}
+		bad := coord.BadCells()
+		if len(bad) != 1 || bad[poison] == "" {
+			t.Fatalf("round %d: BadCells() = %v, want exactly cell %d", round, bad, poison)
+		}
+		rep := assembleFleet(t, nats, opt, coord)
+		sameBroken(t, "poisoned cell", rep.Broken, expected.Broken)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertFleetJournal(t, path, hdr, 1)
+	}
+}
+
+// TestChaosFleetWorkerKills runs workers in waves, killing each wave
+// mid-cell at a seeded deadline, until surviving waves finish the scan.
+// Killed workers abandon their leases (no Fail report, no spill), the
+// leases expire, and the cells are recomputed — findings must still be
+// byte-identical to the oracle with every cell journaled exactly once.
+func TestChaosFleetWorkerKills(t *testing.T) {
+	r := rand.New(rand.NewSource(2007))
+	for round := 0; round < chaosRounds(3); round++ {
+		nats, _ := chaosCorpus(t, r, int64(9500+round))
+		opt := chaosFleetOptions(r)
+		oracle, err := attack.Run(nats, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, err := attack.JournalHeader(nats, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "kills.jsonl")
+		w, err := checkpoint.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Header: hdr, LeaseTTL: 20 * time.Millisecond, Journal: w, Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := fleet.NewLoopback(coord)
+
+		for wave := 0; !coord.Done(); wave++ {
+			if wave > 100 {
+				t.Fatalf("round %d: scan never finished", round)
+			}
+			wctx, cancel := context.WithTimeout(context.Background(),
+				time.Duration(10+r.Intn(40))*time.Millisecond)
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					wcfg := opt.BulkConfig()
+					wcfg.Metrics = obs.NewRegistry()
+					_, werr := fleet.RunWorker(wctx, fleet.WorkerConfig{
+						ID: fmt.Sprintf("wave%d-w%d", wave, i), Transport: lb, Moduli: nats, Config: wcfg,
+						Backoff: fleet.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Attempts: 20},
+					})
+					// Being killed is the point; anything else (integrity,
+					// fingerprint) is a real failure.
+					if werr != nil && !errors.Is(werr, context.DeadlineExceeded) && !errors.Is(werr, context.Canceled) {
+						t.Errorf("wave %d worker %d: %v", wave, i, werr)
+					}
+				}(i)
+			}
+			wg.Wait()
+			cancel()
+		}
+
+		rep := assembleFleet(t, nats, opt, coord)
+		sameBroken(t, "worker kills", rep.Broken, oracle.Broken)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertFleetJournal(t, path, hdr, 0)
 	}
 }

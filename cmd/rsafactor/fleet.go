@@ -1,0 +1,272 @@
+// Fleet modes: rsafactor -serve runs the cell-lease coordinator,
+// rsafactor -worker dials one. The coordinator owns the journal and the
+// assembled findings; workers are stateless compute that can crash,
+// restart or change count mid-scan without changing the result.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"bulkgcd/internal/attack"
+	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/fleet"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
+	"bulkgcd/internal/pemkeys"
+)
+
+type coordinatorFlags struct {
+	addr       string
+	ckptPath   string
+	leaseTTL   time.Duration
+	failQuorum int
+	verbose    bool
+	truth      string
+	emit       string
+	exponent   uint64
+}
+
+// runCoordinator serves the lease protocol until every cell is terminal,
+// then assembles and prints the findings exactly as a local run would.
+func runCoordinator(ctx context.Context, cf coordinatorFlags, moduli []*mpnat.Nat, sources []pemkeys.Source, opt attack.Options, stdout, stderr io.Writer) error {
+	hdr, err := attack.JournalHeader(moduli, opt)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	ccfg := fleet.CoordinatorConfig{
+		Header:     hdr,
+		LeaseTTL:   cf.leaseTTL,
+		FailQuorum: cf.failQuorum,
+		Metrics:    reg,
+	}
+
+	// The journal auto-resumes: an existing file that verifies against
+	// this run's header seeds the grid and is appended to; a missing file
+	// starts fresh. A mismatched journal is an error — silently starting
+	// over would discard someone's completed work.
+	if cf.ckptPath != "" {
+		st, lerr := checkpoint.Load(cf.ckptPath)
+		switch {
+		case lerr == nil:
+			if err := st.Verify(hdr); err != nil {
+				return fmt.Errorf("journal %s: %w (move it aside to start fresh)", cf.ckptPath, err)
+			}
+			w, err := checkpoint.OpenAppend(cf.ckptPath)
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+			ccfg.Journal = w
+			ccfg.Resume = st
+			fmt.Fprintf(stdout, "resuming from %s: %d/%d cells done (%d pairs)\n",
+				cf.ckptPath, len(st.Done), hdr.Units, st.Pairs())
+		case errors.Is(lerr, os.ErrNotExist):
+			w, err := checkpoint.Create(cf.ckptPath)
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+			ccfg.Journal = w
+		default:
+			return lerr
+		}
+	}
+
+	coord, err := fleet.NewCoordinator(ccfg)
+	if err != nil {
+		return err
+	}
+	srv, err := obs.ServeStatusOptions(cf.addr, obs.StatusOptions{
+		Registry: reg,
+		Snapshot: coord.MergedSnapshot,
+		Handlers: coord.Handlers(),
+		Ready:    true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "rsafactor: fleet coordinator on http://%s (protocol at /lease, progress at /fleet/status)\n", srv.Addr())
+
+	if cf.verbose {
+		go pollProgress(ctx, coord, stderr)
+	}
+
+	waitErr := coord.Wait(ctx)
+
+	// Drain before reporting: flip /readyz so probes stop routing new
+	// workers here, then let in-flight replies finish.
+	srv.SetReady(false)
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = srv.Shutdown(shCtx)
+	shCancel()
+
+	st, _ := coord.Status(context.Background())
+	if waitErr != nil {
+		if cf.ckptPath != "" {
+			return &exitError{code: exitCanceled, err: fmt.Errorf("interrupted with %d/%d cells complete; re-run -serve with -checkpoint %s to resume",
+				st.Completed, st.Units, cf.ckptPath)}
+		}
+		return &exitError{code: exitCanceled, err: fmt.Errorf("interrupted with %d/%d cells complete (run with -checkpoint to make interrupted scans resumable)",
+			st.Completed, st.Units)}
+	}
+
+	// Every cell is terminal: assemble the same Report a single-process
+	// hybrid run produces from these records.
+	runner, err := bulk.NewCellRunner(moduli, opt.BulkConfig())
+	if err != nil {
+		return err
+	}
+	res, err := runner.Assemble(coord.Records())
+	if err != nil {
+		return err
+	}
+	rep, err := attack.Interpret(moduli, res, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "corpus: %d moduli, %d bits\n", rep.Moduli, moduli[0].BitLen())
+	fmt.Fprintf(stdout, "method: fleet scan of %d hybrid cells across %d workers (%d pairs)\n",
+		st.Units, st.Workers, st.DonePairs)
+	bad := coord.BadCells()
+	for _, unit := range sortedKeys(bad) {
+		fmt.Fprintf(stdout, "quarantined cell %d: %s (its pairs are NOT covered)\n", unit, bad[unit])
+	}
+	printFindings(stdout, rep)
+
+	if ccfg.Journal != nil {
+		if err := ccfg.Journal.Close(); err != nil {
+			return err
+		}
+		if dropped, err := checkpoint.Compact(cf.ckptPath); err != nil {
+			fmt.Fprintf(stderr, "rsafactor: journal compaction failed: %v\n", err)
+		} else if dropped > 0 {
+			fmt.Fprintf(stdout, "journal %s compacted: %d redundant lines dropped\n", cf.ckptPath, dropped)
+		}
+	}
+
+	if len(bad) > 0 {
+		// Findings are real but coverage is not complete; emit/truth would
+		// operate on partial results, so they are skipped.
+		return &exitError{code: exitQuarantined,
+			err: fmt.Errorf("%d of %d cells quarantined; findings above are incomplete", len(bad), st.Units)}
+	}
+	if cf.emit != "" {
+		if err := emitPrivateKeys(stdout, cf.emit, rep, sources, cf.exponent); err != nil {
+			return err
+		}
+	}
+	if cf.truth != "" {
+		return verifyTruth(stdout, cf.truth, rep)
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pollProgress prints coordinator progress lines until ctx ends or the
+// scan completes.
+func pollProgress(ctx context.Context, coord *fleet.Coordinator, stderr io.Writer) {
+	t := time.NewTicker(2 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st, err := coord.Status(ctx)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(stderr, "rsafactor: fleet: %d/%d cells (%d leased, %d quarantined), %d/%d pairs, %d workers\n",
+				st.Completed, st.Units, st.Leased, st.Quarantined, st.DonePairs, st.TotalPairs, st.Workers)
+			if st.Done {
+				return
+			}
+		}
+	}
+}
+
+type fleetWorkerFlags struct {
+	url     string
+	id      string
+	spill   string
+	status  string
+	verbose bool
+}
+
+// runFleetWorker dials the coordinator and computes cells until the scan
+// is done or the coordinator disappears (a clean exit either way).
+func runFleetWorker(ctx context.Context, wf fleetWorkerFlags, moduli []*mpnat.Nat, opt attack.Options, stdout, stderr io.Writer) error {
+	id := wf.id
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	base := wf.url
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	// Workers always carry a registry: its snapshot rides every lease
+	// renewal, feeding the coordinator's fleet-wide /metrics.
+	reg := obs.NewRegistry()
+	opt.Metrics = reg
+	if wf.status != "" {
+		srv, err := obs.ServeStatus(wf.status, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "rsafactor: status on http://%s/metrics\n", srv.Addr())
+	}
+
+	logf := func(string, ...any) {}
+	if wf.verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "rsafactor: "+format+"\n", args...)
+		}
+	}
+
+	rep, err := fleet.RunWorker(ctx, fleet.WorkerConfig{
+		ID:        id,
+		Transport: &fleet.HTTPTransport{Base: base},
+		Moduli:    moduli,
+		Config:    opt.BulkConfig(),
+		SpillPath: wf.spill,
+		Logf:      logf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "worker %s: %d cells completed, %d failed, %d abandoned\n",
+		id, rep.Completed, rep.Failed, rep.Abandoned)
+	if rep.CoordinatorLost {
+		msg := "coordinator lost; exiting cleanly"
+		if rep.Spilled != "" {
+			msg += fmt.Sprintf(" (unacknowledged cell spilled to %s)", rep.Spilled)
+		}
+		fmt.Fprintf(stdout, "worker %s: %s\n", id, msg)
+	}
+	return nil
+}

@@ -15,6 +15,10 @@
 //	rsafactor -in corpus.txt -status :8080           # live /metrics + pprof
 //	rsafactor -in corpus.txt -report out.json        # end-of-run JSON artifact
 //	rsafactor -in corpus.txt -trace run-trace.jsonl  # span/event trace
+//	rsafactor -in corpus.txt -serve :9090 -checkpoint fleet.jsonl
+//	                                         # fleet coordinator (leases cells)
+//	rsafactor -in corpus.txt -worker host:9090 [-spill spill.jsonl]
+//	                                         # fleet worker (same corpus file)
 //
 // Output lists, per broken key, the corpus index, the prime factors and
 // the recovered private exponent for e = 65537.
@@ -30,6 +34,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +49,7 @@ import (
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/corpus"
 	"bulkgcd/internal/engine"
+	"bulkgcd/internal/fleet"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/obs"
@@ -59,13 +65,64 @@ var algByName = map[string]gcd.Algorithm{
 	"approximate": gcd.Approximate,
 }
 
+// Structured exit codes, so orchestration (CI, fleet scripts, cron)
+// can distinguish failure modes without parsing stderr. Documented in
+// the README; asserted by the CLI acceptance tests.
+const (
+	exitOK          = 0 // clean completion
+	exitFailure     = 1 // generic error (I/O, bad corpus, engine failure)
+	exitUsage       = 2 // flag/usage error
+	exitCanceled    = 3 // interrupted (signal or -cancel-after)
+	exitIntegrity   = 4 // findings failed verification, or conflicting fleet records
+	exitQuarantined = 5 // scan finished but cells were quarantined (incomplete coverage)
+)
+
+// exitError carries a specific exit code up through run.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+// usagef builds an exitUsage error.
+func usagef(format string, args ...any) error {
+	return &exitError{code: exitUsage, err: fmt.Errorf(format, args...)}
+}
+
+// exitCodeOf maps an error from run to the process exit code.
+func exitCodeOf(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	if errors.Is(err, fleet.ErrIntegrity) {
+		return exitIntegrity
+	}
+	// A fingerprint mismatch means this invocation's corpus or engine
+	// flags disagree with the coordinator's run — a configuration error.
+	if errors.Is(err, fleet.ErrFingerprint) || errors.Is(err, flag.ErrHelp) {
+		return exitUsage
+	}
+	if errors.Is(err, context.Canceled) {
+		return exitCanceled
+	}
+	return exitFailure
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rsafactor: ")
 	ctx, stop := sigctx.WithSignals(context.Background(), os.Stderr, "rsafactor")
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		stop()
+		os.Exit(exitCodeOf(err))
 	}
 }
 
@@ -95,41 +152,100 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		status     = fs.String("status", "", "serve /healthz, /metrics and /debug/pprof on this address (e.g. :8080) while the run lasts")
 		report     = fs.String("report", "", "write an end-of-run JSON report (schema "+obs.ReportSchema+") to this file")
 		tracePath  = fs.String("trace", "", "append a JSONL span/event trace of the run to this file")
+		serveAddr  = fs.String("serve", "", "run as fleet coordinator: serve the cell-lease protocol plus /metrics on this address (e.g. :9090)")
+		workerURL  = fs.String("worker", "", "run as fleet worker: lease cells from the coordinator at this base URL (e.g. http://host:9090)")
+		workerID   = fs.String("worker-id", "", "fleet worker identity for leases and the fail quorum (default host-pid)")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "coordinator: lease TTL before a silent worker's cell is re-queued (0 = 10s)")
+		failQuorum = fs.Int("fail-quorum", 0, "coordinator: distinct workers that must fail a cell before it is quarantined (0 = 3)")
+		spillPath  = fs.String("spill", "", "worker: journal a finished-but-unacknowledged cell here if the coordinator is lost")
 		// cancelAfter deterministically cancels the run once N pairs have
 		// completed; it exists so the interrupt/resume path is testable
 		// without racing real signals against the engine.
 		cancelAfter = fs.Int64("cancel-after", -1, "")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return &exitError{code: exitUsage, err: err}
 	}
 
 	alg, ok := algByName[strings.ToLower(*algName)]
 	if !ok {
-		return fmt.Errorf("unknown algorithm %q", *algName)
+		return usagef("unknown algorithm %q", *algName)
 	}
 	kind, err := engine.ParseKind(*engName)
 	if err != nil {
-		return fmt.Errorf("unknown engine %q (want pairs, batch or hybrid)", *engName)
+		return usagef("unknown engine %q (want pairs, batch or hybrid)", *engName)
 	}
 	kern, err := engine.ParseKernelKind(*kernName)
 	if err != nil {
-		return err
+		return &exitError{code: exitUsage, err: err}
 	}
 	if kern == engine.KernelLanes && kind == engine.Batch {
-		return fmt.Errorf("-kernel=lanes applies to the pairs and hybrid engines, not batch GCD")
+		return usagef("-kernel=lanes applies to the pairs and hybrid engines, not batch GCD")
 	}
 	if *batch {
 		if kind == engine.Hybrid {
-			return fmt.Errorf("-batch conflicts with -engine=hybrid; drop the deprecated -batch flag")
+			return usagef("-batch conflicts with -engine=hybrid; drop the deprecated -batch flag")
 		}
 		kind = engine.Batch
 	}
 	if *ckptPath != "" && *resumePath != "" {
-		return fmt.Errorf("-checkpoint starts a fresh journal and -resume continues one; use exactly one")
+		return usagef("-checkpoint starts a fresh journal and -resume continues one; use exactly one")
 	}
+
+	// Fleet modes: the coordinator serves the lease protocol; workers dial
+	// it. Both distribute hybrid cells, so the hybrid engine is implied
+	// when -engine is left at its default.
+	if *serveAddr != "" && *workerURL != "" {
+		return usagef("-serve and -worker are mutually exclusive")
+	}
+	if *serveAddr != "" || *workerURL != "" {
+		engineSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "engine" {
+				engineSet = true
+			}
+		})
+		if !engineSet && !*batch {
+			kind = engine.Hybrid
+		}
+		if kind != engine.Hybrid {
+			return usagef("fleet mode distributes hybrid cells; use -engine=hybrid (or leave -engine unset)")
+		}
+		if *prev != "" {
+			return usagef("-prev (incremental mode) is not supported in fleet mode")
+		}
+		if *cancelAfter >= 0 {
+			return usagef("-cancel-after is a single-process testing flag; not supported in fleet mode")
+		}
+	}
+	if *serveAddr != "" {
+		if *status != "" {
+			return usagef("-serve already serves /metrics and /debug/pprof on the coordinator address; drop -status")
+		}
+		if *resumePath != "" {
+			return usagef("the fleet coordinator journal auto-resumes; use -checkpoint (it reopens an existing journal)")
+		}
+		if *report != "" || *tracePath != "" {
+			return usagef("-report and -trace are not supported in fleet coordinator mode")
+		}
+	}
+	if *workerURL != "" {
+		if *ckptPath != "" || *resumePath != "" {
+			return usagef("-checkpoint/-resume belong to the coordinator; workers spill undeliverable cells with -spill")
+		}
+		if *truth != "" || *emit != "" || *report != "" {
+			return usagef("-truth, -emit and -report apply to the coordinator's assembled findings, not to workers")
+		}
+	}
+	if *spillPath != "" && *workerURL == "" {
+		return usagef("-spill applies to fleet workers (-worker)")
+	}
+	if (*workerID != "" || *leaseTTL != 0 || *failQuorum != 0) && *serveAddr == "" && *workerURL == "" {
+		return usagef("-worker-id, -lease-ttl and -fail-quorum apply to fleet modes (-serve / -worker)")
+	}
+
 	if (*ckptPath != "" || *resumePath != "") && kind == engine.Batch {
-		return fmt.Errorf("checkpointing requires the pairs or hybrid engine")
+		return usagef("checkpointing requires the pairs or hybrid engine")
 	}
 
 	r := stdin
@@ -181,6 +297,28 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		Quarantine:    *quarantine,
 		TileSize:      *tile,
 		SubprodBudget: *subBudget,
+	}
+
+	if *serveAddr != "" {
+		return runCoordinator(ctx, coordinatorFlags{
+			addr:       *serveAddr,
+			ckptPath:   *ckptPath,
+			leaseTTL:   *leaseTTL,
+			failQuorum: *failQuorum,
+			verbose:    *verbose,
+			truth:      *truth,
+			emit:       *emit,
+			exponent:   *e,
+		}, moduli, sources, opt, stdout, stderr)
+	}
+	if *workerURL != "" {
+		return runFleetWorker(ctx, fleetWorkerFlags{
+			url:     *workerURL,
+			id:      *workerID,
+			spill:   *spillPath,
+			status:  *status,
+			verbose: *verbose,
+		}, moduli, opt, stdout, stderr)
 	}
 
 	// Observability: the registry feeds both the live status server and
@@ -309,32 +447,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			rep.Bulk.Stats.Iterations, float64(rep.Bulk.Stats.Iterations)/float64(rep.Bulk.Pairs))
 	}
 
-	for _, q := range rep.Quarantined {
-		fmt.Fprintf(stdout, "quarantined modulus %d: %s (excluded from the scan)\n", q.Index, q.Reason)
-	}
-	for _, bp := range rep.BadPairs {
-		fmt.Fprintf(stdout, "quarantined pair (%d,%d): %s\n", bp.I, bp.J, bp.Err)
-	}
-
-	if len(rep.Broken) == 0 && len(rep.Duplicates) == 0 {
-		fmt.Fprintln(stdout, "no weak keys found")
-	}
-	for _, bk := range rep.Broken {
-		fmt.Fprintf(stdout, "\nBROKEN key %d (found with key %d)\n", bk.Index, bk.FoundWith)
-		fmt.Fprintf(stdout, "  n = %x\n", bk.N)
-		fmt.Fprintf(stdout, "  p = %x\n", bk.P)
-		fmt.Fprintf(stdout, "  q = %x\n", bk.Q)
-		if bk.D != nil {
-			fmt.Fprintf(stdout, "  d = %x\n", bk.D)
-		} else {
-			fmt.Fprintf(stdout, "  d = (factors not both prime; modulus factored but exponent skipped)\n")
-		}
-	}
-	for _, d := range rep.Duplicates {
-		fmt.Fprintf(stdout, "\nDUPLICATE moduli: keys %d and %d are identical\n", d[0], d[1])
-	}
-	fmt.Fprintf(stdout, "\nsummary: %d broken, %d duplicate pairs out of %d keys\n",
-		len(rep.Broken), len(rep.Duplicates), rep.Moduli)
+	printFindings(stdout, rep)
 
 	if rpt != nil {
 		// The summary mirrors the attack Report itself (not the metric
@@ -363,11 +476,26 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		// The findings above cover only the completed blocks; emit/truth
 		// would operate on an incomplete report, so they are skipped.
 		if opt.Checkpoint != nil {
-			return fmt.Errorf("interrupted after %d/%d pairs; resume with -resume %s",
-				rep.Bulk.Pairs, rep.Bulk.Total, opt.Checkpoint.Path())
+			return &exitError{code: exitCanceled, err: fmt.Errorf("interrupted after %d/%d pairs; resume with -resume %s",
+				rep.Bulk.Pairs, rep.Bulk.Total, opt.Checkpoint.Path())}
 		}
-		return fmt.Errorf("interrupted after %d/%d pairs (run with -checkpoint to make interrupted runs resumable)",
-			rep.Bulk.Pairs, rep.Bulk.Total)
+		return &exitError{code: exitCanceled, err: fmt.Errorf("interrupted after %d/%d pairs (run with -checkpoint to make interrupted runs resumable)",
+			rep.Bulk.Pairs, rep.Bulk.Total)}
+	}
+
+	// Clean completion: the journal has served its purpose, but a long
+	// resumed run leaves duplicates and torn fragments behind; compact it
+	// to the canonical minimal form so archival copies stay small.
+	if opt.Checkpoint != nil {
+		jpath := opt.Checkpoint.Path()
+		if err := opt.Checkpoint.Close(); err != nil {
+			return err
+		}
+		if dropped, err := checkpoint.Compact(jpath); err != nil {
+			fmt.Fprintf(stderr, "rsafactor: journal compaction failed: %v\n", err)
+		} else if dropped > 0 {
+			fmt.Fprintf(stdout, "journal %s compacted: %d redundant lines dropped\n", jpath, dropped)
+		}
 	}
 
 	if *emit != "" {
@@ -379,6 +507,39 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return verifyTruth(stdout, *truth, rep)
 	}
 	return nil
+}
+
+// printFindings prints the findings block — quarantined moduli/pairs,
+// BROKEN/DUPLICATE lines and the summary — shared verbatim between the
+// single-process and fleet-coordinator paths, so a fleet scan's output
+// diffs clean against a local run of the same corpus.
+func printFindings(stdout io.Writer, rep *attack.Report) {
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(stdout, "quarantined modulus %d: %s (excluded from the scan)\n", q.Index, q.Reason)
+	}
+	for _, bp := range rep.BadPairs {
+		fmt.Fprintf(stdout, "quarantined pair (%d,%d): %s\n", bp.I, bp.J, bp.Err)
+	}
+
+	if len(rep.Broken) == 0 && len(rep.Duplicates) == 0 {
+		fmt.Fprintln(stdout, "no weak keys found")
+	}
+	for _, bk := range rep.Broken {
+		fmt.Fprintf(stdout, "\nBROKEN key %d (found with key %d)\n", bk.Index, bk.FoundWith)
+		fmt.Fprintf(stdout, "  n = %x\n", bk.N)
+		fmt.Fprintf(stdout, "  p = %x\n", bk.P)
+		fmt.Fprintf(stdout, "  q = %x\n", bk.Q)
+		if bk.D != nil {
+			fmt.Fprintf(stdout, "  d = %x\n", bk.D)
+		} else {
+			fmt.Fprintf(stdout, "  d = (factors not both prime; modulus factored but exponent skipped)\n")
+		}
+	}
+	for _, d := range rep.Duplicates {
+		fmt.Fprintf(stdout, "\nDUPLICATE moduli: keys %d and %d are identical\n", d[0], d[1])
+	}
+	fmt.Fprintf(stdout, "\nsummary: %d broken, %d duplicate pairs out of %d keys\n",
+		len(rep.Broken), len(rep.Duplicates), rep.Moduli)
 }
 
 // readCorpus reads moduli in either format: PEM streams (public keys and
@@ -524,7 +685,8 @@ func verifyTruth(stdout io.Writer, path string, rep *attack.Report) error {
 		return err
 	}
 	if missing > 0 {
-		return fmt.Errorf("verification failed: %d mismatches against %d planted pairs", missing, pairs)
+		return &exitError{code: exitIntegrity,
+			err: fmt.Errorf("verification failed: %d mismatches against %d planted pairs", missing, pairs)}
 	}
 	fmt.Fprintf(stdout, "verification: all %d planted pairs recovered\n", pairs)
 	return nil

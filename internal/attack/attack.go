@@ -111,6 +111,23 @@ func (o Options) bulkConfig() bulk.Config {
 	}
 }
 
+// BulkConfig is the exported form of bulkConfig for callers that drive
+// the bulk engines directly — the fleet worker runs bulk.CellRunner on
+// attack Options and must map them exactly as RunContext would.
+func (o Options) BulkConfig() bulk.Config { return o.bulkConfig() }
+
+// Interpret turns a raw bulk result into the attack report exactly as
+// RunContext does after the engine returns — duplicates detected, moduli
+// factored, private keys recovered. The fleet coordinator uses it to
+// interpret a Result assembled from journal records instead of computed
+// in-process.
+func Interpret(moduli []*mpnat.Nat, res *bulk.Result, opt Options) (*Report, error) {
+	if opt.Exponent == 0 {
+		opt.Exponent = rsakey.DefaultExponent
+	}
+	return interpretFactors(moduli, res, opt)
+}
+
 // DefaultOptions returns the recommended configuration: Approximate
 // Euclidean with early termination and e = 65537.
 func DefaultOptions() Options {

@@ -357,8 +357,13 @@ func earlyBitsFor(x, y *mpnat.Nat) int {
 }
 
 // restoreJournal converts a verified resume state back into engine terms.
+// BadCell records — units a fleet coordinator quarantined instead of
+// completing — are skipped, so a local resume recomputes those units.
 func restoreJournal(st *checkpoint.State) (factors []Factor, bad []BadPair, pairs int64, err error) {
 	for _, rec := range st.Done {
+		if rec.BadCell != "" {
+			continue
+		}
 		pairs += rec.Pairs
 		for _, f := range rec.Factors {
 			p, perr := mpnat.ParseHex(f.P)
@@ -516,7 +521,12 @@ func prepareJournal(hdr checkpoint.Header, cfg *Config) (factors []Factor, bad [
 		if err != nil {
 			return nil, nil, 0, nil, err
 		}
-		resumed = cfg.Resume.Done
+		for u, rec := range cfg.Resume.Done {
+			if rec.BadCell != "" {
+				continue // fleet-quarantined unit: recompute it locally
+			}
+			resumed[u] = rec
+		}
 	}
 	if cfg.Checkpoint != nil {
 		if err := cfg.Checkpoint.Begin(hdr); err != nil {

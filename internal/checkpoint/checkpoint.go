@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -58,12 +59,17 @@ type BadPair struct {
 	Err string `json:"err"`
 }
 
-// Record reports one fully completed work unit.
+// Record reports one fully completed work unit — or, when BadCell is
+// non-empty, one unit the fleet coordinator quarantined instead of
+// completing (the unit failed on enough distinct workers that retrying
+// forever would wedge the scan). A BadCell record accounts no pairs and
+// carries no findings; local resume skips it so the unit is recomputed.
 type Record struct {
 	Unit    int       `json:"unit"`
 	Pairs   int64     `json:"pairs"`
 	Factors []Factor  `json:"factors,omitempty"`
 	Bad     []BadPair `json:"bad,omitempty"`
+	BadCell string    `json:"bad_cell,omitempty"`
 }
 
 // Writer appends records to a journal file. It is safe for concurrent use
@@ -260,4 +266,78 @@ func (s *State) Pairs() int64 {
 		n += rec.Pairs
 	}
 	return n
+}
+
+// Quarantined returns the units recorded as BadCell, with reasons.
+func (s *State) Quarantined() map[int]string {
+	out := map[int]string{}
+	for u, rec := range s.Done {
+		if rec.BadCell != "" {
+			out[u] = rec.BadCell
+		}
+	}
+	return out
+}
+
+// Compact rewrites the journal at path to its canonical minimal form:
+// the header followed by one record per unit, in unit order. Long
+// resumed scans otherwise replay an unbounded append-only file full of
+// torn fragments and duplicate records (duplicate completes, repeated
+// resumes); compaction drops everything Load would ignore anyway. It
+// returns the number of journal lines dropped.
+//
+// Compaction is crash-safe: the compacted journal is written to a
+// temporary sibling file, synced, and renamed over path, so a crash at
+// any point leaves either the original journal or the complete
+// compacted one — never a torn mix. A stale temporary file from an
+// earlier interrupted compaction is truncated and reused.
+func Compact(path string) (dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	hdr, done, _ := parse(data)
+	if hdr == nil {
+		return 0, fmt.Errorf("checkpoint: compact: %s has no valid journal header", path)
+	}
+	lines := 0
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			lines++
+		}
+	}
+	dropped = lines - 1 - len(done)
+
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	w := &Writer{f: f, path: tmp}
+	if err := w.Begin(*hdr); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	units := make([]int, 0, len(done))
+	for u := range done {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	for _, u := range units {
+		if err := w.Append(done[u]); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	return dropped, nil
 }

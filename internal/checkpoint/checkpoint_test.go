@@ -230,3 +230,150 @@ func TestDuplicateAndOutOfRangeRecords(t *testing.T) {
 		t.Fatalf("ignored = %d, want 2", st.Ignored)
 	}
 }
+
+func compactJournal(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "compact.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(header()); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate records (re-leased completes), a BadCell quarantine, and a
+	// torn final line: everything a long fleet run accumulates.
+	recs := []Record{
+		{Unit: 0, Pairs: 10, Factors: []Factor{{I: 1, J: 2, P: "ff"}}},
+		{Unit: 1, Pairs: 20},
+		{Unit: 0, Pairs: 10, Factors: []Factor{{I: 1, J: 2, P: "ff"}}},
+		{Unit: 1, Pairs: 20},
+		{Unit: 2, BadCell: "failed on 3 workers"},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte(`{"unit":3,"pairs":4`)...) // torn crash fragment
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompact(t *testing.T) {
+	path := compactJournal(t)
+	before, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Ignored != 1 {
+		t.Fatalf("Ignored = %d, want the torn fragment", before.Ignored)
+	}
+	dropped, err := Compact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 duplicate records + 1 torn fragment.
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	after, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Header != before.Header {
+		t.Fatalf("header changed: %+v", after.Header)
+	}
+	if len(after.Done) != len(before.Done) || after.Ignored != 0 {
+		t.Fatalf("done %d ignored %d after compaction", len(after.Done), after.Ignored)
+	}
+	for u, rec := range before.Done {
+		got := after.Done[u]
+		if got.Pairs != rec.Pairs || len(got.Factors) != len(rec.Factors) || got.BadCell != rec.BadCell {
+			t.Fatalf("unit %d: %+v != %+v", u, got, rec)
+		}
+	}
+	if q := after.Quarantined(); len(q) != 1 || q[2] != "failed on 3 workers" {
+		t.Fatalf("Quarantined() = %v", q)
+	}
+	// The compacted journal accepts appends like any other.
+	w, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(header()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Unit: 3, Pairs: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Done) != 4 {
+		t.Fatalf("done = %d after post-compaction append", len(final.Done))
+	}
+}
+
+// TestCompactTornWrite simulates a crash during a previous compaction: a
+// stale, torn temporary file sits next to the journal. The original
+// journal must stay fully readable, and a fresh Compact must succeed,
+// truncating the stale temporary.
+func TestCompactTornWrite(t *testing.T) {
+	path := compactJournal(t)
+	want, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted compaction tore mid-record and never renamed.
+	torn := `{"v":1,"engine":"allpairs","fingerprint":"abc123","units":4,"total_pairs":100}` + "\n" + `{"unit":0,"pa`
+	if err := os.WriteFile(path+".compact", []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Done) != len(want.Done) {
+		t.Fatalf("journal damaged by torn compaction temp: %d done, want %d", len(got.Done), len(want.Done))
+	}
+	if _, err := Compact(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".compact"); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived compaction: %v", err)
+	}
+	after, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Done) != len(want.Done) || after.Ignored != 0 {
+		t.Fatalf("done %d ignored %d after recovery compaction", len(after.Done), after.Ignored)
+	}
+}
+
+func TestCompactErrors(t *testing.T) {
+	if _, err := Compact(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("Compact accepted a missing journal")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compact(bad); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("Compact on headerless file: %v", err)
+	}
+}

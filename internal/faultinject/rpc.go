@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RPCFault is the fault decision for one protocol message. The zero
+// value means "deliver normally". The faults compose with an at-least-
+// once protocol: a dropped request never reaches the server (the client
+// must retry), a dropped reply was processed but the client cannot know
+// (the retry must be idempotent), a duplicate delivers the same request
+// twice, and a delay stalls the message long enough for leases to
+// expire underneath it.
+type RPCFault struct {
+	// DropRequest loses the message before the server sees it.
+	DropRequest bool
+	// DropReply processes the request but loses the response.
+	DropReply bool
+	// Duplicate delivers the request a second time after the first
+	// response (both responses are produced; the client sees the first).
+	Duplicate bool
+	// Delay stalls the message before delivery.
+	Delay time.Duration
+}
+
+// RPCPlan draws per-message faults from seeded probabilities, so a
+// chaos campaign is deterministic given (seed, message sequence) and a
+// failure reproduces from its logged seed. Probabilities are in [0, 1]
+// and evaluated in order drop-request, drop-reply, duplicate (mutually
+// exclusive: at most one per message); Delay applies independently.
+// The zero value injects nothing.
+type RPCPlan struct {
+	// PDropRequest, PDropReply, PDuplicate are per-message probabilities.
+	PDropRequest float64
+	PDropReply   float64
+	PDuplicate   float64
+	// PDelay is the probability of stalling a message by Delay.
+	PDelay float64
+	Delay  time.Duration
+	// Seed fixes the fault sequence; 0 means 1 (stay deterministic).
+	Seed int64
+	// Exempt exempts whole operations (e.g. "complete") from injection,
+	// for campaigns that must preserve a liveness guarantee.
+	Exempt map[string]bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Next draws the fault for the next message of operation op ("lease",
+// "renew", "complete", ...). Safe for concurrent use; the draw order
+// then depends on goroutine interleaving, which is fine — determinism
+// per (seed, sequence) is for replaying single-threaded campaigns, and
+// concurrent campaigns still get a fixed fault *mix*.
+func (p *RPCPlan) Next(op string) RPCFault {
+	if p == nil {
+		return RPCFault{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+	// Always burn the same number of draws per message so exempt ops do
+	// not shift the sequence of the others.
+	roll := p.rng.Float64()
+	delayRoll := p.rng.Float64()
+	if p.Exempt[op] {
+		return RPCFault{}
+	}
+	var f RPCFault
+	switch {
+	case roll < p.PDropRequest:
+		f.DropRequest = true
+	case roll < p.PDropRequest+p.PDropReply:
+		f.DropReply = true
+	case roll < p.PDropRequest+p.PDropReply+p.PDuplicate:
+		f.Duplicate = true
+	}
+	if delayRoll < p.PDelay {
+		f.Delay = p.Delay
+	}
+	return f
+}

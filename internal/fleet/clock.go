@@ -1,0 +1,35 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// FakeClock is an injectable clock for deterministic lease-expiry
+// tests: the coordinator's notion of "now" advances only when the test
+// says so, making "renewal racing expiry" an exact scenario instead of
+// a sleep-and-hope one.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a clock at t.
+func NewFakeClock(t time.Time) *FakeClock {
+	return &FakeClock{t: t}
+}
+
+// Now returns the current fake time; pass the method value as the
+// coordinator's Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

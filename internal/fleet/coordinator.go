@@ -1,0 +1,468 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/obs"
+)
+
+// CoordinatorConfig configures a fleet coordinator.
+type CoordinatorConfig struct {
+	// Header is the run identity (bulk.HybridJournalHeader over the
+	// corpus and configuration); every request's fingerprint is checked
+	// against it, so a worker with a different corpus or config is
+	// rejected instead of corrupting the scan.
+	Header checkpoint.Header
+
+	// LeaseTTL bounds how long a silent worker holds a cell; 0 means
+	// 10s. Workers renew at TTL/3, so the TTL trades re-queue latency
+	// after a crash against heartbeat traffic.
+	LeaseTTL time.Duration
+
+	// FailQuorum is the number of *distinct* workers that must fail a
+	// cell before it is quarantined as poisoned; 0 means 3. A cell
+	// failing on one flaky machine is retried elsewhere; a cell failing
+	// everywhere is the cell's fault.
+	FailQuorum int
+
+	// MaxCellFailures caps total failure reports per cell regardless of
+	// worker identity (a lone worker in a one-machine fleet must not
+	// retry a poisoned cell forever); 0 means 3*FailQuorum.
+	MaxCellFailures int
+
+	// Journal, when non-nil, is the durable completion log: every
+	// accepted completion and quarantine is appended before it is
+	// acknowledged, so a coordinator restart resumes from the journal
+	// (NewCoordinator calls Begin with Header).
+	Journal *checkpoint.Writer
+
+	// Resume, when non-nil, seeds the grid from a previous coordinator's
+	// journal: completed records stay completed, BadCell records stay
+	// quarantined. Must Verify against Header.
+	Resume *checkpoint.State
+
+	// Metrics is the coordinator's own registry (fleet_* metrics);
+	// nil disables. MergedSnapshot folds worker snapshots into it.
+	Metrics *obs.Registry
+
+	// Clock injects time for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellCompleted
+	cellQuarantined
+)
+
+// cellInfo tracks one cell through pending → leased → completed or
+// quarantined. Failure history survives re-queuing; the record is kept
+// for idempotency checks and final assembly.
+type cellInfo struct {
+	state    cellState
+	leaseID  string
+	worker   string
+	expiry   time.Time
+	record   checkpoint.Record
+	failedBy map[string]bool
+	failures int
+	reason   string
+}
+
+// Coordinator owns the cell grid and implements the lease protocol.
+// All methods are safe for concurrent use (transports call them from
+// many worker connections).
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu        sync.Mutex
+	cells     []cellInfo
+	remaining int // cells not yet terminal
+	leaseSeq  int64
+	snapshots map[string]*obs.Snapshot // latest metrics per worker
+	seen      map[string]bool          // workers ever heard from
+	done      chan struct{}
+}
+
+// NewCoordinator builds a coordinator for the run described by
+// cfg.Header, optionally resuming from a journal.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Header.Units <= 0 {
+		return nil, fmt.Errorf("fleet: header has no units")
+	}
+	if cfg.Header.Fingerprint == "" {
+		return nil, fmt.Errorf("fleet: header has no fingerprint")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.FailQuorum <= 0 {
+		cfg.FailQuorum = 3
+	}
+	if cfg.MaxCellFailures <= 0 {
+		cfg.MaxCellFailures = 3 * cfg.FailQuorum
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		cells:     make([]cellInfo, cfg.Header.Units),
+		remaining: cfg.Header.Units,
+		snapshots: map[string]*obs.Snapshot{},
+		seen:      map[string]bool{},
+		done:      make(chan struct{}),
+	}
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Verify(cfg.Header); err != nil {
+			return nil, fmt.Errorf("fleet: resume: %w", err)
+		}
+		for u, rec := range cfg.Resume.Done {
+			cell := &c.cells[u]
+			if rec.BadCell != "" {
+				cell.state = cellQuarantined
+				cell.reason = rec.BadCell
+			} else {
+				cell.state = cellCompleted
+			}
+			cell.record = rec
+			c.remaining--
+		}
+	}
+	if cfg.Journal != nil {
+		if err := cfg.Journal.Begin(cfg.Header); err != nil {
+			return nil, err
+		}
+	}
+	if c.remaining == 0 {
+		close(c.done)
+	}
+	return c, nil
+}
+
+// checkFingerprint rejects requests from a different run.
+func (c *Coordinator) checkFingerprint(fp string) error {
+	if fp != c.cfg.Header.Fingerprint {
+		return fmt.Errorf("%w: got %.12s..., run is %.12s...", ErrFingerprint, fp, c.cfg.Header.Fingerprint)
+	}
+	return nil
+}
+
+// sweepLocked re-queues every expired lease. Called under c.mu on each
+// request, so expiry is lazy — no background timer, and under a fake
+// clock expiry happens exactly when the next request observes it.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.state == cellLeased && !now.Before(cell.expiry) {
+			cell.state = cellPending
+			cell.leaseID = ""
+			cell.worker = ""
+			c.cfg.Metrics.Counter("fleet_lease_expirations_total").Add(1)
+		}
+	}
+}
+
+// Lease implements POST /lease.
+func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	if err := c.checkFingerprint(req.Fingerprint); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen[req.Worker] = true
+	now := c.cfg.Clock()
+	c.sweepLocked(now)
+
+	if c.remaining == 0 {
+		return &LeaseResponse{Done: true}, nil
+	}
+	// Prefer a pending cell this worker has not already failed on; a
+	// poisoned cell then burns through distinct workers (tripping the
+	// quorum) instead of ping-ponging on one machine. Fall back to any
+	// pending cell so a lone worker still makes progress.
+	pick := -1
+	for i := range c.cells {
+		if c.cells[i].state != cellPending {
+			continue
+		}
+		if !c.cells[i].failedBy[req.Worker] {
+			pick = i
+			break
+		}
+		if pick < 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		// Everything left is leased out: poll again before the earliest
+		// lease could expire.
+		return &LeaseResponse{Wait: true, RetryMillis: c.cfg.LeaseTTL.Milliseconds() / 4}, nil
+	}
+	c.leaseSeq++
+	cell := &c.cells[pick]
+	cell.state = cellLeased
+	cell.leaseID = strconv.FormatInt(c.leaseSeq, 10)
+	cell.worker = req.Worker
+	cell.expiry = now.Add(c.cfg.LeaseTTL)
+	c.cfg.Metrics.Counter("fleet_leases_total").Add(1)
+	return &LeaseResponse{
+		Unit:      pick,
+		LeaseID:   cell.leaseID,
+		TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+	}, nil
+}
+
+// Renew implements POST /renew: it extends a still-valid lease and
+// stores the worker's metrics snapshot. Renewing an expired or unknown
+// lease fails with ErrExpired — the cell may already be re-leased, so
+// the holder must not keep computing on the assumption it owns it.
+func (c *Coordinator) Renew(_ context.Context, req RenewRequest) (*RenewResponse, error) {
+	if err := c.checkFingerprint(req.Fingerprint); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen[req.Worker] = true
+	now := c.cfg.Clock()
+	c.sweepLocked(now)
+	if req.Metrics != nil {
+		c.snapshots[req.Worker] = req.Metrics
+	}
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.state == cellLeased && cell.leaseID == req.LeaseID {
+			cell.expiry = now.Add(c.cfg.LeaseTTL)
+			c.cfg.Metrics.Counter("fleet_renewals_total").Add(1)
+			return &RenewResponse{TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: lease %s", ErrExpired, req.LeaseID)
+}
+
+// Complete implements POST /complete. Completion is accepted from any
+// worker in any lease state — cell computation is deterministic, so a
+// record is either the first (journal it, seal the cell) or a duplicate
+// (acknowledge idempotently). A record that *differs* from the accepted
+// one breaks the determinism contract and fails with ErrIntegrity. A
+// completion for a quarantined cell is acknowledged and discarded (the
+// quarantine verdict already journaled stands; late success does not
+// un-poison a cell whose record can no longer be trusted).
+func (c *Coordinator) Complete(_ context.Context, req CompleteRequest) (*CompleteResponse, error) {
+	if err := c.checkFingerprint(req.Fingerprint); err != nil {
+		return nil, err
+	}
+	rec := req.Record
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen[req.Worker] = true
+	now := c.cfg.Clock()
+	c.sweepLocked(now)
+	if rec.Unit < 0 || rec.Unit >= len(c.cells) {
+		return nil, fmt.Errorf("fleet: complete: unit %d out of range [0,%d)", rec.Unit, len(c.cells))
+	}
+	if rec.BadCell != "" {
+		return nil, fmt.Errorf("fleet: complete: unit %d: workers do not report quarantine records", rec.Unit)
+	}
+	cell := &c.cells[rec.Unit]
+	switch cell.state {
+	case cellQuarantined:
+		return &CompleteResponse{Duplicate: true}, nil
+	case cellCompleted:
+		if !recordsEqual(cell.record, rec) {
+			c.cfg.Metrics.Counter("fleet_integrity_errors_total").Add(1)
+			return nil, fmt.Errorf("%w: unit %d: accepted record (pairs=%d factors=%d bad=%d) vs %s's (pairs=%d factors=%d bad=%d)",
+				ErrIntegrity, rec.Unit,
+				cell.record.Pairs, len(cell.record.Factors), len(cell.record.Bad),
+				req.Worker, rec.Pairs, len(rec.Factors), len(rec.Bad))
+		}
+		c.cfg.Metrics.Counter("fleet_duplicate_completions_total").Add(1)
+		return &CompleteResponse{Duplicate: true}, nil
+	}
+	// First acceptance: journal before acknowledging, so an acked
+	// completion survives a coordinator crash.
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.Append(rec); err != nil {
+			return nil, fmt.Errorf("fleet: journal: %w", err)
+		}
+	}
+	cell.state = cellCompleted
+	cell.leaseID = ""
+	cell.worker = ""
+	cell.record = rec
+	c.remaining--
+	c.cfg.Metrics.Counter("fleet_completions_total").Add(1)
+	c.cfg.Metrics.Counter("fleet_pairs_completed_total").Add(rec.Pairs)
+	if c.remaining == 0 {
+		close(c.done)
+	}
+	return &CompleteResponse{}, nil
+}
+
+// Fail implements POST /fail: the cell is re-queued, or quarantined
+// once it has failed on FailQuorum distinct workers (or MaxCellFailures
+// times in total). Failure reports for terminal cells are acknowledged
+// and ignored.
+func (c *Coordinator) Fail(_ context.Context, req FailRequest) (*FailResponse, error) {
+	if err := c.checkFingerprint(req.Fingerprint); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen[req.Worker] = true
+	now := c.cfg.Clock()
+	c.sweepLocked(now)
+	if req.Unit < 0 || req.Unit >= len(c.cells) {
+		return nil, fmt.Errorf("fleet: fail: unit %d out of range [0,%d)", req.Unit, len(c.cells))
+	}
+	cell := &c.cells[req.Unit]
+	if cell.state == cellCompleted || cell.state == cellQuarantined {
+		return &FailResponse{Quarantined: cell.state == cellQuarantined}, nil
+	}
+	if cell.failedBy == nil {
+		cell.failedBy = map[string]bool{}
+	}
+	cell.failedBy[req.Worker] = true
+	cell.failures++
+	cell.state = cellPending
+	cell.leaseID = ""
+	cell.worker = ""
+	c.cfg.Metrics.Counter("fleet_cell_failures_total").Add(1)
+	if len(cell.failedBy) < c.cfg.FailQuorum && cell.failures < c.cfg.MaxCellFailures {
+		return &FailResponse{}, nil
+	}
+	// Poisoned: journal the quarantine verdict so a restarted
+	// coordinator does not resurrect the cell.
+	reason := fmt.Sprintf("failed on %d workers (%d attempts), last: %s", len(cell.failedBy), cell.failures, req.Reason)
+	rec := checkpoint.Record{Unit: req.Unit, BadCell: reason}
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.Append(rec); err != nil {
+			return nil, fmt.Errorf("fleet: journal: %w", err)
+		}
+	}
+	cell.state = cellQuarantined
+	cell.reason = reason
+	cell.record = rec
+	c.remaining--
+	c.cfg.Metrics.Counter("fleet_quarantined_cells_total").Add(1)
+	if c.remaining == 0 {
+		close(c.done)
+	}
+	return &FailResponse{Quarantined: true}, nil
+}
+
+// Status implements GET /fleet/status.
+func (c *Coordinator) Status(_ context.Context) (*StatusResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(c.cfg.Clock())
+	st := &StatusResponse{
+		Units:      len(c.cells),
+		Workers:    len(c.seen),
+		TotalPairs: c.cfg.Header.TotalPairs,
+		Done:       c.remaining == 0,
+	}
+	for i := range c.cells {
+		switch c.cells[i].state {
+		case cellPending:
+			st.Pending++
+		case cellLeased:
+			st.Leased++
+		case cellCompleted:
+			st.Completed++
+			st.DonePairs += c.cells[i].record.Pairs
+		case cellQuarantined:
+			st.Quarantined++
+		}
+	}
+	return st, nil
+}
+
+// Wait blocks until every cell is terminal (completed or quarantined)
+// or ctx is canceled.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done reports whether every cell is terminal.
+func (c *Coordinator) Done() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Records returns a copy of every terminal cell's record (quarantined
+// cells appear as their BadCell record), ready for
+// bulk.CellRunner.Assemble.
+func (c *Coordinator) Records() map[int]checkpoint.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]checkpoint.Record, len(c.cells))
+	for i := range c.cells {
+		if c.cells[i].state == cellCompleted || c.cells[i].state == cellQuarantined {
+			out[i] = c.cells[i].record
+		}
+	}
+	return out
+}
+
+// BadCells returns the quarantined units and their reasons.
+func (c *Coordinator) BadCells() map[int]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[int]string{}
+	for i := range c.cells {
+		if c.cells[i].state == cellQuarantined {
+			out[i] = c.cells[i].reason
+		}
+	}
+	return out
+}
+
+// MergedSnapshot merges the coordinator's own registry with the latest
+// snapshot pushed by each worker — the fleet-wide /metrics view.
+func (c *Coordinator) MergedSnapshot() *obs.Snapshot {
+	snap := c.cfg.Metrics.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ws := range c.snapshots {
+		_ = snap.Merge(ws) // bucket-shape mismatches skip that histogram only
+	}
+	return snap
+}
+
+// recordsEqual compares two completion records semantically (order and
+// nil-vs-empty differences from JSON round-trips are not conflicts).
+func recordsEqual(a, b checkpoint.Record) bool {
+	if a.Unit != b.Unit || a.Pairs != b.Pairs || a.BadCell != b.BadCell ||
+		len(a.Factors) != len(b.Factors) || len(a.Bad) != len(b.Bad) {
+		return false
+	}
+	for i := range a.Factors {
+		if a.Factors[i] != b.Factors[i] {
+			return false
+		}
+	}
+	for i := range a.Bad {
+		if a.Bad[i] != b.Bad[i] {
+			return false
+		}
+	}
+	return true
+}

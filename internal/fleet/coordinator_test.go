@@ -1,0 +1,375 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/obs"
+)
+
+const (
+	testFP  = "fp-test"
+	testTTL = 10 * time.Second
+)
+
+func testHeader(units int) checkpoint.Header {
+	return checkpoint.Header{
+		V: checkpoint.Version, Engine: "hybrid", Fingerprint: testFP,
+		Units: units, TotalPairs: int64(units) * 10,
+	}
+}
+
+func testCoord(t *testing.T, units int, clk *FakeClock, mut func(*CoordinatorConfig)) *Coordinator {
+	t.Helper()
+	cfg := CoordinatorConfig{Header: testHeader(units), LeaseTTL: testTTL, Clock: clk.Now}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustLease(t *testing.T, c *Coordinator, worker string) *LeaseResponse {
+	t.Helper()
+	resp, err := c.Lease(context.Background(), LeaseRequest{Worker: worker, Fingerprint: testFP})
+	if err != nil {
+		t.Fatalf("lease for %s: %v", worker, err)
+	}
+	if resp.Done || resp.Wait {
+		t.Fatalf("lease for %s: no grant: %+v", worker, resp)
+	}
+	return resp
+}
+
+func rec(unit int, pairs int64) checkpoint.Record {
+	return checkpoint.Record{Unit: unit, Pairs: pairs,
+		Factors: []checkpoint.Factor{{I: 0, J: 1, P: "ff"}}}
+}
+
+// TestLeaseEdgeCases is the table of lease-lifecycle scenarios under
+// the fake clock: each case scripts one edge of the pending → leased →
+// completed/quarantined state machine exactly at its boundary.
+func TestLeaseEdgeCases(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		run  func(t *testing.T, c *Coordinator, clk *FakeClock)
+	}{
+		{"renew-before-expiry-extends", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l := mustLease(t, c, "w1")
+			for i := 0; i < 3; i++ { // each renewal pushes expiry a full TTL out
+				clk.Advance(testTTL - time.Second)
+				if _, err := c.Renew(ctx, RenewRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l.LeaseID}); err != nil {
+					t.Fatalf("renewal %d: %v", i, err)
+				}
+			}
+		}},
+		{"renew-at-exact-expiry-rejected", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l := mustLease(t, c, "w1")
+			clk.Advance(testTTL) // now == expiry: the lease is gone, not "just barely held"
+			_, err := c.Renew(ctx, RenewRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l.LeaseID})
+			if !errors.Is(err, ErrExpired) {
+				t.Fatalf("renew at expiry: %v", err)
+			}
+		}},
+		{"renewal-racing-expiry", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l := mustLease(t, c, "w1")
+			clk.Advance(testTTL - time.Nanosecond) // last possible instant
+			if _, err := c.Renew(ctx, RenewRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l.LeaseID}); err != nil {
+				t.Fatalf("renew one tick before expiry: %v", err)
+			}
+			clk.Advance(testTTL - time.Nanosecond)
+			if _, err := c.Renew(ctx, RenewRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l.LeaseID}); err != nil {
+				t.Fatalf("race renewal did not extend the lease: %v", err)
+			}
+		}},
+		{"expired-lease-requeues-cell", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l1 := mustLease(t, c, "w1")
+			clk.Advance(testTTL)
+			l2 := mustLease(t, c, "w2")
+			if l2.Unit != l1.Unit {
+				t.Fatalf("re-lease got unit %d, want requeued %d", l2.Unit, l1.Unit)
+			}
+			if l2.LeaseID == l1.LeaseID {
+				t.Fatal("re-lease reused the lease ID")
+			}
+			// The zombie's renewal must not steal the cell back.
+			if _, err := c.Renew(ctx, RenewRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l1.LeaseID}); !errors.Is(err, ErrExpired) {
+				t.Fatalf("zombie renew: %v", err)
+			}
+		}},
+		{"complete-after-expiry-original-holder", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l := mustLease(t, c, "w1")
+			clk.Advance(2 * testTTL)
+			resp, err := c.Complete(ctx, CompleteRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l.LeaseID, Record: rec(l.Unit, 7)})
+			if err != nil || resp.Duplicate {
+				t.Fatalf("late complete by original holder: %+v, %v", resp, err)
+			}
+		}},
+		{"complete-after-expiry-both-holders", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l1 := mustLease(t, c, "w1")
+			clk.Advance(testTTL)
+			l2 := mustLease(t, c, "w2")
+			if _, err := c.Complete(ctx, CompleteRequest{Worker: "w2", Fingerprint: testFP, LeaseID: l2.LeaseID, Record: rec(l2.Unit, 7)}); err != nil {
+				t.Fatalf("re-lease holder complete: %v", err)
+			}
+			// The original holder finishes later with the identical record:
+			// idempotent duplicate, not a conflict.
+			resp, err := c.Complete(ctx, CompleteRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l1.LeaseID, Record: rec(l1.Unit, 7)})
+			if err != nil || !resp.Duplicate {
+				t.Fatalf("original holder's late duplicate: %+v, %v", resp, err)
+			}
+		}},
+		{"duplicate-complete-idempotent", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l := mustLease(t, c, "w1")
+			req := CompleteRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l.LeaseID, Record: rec(l.Unit, 7)}
+			if resp, err := c.Complete(ctx, req); err != nil || resp.Duplicate {
+				t.Fatalf("first complete: %+v, %v", resp, err)
+			}
+			for i := 0; i < 2; i++ { // replayed message, any number of times
+				if resp, err := c.Complete(ctx, req); err != nil || !resp.Duplicate {
+					t.Fatalf("replay %d: %+v, %v", i, resp, err)
+				}
+			}
+		}},
+		{"conflicting-complete-integrity-error", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			l := mustLease(t, c, "w1")
+			if _, err := c.Complete(ctx, CompleteRequest{Worker: "w1", Fingerprint: testFP, Record: rec(l.Unit, 7)}); err != nil {
+				t.Fatal(err)
+			}
+			_, err := c.Complete(ctx, CompleteRequest{Worker: "w2", Fingerprint: testFP, Record: rec(l.Unit, 8)})
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("conflicting record: %v", err)
+			}
+		}},
+		{"wait-when-all-leased", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			for i := 0; i < 3; i++ {
+				mustLease(t, c, "w1")
+			}
+			resp, err := c.Lease(ctx, LeaseRequest{Worker: "w2", Fingerprint: testFP})
+			if err != nil || !resp.Wait || resp.RetryMillis <= 0 {
+				t.Fatalf("lease with grid fully leased: %+v, %v", resp, err)
+			}
+		}},
+		{"fingerprint-checked-everywhere", func(t *testing.T, c *Coordinator, clk *FakeClock) {
+			if _, err := c.Lease(ctx, LeaseRequest{Worker: "w1", Fingerprint: "other"}); !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("lease: %v", err)
+			}
+			if _, err := c.Renew(ctx, RenewRequest{Worker: "w1", Fingerprint: "other"}); !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("renew: %v", err)
+			}
+			if _, err := c.Complete(ctx, CompleteRequest{Worker: "w1", Fingerprint: "other", Record: rec(0, 1)}); !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("complete: %v", err)
+			}
+			if _, err := c.Fail(ctx, FailRequest{Worker: "w1", Fingerprint: "other"}); !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("fail: %v", err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := NewFakeClock(time.Unix(1_000_000, 0))
+			tc.run(t, testCoord(t, 3, clk, nil), clk)
+		})
+	}
+}
+
+// TestPoisonedCellQuarantine: a cell failing on FailQuorum distinct
+// workers is quarantined — journaled as BadCell, never leased again —
+// and the scan still reaches Done.
+func TestPoisonedCellQuarantine(t *testing.T) {
+	ctx := context.Background()
+	clk := NewFakeClock(time.Unix(0, 0))
+	c := testCoord(t, 2, clk, func(cfg *CoordinatorConfig) { cfg.FailQuorum = 2 })
+
+	for i, w := range []string{"w1", "w2"} {
+		l := mustLease(t, c, w)
+		if l.Unit != 0 {
+			t.Fatalf("worker %s leased unit %d, want the pending poisoned one", w, l.Unit)
+		}
+		resp, err := c.Fail(ctx, FailRequest{Worker: w, Fingerprint: testFP, LeaseID: l.LeaseID, Unit: l.Unit, Reason: "kernel panic"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i == 1; resp.Quarantined != want {
+			t.Fatalf("failure %d: quarantined=%v, want %v", i, resp.Quarantined, want)
+		}
+	}
+	// The poisoned cell is terminal; only unit 1 remains.
+	l := mustLease(t, c, "w3")
+	if l.Unit != 1 {
+		t.Fatalf("leased unit %d after quarantine, want 1", l.Unit)
+	}
+	if _, err := c.Complete(ctx, CompleteRequest{Worker: "w3", Fingerprint: testFP, Record: rec(1, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Done() {
+		t.Fatal("scan not done with every cell terminal")
+	}
+	bad := c.BadCells()
+	if len(bad) != 1 || bad[0] == "" {
+		t.Fatalf("BadCells() = %v", bad)
+	}
+	// Late success for the quarantined cell is discarded, not resurrected.
+	if resp, err := c.Complete(ctx, CompleteRequest{Worker: "w1", Fingerprint: testFP, Record: rec(0, 9)}); err != nil || !resp.Duplicate {
+		t.Fatalf("late complete of quarantined cell: %+v, %v", resp, err)
+	}
+}
+
+// TestMaxCellFailuresLoneWorker: a one-worker fleet cannot reach the
+// distinct-worker quorum, so the total-failure cap quarantines instead
+// of retrying forever.
+func TestMaxCellFailuresLoneWorker(t *testing.T) {
+	ctx := context.Background()
+	clk := NewFakeClock(time.Unix(0, 0))
+	c := testCoord(t, 2, clk, func(cfg *CoordinatorConfig) {
+		cfg.FailQuorum = 3
+		cfg.MaxCellFailures = 2
+	})
+	var quarantined bool
+	for i := 0; i < 2; i++ {
+		l := mustLease(t, c, "only")
+		resp, err := c.Fail(ctx, FailRequest{Worker: "only", Fingerprint: testFP, LeaseID: l.LeaseID, Unit: l.Unit, Reason: "boom"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		quarantined = resp.Quarantined
+		if !quarantined {
+			// Re-lease prefers cells we haven't failed; complete them so
+			// only the poisoned cell remains.
+			if l2 := mustLease(t, c, "only"); l2.Unit != l.Unit {
+				if _, err := c.Complete(ctx, CompleteRequest{Worker: "only", Fingerprint: testFP, Record: rec(l2.Unit, 5)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if !quarantined {
+		t.Fatal("total-failure cap did not quarantine")
+	}
+}
+
+// TestCoordinatorJournalRestart: a coordinator that crashes mid-scan is
+// rebuilt from its journal — completed and quarantined cells stay
+// terminal, in-flight leases are forgotten (they would have expired),
+// and the remaining cells finish the scan.
+func TestCoordinatorJournalRestart(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	clk := NewFakeClock(time.Unix(0, 0))
+
+	w, err := checkpoint.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCoord(t, 4, clk, func(cfg *CoordinatorConfig) {
+		cfg.Journal = w
+		cfg.FailQuorum = 1
+	})
+	// Complete unit 0, quarantine unit 1, leave unit 2 leased in flight.
+	l0 := mustLease(t, c, "w1")
+	if _, err := c.Complete(ctx, CompleteRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l0.LeaseID, Record: rec(l0.Unit, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	l1 := mustLease(t, c, "w1")
+	if _, err := c.Fail(ctx, FailRequest{Worker: "w1", Fingerprint: testFP, LeaseID: l1.LeaseID, Unit: l1.Unit, Reason: "poison"}); err != nil {
+		t.Fatal(err)
+	}
+	mustLease(t, c, "w1") // in-flight at crash time
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: reload the journal, rebuild, append to the same file.
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := checkpoint.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	c2 := testCoord(t, 4, clk, func(cfg *CoordinatorConfig) {
+		cfg.Journal = w2
+		cfg.Resume = st
+	})
+	st2, err := c2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Completed != 1 || st2.Quarantined != 1 || st2.Pending != 2 || st2.Leased != 0 {
+		t.Fatalf("restarted status = %+v", st2)
+	}
+	// Finish the scan; the journal must hold every terminal cell exactly once.
+	for !c2.Done() {
+		l := mustLease(t, c2, "w2")
+		if _, err := c2.Complete(ctx, CompleteRequest{Worker: "w2", Fingerprint: testFP, LeaseID: l.LeaseID, Record: rec(l.Unit, 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Done) != 4 || final.Ignored != 0 {
+		t.Fatalf("final journal: %d done, %d ignored", len(final.Done), final.Ignored)
+	}
+	if q := final.Quarantined(); len(q) != 1 {
+		t.Fatalf("journal quarantined = %v", q)
+	}
+	recs := c2.Records()
+	if len(recs) != 4 {
+		t.Fatalf("Records() = %d entries", len(recs))
+	}
+}
+
+// TestMergedSnapshot: worker snapshots pushed on renew merge into the
+// coordinator's own registry for the fleet-wide /metrics.
+func TestMergedSnapshot(t *testing.T) {
+	ctx := context.Background()
+	clk := NewFakeClock(time.Unix(0, 0))
+	reg := obs.NewRegistry()
+	c := testCoord(t, 2, clk, func(cfg *CoordinatorConfig) { cfg.Metrics = reg })
+
+	leases := map[string]string{}
+	push := func(worker string, pairs int64) {
+		if _, ok := leases[worker]; !ok {
+			leases[worker] = mustLease(t, c, worker).LeaseID
+		}
+		wreg := obs.NewRegistry()
+		wreg.Counter("bulk_pairs_total").Add(pairs)
+		if _, err := c.Renew(ctx, RenewRequest{Worker: worker, Fingerprint: testFP, LeaseID: leases[worker], Metrics: wreg.Snapshot()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push("w1", 5)
+	push("w2", 11)
+	snap := c.MergedSnapshot()
+	if got := snap.Counters["bulk_pairs_total"]; got != 16 {
+		t.Fatalf("merged bulk_pairs_total = %d, want 16", got)
+	}
+	if got := snap.Counters["fleet_leases_total"]; got != 2 {
+		t.Fatalf("merged fleet_leases_total = %d, want 2", got)
+	}
+	// A re-push replaces that worker's snapshot (latest wins), it does
+	// not double-count the worker's cumulative counters.
+	push("w1", 5)
+	snap = c.MergedSnapshot()
+	if got := snap.Counters["bulk_pairs_total"]; got != 16 {
+		t.Fatalf("merged bulk_pairs_total after re-push = %d, want 16", got)
+	}
+}

@@ -1,0 +1,376 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/faultinject"
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
+	"bulkgcd/internal/rsakey"
+)
+
+func fleetCorpus(t testing.TB, count, weak int, seed int64) []*mpnat.Nat {
+	t.Helper()
+	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{Count: count, Bits: 64, WeakPairs: weak, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Moduli()
+}
+
+func fleetConfig() bulk.Config {
+	return bulk.Config{Algorithm: gcd.Approximate, Early: true, TileSize: 5}
+}
+
+// assertSameFactors compares findings field by field — the fleet's
+// byte-identity contract against a single-process oracle.
+func assertSameFactors(t *testing.T, got, want []bulk.Factor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d factors, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].I != want[i].I || got[i].J != want[i].J || got[i].P.Hex() != want[i].P.Hex() {
+			t.Fatalf("factor %d: (%d,%d,%s) != (%d,%d,%s)", i,
+				got[i].I, got[i].J, got[i].P.Hex(), want[i].I, want[i].J, want[i].P.Hex())
+		}
+	}
+}
+
+// runFleet drives workers against a coordinator until the scan is done
+// and returns the per-worker reports.
+func runFleet(t *testing.T, ctx context.Context, c *Coordinator, mk func(id string) WorkerConfig, n int) []*WorkerReport {
+	t.Helper()
+	reports := make([]*WorkerReport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := mk(string(rune('a' + i)))
+			reports[i], errs[i] = RunWorker(ctx, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+// TestFleetEndToEndLoopback: three workers over the in-process
+// transport compute the whole grid; the assembled result is identical
+// to an uninterrupted local hybrid run, and the journal holds every
+// cell exactly once.
+func TestFleetEndToEndLoopback(t *testing.T) {
+	ms := fleetCorpus(t, 30, 3, 41)
+	cfg := fleetConfig()
+	oracle, err := bulk.Hybrid(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle.Factors) == 0 {
+		t.Fatal("oracle found nothing; corpus is useless")
+	}
+	hdr, err := bulk.HybridJournalHeader(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	w, err := checkpoint.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Header: hdr, LeaseTTL: time.Second, Journal: w, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(coord)
+
+	ctx := context.Background()
+	reports := runFleet(t, ctx, coord, func(id string) WorkerConfig {
+		return WorkerConfig{
+			ID: id, Transport: lb, Moduli: ms, Config: fleetConfig(),
+			Backoff: Backoff{Base: time.Millisecond, Attempts: 5},
+		}
+	}, 3)
+
+	var completed int
+	for _, r := range reports {
+		completed += r.Completed
+		if r.CoordinatorLost {
+			t.Fatalf("report claims lost coordinator: %+v", r)
+		}
+	}
+	if completed != hdr.Units {
+		t.Fatalf("workers completed %d cells, grid has %d", completed, hdr.Units)
+	}
+
+	runner, err := bulk.NewCellRunner(ms, fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Assemble(coord.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFactors(t, res.Factors, oracle.Factors)
+	if res.Pairs != oracle.Pairs {
+		t.Fatalf("pairs %d, oracle %d", res.Pairs, oracle.Pairs)
+	}
+
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != hdr.Units || st.Ignored != 0 {
+		t.Fatalf("journal: %d done of %d, %d ignored", len(st.Done), hdr.Units, st.Ignored)
+	}
+}
+
+// TestFleetEndToEndHTTP: the same scan over real HTTP — the
+// coordinator's handlers mounted on an obs status server (the
+// production wiring), workers speaking HTTPTransport.
+func TestFleetEndToEndHTTP(t *testing.T) {
+	ms := fleetCorpus(t, 24, 2, 42)
+	cfg := fleetConfig()
+	oracle, err := bulk.Hybrid(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := bulk.HybridJournalHeader(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{Header: hdr, LeaseTTL: time.Second, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := obs.ServeStatusOptions("127.0.0.1:0", obs.StatusOptions{
+		Registry: obs.NewRegistry(),
+		Snapshot: coord.MergedSnapshot,
+		Handlers: coord.Handlers(),
+		Ready:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	ctx := context.Background()
+	runFleet(t, ctx, coord, func(id string) WorkerConfig {
+		return WorkerConfig{
+			ID: id, Moduli: ms, Config: fleetConfig(),
+			Transport: &HTTPTransport{Base: base, Timeout: 2 * time.Second},
+			Backoff:   Backoff{Base: 5 * time.Millisecond, Attempts: 5},
+		}
+	}, 2)
+
+	runner, err := bulk.NewCellRunner(ms, fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Assemble(coord.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFactors(t, res.Factors, oracle.Factors)
+
+	// The protocol endpoints coexist with the observability ones, and
+	// /metrics serves the merged fleet snapshot.
+	ht := &HTTPTransport{Base: base}
+	st, err := ht.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Completed != hdr.Units {
+		t.Fatalf("status after scan: %+v", st)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+}
+
+// TestFleetHTTPErrorMapping: protocol sentinels survive the HTTP round
+// trip, so worker retry classification works across the wire.
+func TestFleetHTTPErrorMapping(t *testing.T) {
+	hdr := testHeader(2)
+	coord, err := NewCoordinator(CoordinatorConfig{Header: hdr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	for pattern, h := range coord.Handlers() {
+		mux.Handle(pattern, h)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	tr := &HTTPTransport{Base: srv.URL, Timeout: time.Second}
+	ctx := context.Background()
+
+	if _, err := tr.Lease(ctx, LeaseRequest{Worker: "w", Fingerprint: "bad"}); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("fingerprint over HTTP: %v", err)
+	}
+	if _, err := tr.Renew(ctx, RenewRequest{Worker: "w", Fingerprint: testFP, LeaseID: "999"}); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired over HTTP: %v", err)
+	}
+	l, err := tr.Lease(ctx, LeaseRequest{Worker: "w", Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Complete(ctx, CompleteRequest{Worker: "w", Fingerprint: testFP, Record: rec(l.Unit, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Complete(ctx, CompleteRequest{Worker: "w2", Fingerprint: testFP, Record: rec(l.Unit, 8)}); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("integrity over HTTP: %v", err)
+	}
+}
+
+// TestFleetWorkerGracefulDegradation: a worker whose coordinator
+// vanishes after it finished computing a cell spills the record locally
+// and exits cleanly — no error, no wedge, work preserved.
+func TestFleetWorkerGracefulDegradation(t *testing.T) {
+	ms := fleetCorpus(t, 12, 1, 43)
+	cfg := fleetConfig()
+	hdr, err := bulk.HybridJournalHeader(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{Header: hdr, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(coord)
+	// The coordinator dies the moment the first completion arrives.
+	tr := &dyingTransport{Loopback: lb}
+
+	spillPath := filepath.Join(t.TempDir(), "spill.jsonl")
+	rep, err := RunWorker(context.Background(), WorkerConfig{
+		ID: "survivor", Transport: tr, Moduli: ms, Config: fleetConfig(),
+		Backoff:   Backoff{Base: time.Millisecond, Attempts: 3},
+		SpillPath: spillPath,
+	})
+	if err != nil {
+		t.Fatalf("graceful degradation must not error: %v", err)
+	}
+	if !rep.CoordinatorLost || rep.Spilled != spillPath {
+		t.Fatalf("report = %+v", rep)
+	}
+	st, err := checkpoint.Load(spillPath)
+	if err != nil {
+		t.Fatalf("spilled journal unreadable: %v", err)
+	}
+	if err := st.Verify(hdr); err != nil {
+		t.Fatalf("spilled journal has wrong identity: %v", err)
+	}
+	if len(st.Done) != 1 {
+		t.Fatalf("spilled %d records, want the held cell", len(st.Done))
+	}
+}
+
+// dyingTransport kills the coordinator at the first Complete.
+type dyingTransport struct {
+	*Loopback
+	once sync.Once
+}
+
+func (d *dyingTransport) Complete(ctx context.Context, req CompleteRequest) (*CompleteResponse, error) {
+	d.once.Do(func() { d.SetDown(true) })
+	return d.Loopback.Complete(ctx, req)
+}
+
+// TestFleetWorkerFingerprintMismatch: a worker configured differently
+// from the run (different tile size → different grid) is rejected
+// before it can contribute a single record.
+func TestFleetWorkerFingerprintMismatch(t *testing.T) {
+	ms := fleetCorpus(t, 12, 0, 44)
+	hdr, err := bulk.HybridJournalHeader(ms, fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{Header: hdr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := fleetConfig()
+	wrong.TileSize = 3
+	_, err = RunWorker(context.Background(), WorkerConfig{
+		ID: "misfit", Transport: NewLoopback(coord), Moduli: ms, Config: wrong,
+		Backoff: Backoff{Base: time.Millisecond, Attempts: 2},
+	})
+	if !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("mismatched worker: %v", err)
+	}
+}
+
+// TestFleetPoisonedCellEndToEnd: a cell that panics on every worker is
+// quarantined by the distinct-worker quorum and the scan still
+// terminates, with every other cell completed.
+func TestFleetPoisonedCellEndToEnd(t *testing.T) {
+	ms := fleetCorpus(t, 20, 0, 45)
+	cfg := fleetConfig()
+	hdr, err := bulk.HybridJournalHeader(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{Header: hdr, LeaseTTL: time.Second, FailQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(coord)
+	const poisoned = 0
+	ctx := context.Background()
+	runFleet(t, ctx, coord, func(id string) WorkerConfig {
+		wcfg := fleetConfig()
+		wcfg.Fault = &faultinject.Hook{Block: func(u int) {
+			if u == poisoned {
+				panic("poisoned cell")
+			}
+		}}
+		wcfg.Config.Metrics = obs.NewRegistry()
+		return WorkerConfig{
+			ID: id, Transport: lb, Moduli: ms, Config: wcfg,
+			Backoff: Backoff{Base: time.Millisecond, Attempts: 5},
+		}
+	}, 3)
+
+	bad := coord.BadCells()
+	if len(bad) != 1 || bad[poisoned] == "" {
+		t.Fatalf("BadCells() = %v", bad)
+	}
+	st, err := coord.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Completed != hdr.Units-1 || st.Quarantined != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}

@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The HTTP form of the protocol: JSON bodies, protocol errors as JSON
+// {"code","error"} with a status code per sentinel, so HTTPTransport
+// reconstructs the exact sentinel on the worker side:
+//
+//	409 Conflict            ErrFingerprint
+//	410 Gone                ErrExpired
+//	422 Unprocessable       ErrIntegrity
+//	400 Bad Request         malformed request (terminal-ish; worker bug)
+//	500 Internal            anything else (retryable)
+
+const (
+	codeFingerprint = "fingerprint"
+	codeExpired     = "expired"
+	codeIntegrity   = "integrity"
+)
+
+type httpError struct {
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	he := httpError{Error: err.Error()}
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrFingerprint):
+		status, he.Code = http.StatusConflict, codeFingerprint
+	case errors.Is(err, ErrExpired):
+		status, he.Code = http.StatusGone, codeExpired
+	case errors.Is(err, ErrIntegrity):
+		status, he.Code = http.StatusUnprocessableEntity, codeIntegrity
+	}
+	writeJSON(w, status, he)
+}
+
+// post adapts one coordinator method to an HTTP handler.
+func post[Req, Resp any](f func(context.Context, Req) (*Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST only"})
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+		resp, err := f(r.Context(), req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// Handlers returns the coordinator's protocol routes, ready to mount on
+// any mux (obs.StatusOptions.Handlers mounts them next to /metrics).
+func (c *Coordinator) Handlers() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/lease":    post(c.Lease),
+		"/renew":    post(c.Renew),
+		"/complete": post(c.Complete),
+		"/fail":     post(c.Fail),
+		"/fleet/status": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			st, err := c.Status(r.Context())
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		}),
+	}
+}
+
+// HTTPTransport speaks the coordinator's HTTP protocol.
+type HTTPTransport struct {
+	// Base is the coordinator's base URL, e.g. "http://10.0.0.1:9090".
+	Base string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// Timeout bounds each request (on top of the caller's ctx); 0 means
+	// 5s. Every call must have a deadline — a hung coordinator must
+	// surface as a retryable error, not a wedged worker.
+	Timeout time.Duration
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTransport) timeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return 5 * time.Second
+}
+
+// call POSTs in to path and decodes the reply into out, mapping
+// protocol error codes back to sentinels.
+func (t *HTTPTransport) call(ctx context.Context, method, path string, in, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, t.timeout())
+	defer cancel()
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("fleet: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.Base+path, body)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("fleet: %s: read: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var he httpError
+		_ = json.Unmarshal(data, &he)
+		msg := he.Error
+		if msg == "" {
+			msg = fmt.Sprintf("HTTP %d", resp.StatusCode)
+		}
+		switch he.Code {
+		case codeFingerprint:
+			return fmt.Errorf("%w: %s", ErrFingerprint, msg)
+		case codeExpired:
+			return fmt.Errorf("%w: %s", ErrExpired, msg)
+		case codeIntegrity:
+			return fmt.Errorf("%w: %s", ErrIntegrity, msg)
+		}
+		return fmt.Errorf("fleet: %s: %s", path, msg)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("fleet: %s: decode: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func (t *HTTPTransport) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := t.call(ctx, http.MethodPost, "/lease", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Renew(ctx context.Context, req RenewRequest) (*RenewResponse, error) {
+	var resp RenewResponse
+	if err := t.call(ctx, http.MethodPost, "/renew", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Complete(ctx context.Context, req CompleteRequest) (*CompleteResponse, error) {
+	var resp CompleteResponse
+	if err := t.call(ctx, http.MethodPost, "/complete", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Fail(ctx context.Context, req FailRequest) (*FailResponse, error) {
+	var resp FailResponse
+	if err := t.call(ctx, http.MethodPost, "/fail", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Status(ctx context.Context) (*StatusResponse, error) {
+	var resp StatusResponse
+	if err := t.call(ctx, http.MethodGet, "/fleet/status", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"bulkgcd/internal/faultinject"
+)
+
+// errDown is what a loopback call returns while the coordinator is
+// "down" (killed between Swap calls in a restart campaign). It is not a
+// sentinel: workers treat it as transient and retry, exactly as they
+// treat a refused TCP connection.
+var errDown = errors.New("fleet: loopback: coordinator down")
+
+// errDropped is a chaos-injected lost message; transient by design.
+var errDropped = errors.New("fleet: chaos: message dropped")
+
+// IsChaosDrop reports whether err is an injected message drop (for
+// tests asserting the fault actually fired).
+func IsChaosDrop(err error) bool { return errors.Is(err, errDropped) }
+
+// Loopback is the in-process Transport: calls go straight to a
+// *Coordinator under a mutex-guarded pointer, so a chaos test can kill
+// the coordinator (SetDown), rebuild it from its journal, and Swap the
+// replacement in — a restart without a network stack.
+type Loopback struct {
+	mu   sync.Mutex
+	c    *Coordinator
+	down bool
+}
+
+// NewLoopback wires a transport to c.
+func NewLoopback(c *Coordinator) *Loopback { return &Loopback{c: c} }
+
+// Swap replaces the coordinator (restart complete) and brings the
+// transport back up.
+func (l *Loopback) Swap(c *Coordinator) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c = c
+	l.down = false
+}
+
+// SetDown simulates the coordinator process being gone: every call
+// fails with a transient error until Swap.
+func (l *Loopback) SetDown(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = down
+}
+
+func (l *Loopback) get() (*Coordinator, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down || l.c == nil {
+		return nil, errDown
+	}
+	return l.c, nil
+}
+
+func (l *Loopback) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	c, err := l.get()
+	if err != nil {
+		return nil, err
+	}
+	return c.Lease(ctx, req)
+}
+
+func (l *Loopback) Renew(ctx context.Context, req RenewRequest) (*RenewResponse, error) {
+	c, err := l.get()
+	if err != nil {
+		return nil, err
+	}
+	return c.Renew(ctx, req)
+}
+
+func (l *Loopback) Complete(ctx context.Context, req CompleteRequest) (*CompleteResponse, error) {
+	c, err := l.get()
+	if err != nil {
+		return nil, err
+	}
+	return c.Complete(ctx, req)
+}
+
+func (l *Loopback) Fail(ctx context.Context, req FailRequest) (*FailResponse, error) {
+	c, err := l.get()
+	if err != nil {
+		return nil, err
+	}
+	return c.Fail(ctx, req)
+}
+
+func (l *Loopback) Status(ctx context.Context) (*StatusResponse, error) {
+	c, err := l.get()
+	if err != nil {
+		return nil, err
+	}
+	return c.Status(ctx)
+}
+
+// ChaosTransport injects faultinject.RPCPlan message faults between a
+// worker and any inner Transport: requests vanish before the
+// coordinator sees them, replies vanish after it processed them (the
+// at-least-once hazard: state changed, client unsure), messages deliver
+// twice (exercising idempotent completion), or stall long enough for
+// leases to expire underneath them.
+type ChaosTransport struct {
+	Inner Transport
+	Plan  *faultinject.RPCPlan
+	// Sleep replaces time.Sleep for Delay faults (tests inject a fake
+	// clock advance); nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (t *ChaosTransport) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if t.Sleep != nil {
+		t.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// inject wraps one call. The duplicate fault re-invokes call after the
+// first response and discards the second result — for an idempotent
+// protocol both must succeed identically, and any integrity error the
+// duplicate provokes is surfaced.
+func inject[Resp any](t *ChaosTransport, op string, call func() (*Resp, error)) (*Resp, error) {
+	f := t.Plan.Next(op)
+	t.sleep(f.Delay)
+	if f.DropRequest {
+		return nil, errDropped
+	}
+	resp, err := call()
+	if err != nil {
+		return nil, err
+	}
+	if f.Duplicate {
+		if _, derr := call(); derr != nil && terminal(derr) {
+			return nil, derr
+		}
+	}
+	if f.DropReply {
+		return nil, errDropped
+	}
+	return resp, nil
+}
+
+func (t *ChaosTransport) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	return inject(t, "lease", func() (*LeaseResponse, error) { return t.Inner.Lease(ctx, req) })
+}
+
+func (t *ChaosTransport) Renew(ctx context.Context, req RenewRequest) (*RenewResponse, error) {
+	return inject(t, "renew", func() (*RenewResponse, error) { return t.Inner.Renew(ctx, req) })
+}
+
+func (t *ChaosTransport) Complete(ctx context.Context, req CompleteRequest) (*CompleteResponse, error) {
+	return inject(t, "complete", func() (*CompleteResponse, error) { return t.Inner.Complete(ctx, req) })
+}
+
+func (t *ChaosTransport) Fail(ctx context.Context, req FailRequest) (*FailResponse, error) {
+	return inject(t, "fail", func() (*FailResponse, error) { return t.Inner.Fail(ctx, req) })
+}
+
+func (t *ChaosTransport) Status(ctx context.Context) (*StatusResponse, error) {
+	return t.Inner.Status(ctx)
+}

@@ -1,0 +1,164 @@
+// Package fleet distributes a bulk-GCD scan across machines: a
+// coordinator owns the grid of hybrid tile cells (bulk.CellRunner
+// units) and leases them to workers over a minimal job-lease protocol;
+// workers compute leased cells and report the resulting checkpoint
+// records back. The protocol is designed so that every fault mode —
+// worker crash, stall, partition, message loss or duplication,
+// coordinator restart — degrades to recomputing a cell, never to wrong
+// or missing findings:
+//
+//   - Leases are time-bounded; a worker holds a cell only while it keeps
+//     renewing (heartbeat). An expired lease returns the cell to the
+//     queue, so a crashed or partitioned worker costs one lease TTL.
+//   - Cell computation is deterministic, so completion is idempotent: a
+//     duplicate complete (lost reply, re-leased cell finishing twice)
+//     carries a byte-identical record and is accepted; a *conflicting*
+//     record is an integrity error, never silently merged.
+//   - The coordinator journals completions through internal/checkpoint
+//     before acknowledging, so a coordinator restart resumes from the
+//     journal and in-flight leases simply expire.
+//   - A cell that keeps failing is quarantined (journaled as BadCell)
+//     after failing on enough distinct workers, so one poisoned cell
+//     cannot wedge the scan.
+//
+// Transport abstracts the wire: Loopback runs the protocol in-process
+// (and ChaosTransport injects message faults for the chaos campaign),
+// HTTPTransport speaks the JSON-over-HTTP form served by
+// Coordinator.Handlers (POST /lease, /renew, /complete, /fail and
+// GET /fleet/status).
+package fleet
+
+import (
+	"context"
+	"errors"
+
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/obs"
+)
+
+// Sentinel protocol errors. Transports map them losslessly (the HTTP
+// transport round-trips them through status codes), so worker retry
+// logic can classify failures with errors.Is regardless of transport.
+var (
+	// ErrFingerprint: the worker's corpus/config fingerprint does not
+	// match the coordinator's run. Terminal — retrying cannot help.
+	ErrFingerprint = errors.New("fleet: fingerprint mismatch")
+	// ErrExpired: the lease being renewed no longer exists (expired and
+	// re-queued, or the cell reached a terminal state). The worker must
+	// stop relying on the lease; the cell's fate is the coordinator's.
+	ErrExpired = errors.New("fleet: lease expired")
+	// ErrIntegrity: a completion conflicted with an already-accepted
+	// record for the same cell. Determinism is broken; the scan's
+	// findings cannot be trusted. Terminal.
+	ErrIntegrity = errors.New("fleet: conflicting completion record")
+	// ErrCoordinatorLost: retries exhausted without reaching the
+	// coordinator. The worker degrades gracefully (spills results
+	// locally and exits) instead of wedging.
+	ErrCoordinatorLost = errors.New("fleet: coordinator unreachable")
+)
+
+// LeaseRequest asks for one cell to compute.
+type LeaseRequest struct {
+	// Worker identifies the requester across requests; the poisoned-cell
+	// policy counts *distinct* failing workers, and the scheduler avoids
+	// re-leasing a cell to a worker it already failed on when possible.
+	Worker string `json:"worker"`
+	// Fingerprint is the run identity the worker computed from its own
+	// corpus and configuration (bulk.CellRunner.Header().Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+}
+
+// LeaseResponse grants a cell, asks the worker to wait, or reports the
+// scan done.
+type LeaseResponse struct {
+	// Done: every cell is completed or quarantined; the worker exits.
+	Done bool `json:"done,omitempty"`
+	// Wait: nothing leasable right now (all remaining cells are leased
+	// out); retry after RetryMillis.
+	Wait        bool  `json:"wait,omitempty"`
+	RetryMillis int64 `json:"retry_millis,omitempty"`
+	// Unit is the granted cell index; LeaseID names this grant and must
+	// accompany renewals. TTLMillis is the lease duration: the worker
+	// must renew well within it (TTL/3 heartbeats) or the cell is
+	// re-queued.
+	Unit      int    `json:"unit"`
+	LeaseID   string `json:"lease_id"`
+	TTLMillis int64  `json:"ttl_millis"`
+}
+
+// RenewRequest is the heartbeat: it extends the lease and carries the
+// worker's metrics snapshot for fleet-wide aggregation.
+type RenewRequest struct {
+	Worker      string `json:"worker"`
+	Fingerprint string `json:"fingerprint"`
+	LeaseID     string `json:"lease_id"`
+	// Metrics is the worker's obs registry snapshot; the coordinator
+	// keeps the latest per worker and merges them into its /metrics.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// RenewResponse confirms the extension.
+type RenewResponse struct {
+	TTLMillis int64 `json:"ttl_millis"`
+}
+
+// CompleteRequest reports a computed cell. Completion is keyed by the
+// record's Unit, not the lease: a worker whose lease expired mid-cell
+// may still complete (determinism makes the late record identical), and
+// a duplicate complete is acknowledged idempotently.
+type CompleteRequest struct {
+	Worker      string            `json:"worker"`
+	Fingerprint string            `json:"fingerprint"`
+	LeaseID     string            `json:"lease_id,omitempty"`
+	Record      checkpoint.Record `json:"record"`
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	// Duplicate reports that an identical record had already been
+	// accepted (informational; the request still succeeded).
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// FailRequest reports that computing a cell failed on this worker
+// (panic inside the kernel, poisoned input). The coordinator re-queues
+// the cell — or quarantines it once enough distinct workers failed.
+type FailRequest struct {
+	Worker      string `json:"worker"`
+	Fingerprint string `json:"fingerprint"`
+	LeaseID     string `json:"lease_id,omitempty"`
+	Unit        int    `json:"unit"`
+	Reason      string `json:"reason"`
+}
+
+// FailResponse acknowledges a failure report.
+type FailResponse struct {
+	// Quarantined reports that this failure tripped the poisoned-cell
+	// policy and the cell will never be retried.
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// StatusResponse is the coordinator's public progress view.
+type StatusResponse struct {
+	Units       int   `json:"units"`
+	Pending     int   `json:"pending"`
+	Leased      int   `json:"leased"`
+	Completed   int   `json:"completed"`
+	Quarantined int   `json:"quarantined"`
+	Workers     int   `json:"workers"`
+	Done        bool  `json:"done"`
+	TotalPairs  int64 `json:"total_pairs"`
+	DonePairs   int64 `json:"done_pairs"`
+}
+
+// Transport is the worker's view of the coordinator. Implementations
+// must map coordinator-side protocol errors onto the sentinel errors
+// above (wrapped is fine); any other error is treated as transient and
+// retried with backoff.
+type Transport interface {
+	Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error)
+	Renew(ctx context.Context, req RenewRequest) (*RenewResponse, error)
+	Complete(ctx context.Context, req CompleteRequest) (*CompleteResponse, error)
+	Fail(ctx context.Context, req FailRequest) (*FailResponse, error)
+	Status(ctx context.Context) (*StatusResponse, error)
+}

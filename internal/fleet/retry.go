@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Backoff shapes the worker's retry schedule for coordinator calls:
+// exponential with full-range jitter, capped, bounded in attempts. The
+// zero value gets sensible defaults (50ms base, 2s cap, factor 2, 20%
+// jitter, 8 attempts ≈ 6s of patience).
+type Backoff struct {
+	Base     time.Duration
+	Max      time.Duration
+	Factor   float64
+	Jitter   float64 // fraction of the delay randomized, in [0,1]
+	Attempts int
+	// Seed fixes the jitter sequence for deterministic tests; 0 seeds
+	// from the worker identity at retrier construction.
+	Seed int64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.2
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 8
+	}
+	return b
+}
+
+// delay returns the sleep before attempt i (0-based; attempt 0 has no
+// preceding delay).
+func (b Backoff) delay(i int, rng *rand.Rand) time.Duration {
+	d := float64(b.Base)
+	for k := 1; k < i; k++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		// Full-range jitter around d: [d*(1-j), d*(1+j)] — desynchronizes
+		// workers hammering a briefly-down coordinator.
+		d *= 1 - b.Jitter + 2*b.Jitter*rng.Float64()
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	return time.Duration(d)
+}
+
+// terminal reports protocol errors that retrying cannot fix.
+func terminal(err error) bool {
+	return errors.Is(err, ErrFingerprint) ||
+		errors.Is(err, ErrExpired) ||
+		errors.Is(err, ErrIntegrity)
+}
+
+// retrier runs coordinator calls under the backoff policy.
+type retrier struct {
+	b   Backoff
+	rng *rand.Rand
+}
+
+func newRetrier(b Backoff, seed int64) *retrier {
+	b = b.withDefaults()
+	if b.Seed != 0 {
+		seed = b.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &retrier{b: b, rng: rand.New(rand.NewSource(seed))}
+}
+
+// do runs f until it succeeds, fails terminally, exhausts the attempt
+// budget (→ ErrCoordinatorLost wrapping the last error), or ctx ends.
+func (r *retrier) do(ctx context.Context, op string, f func(context.Context) error) error {
+	var last error
+	for i := 0; i < r.b.Attempts; i++ {
+		if i > 0 {
+			t := time.NewTimer(r.b.delay(i, r.rng))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = f(ctx)
+		if last == nil {
+			return nil
+		}
+		if terminal(last) {
+			return last
+		}
+		// A per-request timeout inside f is transient (retry it); only the
+		// caller's own context ending stops the retry loop.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("%w: %s failed %d times, last: %v", ErrCoordinatorLost, op, r.b.Attempts, last)
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelay: exponential growth from Base, capped at Max, with
+// jitter bounded to ±Jitter around the deterministic value.
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0, Attempts: 10}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1 (first retry)
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for i, w := range want {
+		if got := b.delay(i+1, rng); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+
+	j := Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.2, Attempts: 10}.withDefaults()
+	exact := j
+	exact.Jitter = 0
+	for i := 1; i < 6; i++ {
+		base := exact.delay(i, rng)
+		got := j.delay(i, rng)
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if got < lo || got > hi {
+			t.Errorf("jittered delay(%d) = %v outside [%v, %v]", i, got, lo, hi)
+		}
+	}
+}
+
+// TestRetrierClassification: transient errors burn attempts and end in
+// ErrCoordinatorLost; terminal protocol errors short-circuit; ctx
+// cancellation wins over everything.
+func TestRetrierClassification(t *testing.T) {
+	ctx := context.Background()
+	fast := Backoff{Base: time.Microsecond, Max: time.Microsecond, Attempts: 4}
+
+	calls := 0
+	err := newRetrier(fast, 1).do(ctx, "lease", func(context.Context) error {
+		calls++
+		return fmt.Errorf("connection refused")
+	})
+	if !errors.Is(err, ErrCoordinatorLost) || calls != 4 {
+		t.Fatalf("transient exhaustion: %v after %d calls", err, calls)
+	}
+
+	calls = 0
+	err = newRetrier(fast, 1).do(ctx, "renew", func(context.Context) error {
+		calls++
+		return fmt.Errorf("wrap: %w", ErrExpired)
+	})
+	if !errors.Is(err, ErrExpired) || calls != 1 {
+		t.Fatalf("terminal error: %v after %d calls", err, calls)
+	}
+
+	calls = 0
+	err = newRetrier(fast, 1).do(ctx, "complete", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("eventual success: %v after %d calls", err, calls)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	err = newRetrier(fast, 1).do(canceled, "fail", func(context.Context) error { return fmt.Errorf("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/checkpoint"
+	"bulkgcd/internal/mpnat"
+)
+
+// WorkerConfig configures one fleet worker process (or goroutine).
+type WorkerConfig struct {
+	// ID identifies this worker to the coordinator; it feeds the
+	// poisoned-cell quorum, so two workers sharing an ID weaken the
+	// policy. Required.
+	ID string
+
+	// Transport reaches the coordinator.
+	Transport Transport
+
+	// Moduli is the corpus — every worker loads the same one; the
+	// fingerprint check turns any divergence into ErrFingerprint
+	// instead of wrong findings.
+	Moduli []*mpnat.Nat
+
+	// Config is the bulk engine configuration the fleet run was planned
+	// with (attack.Options.BulkConfig()). Checkpoint/Resume must be nil:
+	// journaling is the coordinator's job.
+	Config bulk.Config
+
+	// Backoff shapes retries of coordinator calls.
+	Backoff Backoff
+
+	// SpillPath, when non-empty, is where a worker that loses the
+	// coordinator mid-completion writes its orphaned record as a
+	// single-record journal (header + record), so the work is not lost
+	// — an operator can feed it back. Empty disables spilling.
+	SpillPath string
+
+	// Logf receives worker progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// WorkerReport summarizes a worker's run.
+type WorkerReport struct {
+	// Completed counts cells this worker computed and had accepted.
+	Completed int
+	// Failed counts cells this worker reported as failed.
+	Failed int
+	// Abandoned counts cells whose lease was lost mid-compute (renewal
+	// returned ErrExpired); their fate belongs to the re-lease holder.
+	Abandoned int
+	// CoordinatorLost is set when the worker exited because the
+	// coordinator became unreachable.
+	CoordinatorLost bool
+	// Spilled is the path of the locally flushed record journal, when
+	// the worker had a finished cell it could not deliver.
+	Spilled string
+}
+
+// RunWorker runs the worker loop: lease a cell, heartbeat while
+// computing it, complete (or fail) it, repeat until the coordinator
+// reports the scan done. Faults degrade per the protocol contract:
+// transient transport errors retry with backoff; a lost lease abandons
+// the cell; a lost coordinator flushes locally and exits cleanly
+// (CoordinatorLost set, nil error). The error return is reserved for
+// misconfiguration (fingerprint mismatch, integrity violation) and
+// ctx cancellation.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerReport, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("fleet: worker needs an ID")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("fleet: worker needs a transport")
+	}
+	if cfg.Config.Checkpoint != nil || cfg.Config.Resume != nil {
+		return nil, fmt.Errorf("fleet: workers do not journal; set Checkpoint/Resume on the coordinator")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	runner, err := bulk.NewCellRunner(cfg.Moduli, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	fp := runner.Header().Fingerprint
+	h := fnv.New64a()
+	h.Write([]byte(cfg.ID))
+	retry := newRetrier(cfg.Backoff, int64(h.Sum64()))
+	rep := &WorkerReport{}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		var lease *LeaseResponse
+		err := retry.do(ctx, "lease", func(ctx context.Context) error {
+			var lerr error
+			lease, lerr = cfg.Transport.Lease(ctx, LeaseRequest{Worker: cfg.ID, Fingerprint: fp})
+			return lerr
+		})
+		switch {
+		case errors.Is(err, ErrCoordinatorLost):
+			logf("worker %s: coordinator unreachable with no held lease; exiting: %v", cfg.ID, err)
+			rep.CoordinatorLost = true
+			return rep, nil
+		case err != nil:
+			return rep, err
+		}
+		if lease.Done {
+			logf("worker %s: scan complete (%d cells computed here)", cfg.ID, rep.Completed)
+			return rep, nil
+		}
+		if lease.Wait {
+			wait := time.Duration(lease.RetryMillis) * time.Millisecond
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+
+		rec, lost, err := computeCell(ctx, cfg, runner, retry, fp, lease, logf)
+		if lost {
+			rep.Abandoned++
+			continue
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			// The cell itself failed: report it so the poisoned-cell
+			// policy can count us, then move on.
+			rep.Failed++
+			logf("worker %s: cell %d failed: %v", cfg.ID, lease.Unit, err)
+			ferr := retry.do(ctx, "fail", func(ctx context.Context) error {
+				_, e := cfg.Transport.Fail(ctx, FailRequest{
+					Worker: cfg.ID, Fingerprint: fp, LeaseID: lease.LeaseID,
+					Unit: lease.Unit, Reason: err.Error(),
+				})
+				return e
+			})
+			if errors.Is(ferr, ErrCoordinatorLost) {
+				rep.CoordinatorLost = true
+				return rep, nil
+			}
+			if ferr != nil && !terminal(ferr) {
+				return rep, ferr
+			}
+			continue
+		}
+
+		// Graceful degradation: deliver the finished cell even if the
+		// lease lapsed meanwhile (completion is idempotent); if the
+		// coordinator is gone, flush the record locally and exit cleanly.
+		cerr := retry.do(ctx, "complete", func(ctx context.Context) error {
+			_, e := cfg.Transport.Complete(ctx, CompleteRequest{
+				Worker: cfg.ID, Fingerprint: fp, LeaseID: lease.LeaseID, Record: rec,
+			})
+			return e
+		})
+		switch {
+		case cerr == nil:
+			rep.Completed++
+		case errors.Is(cerr, ErrCoordinatorLost):
+			rep.CoordinatorLost = true
+			if cfg.SpillPath != "" {
+				if serr := spill(cfg.SpillPath, runner.Header(), rec); serr != nil {
+					logf("worker %s: spill failed: %v", cfg.ID, serr)
+				} else {
+					rep.Spilled = cfg.SpillPath
+					logf("worker %s: coordinator lost; cell %d spilled to %s", cfg.ID, rec.Unit, cfg.SpillPath)
+				}
+			}
+			return rep, nil
+		default:
+			return rep, cerr // integrity/fingerprint or ctx error: surface it
+		}
+	}
+}
+
+// computeCell runs one leased cell under a heartbeat. It returns
+// lost=true when the lease was discovered expired mid-compute (the
+// result, if any, is abandoned — the re-lease holder owns the cell).
+func computeCell(ctx context.Context, cfg WorkerConfig, runner *bulk.CellRunner, retry *retrier, fp string, lease *LeaseResponse, logf func(string, ...any)) (rec checkpoint.Record, lost bool, err error) {
+	ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	hbStop := make(chan struct{})
+	var hbLost bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				// One attempt per tick: a missed heartbeat is retried by
+				// the next tick well before the TTL, and a dead
+				// coordinator is discovered by the post-compute complete.
+				rctx, cancel := context.WithTimeout(ctx, ttl/3)
+				_, rerr := cfg.Transport.Renew(rctx, RenewRequest{
+					Worker: cfg.ID, Fingerprint: fp, LeaseID: lease.LeaseID,
+					Metrics: cfg.Config.Metrics.Snapshot(),
+				})
+				cancel()
+				if terminal(rerr) {
+					hbLost = true
+					return
+				}
+			}
+		}
+	}()
+	rec, err = runner.RunUnit(ctx, lease.Unit)
+	close(hbStop)
+	wg.Wait()
+	if hbLost {
+		// The lease is gone; even a successful record is abandoned —
+		// completing would be accepted idempotently, but backing off
+		// avoids racing the re-lease holder for nothing.
+		logf("worker %s: lease on cell %d lost mid-compute; abandoning", cfg.ID, lease.Unit)
+		return checkpoint.Record{}, true, nil
+	}
+	return rec, false, err
+}
+
+// spill writes a single-record journal so a finished-but-undeliverable
+// cell survives the worker's exit.
+func spill(path string, hdr checkpoint.Header, rec checkpoint.Record) error {
+	w, err := checkpoint.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.Begin(hdr); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Append(rec); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,17 +1,21 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
 
 // StatusServer serves the live view of a running scan:
 //
 //	GET /healthz              liveness: {"status":"ok","uptime_seconds":...}
+//	GET /readyz               readiness: 200 once accepting work, 503 before
+//	                          and again during drain (see SetReady)
 //	GET /metrics              Prometheus text exposition of the registry
 //	GET /metrics?format=json  the same snapshot as expvar-style JSON
 //	GET /debug/vars           alias for the JSON snapshot
@@ -21,28 +25,61 @@ import (
 // does not leak handlers into embedding programs) and listens
 // immediately on construction, so ":0" yields a usable Addr for tests.
 type StatusServer struct {
-	ln    net.Listener
-	srv   *http.Server
-	reg   *Registry
-	start time.Time
-	done  chan struct{}
+	ln       net.Listener
+	srv      *http.Server
+	start    time.Time
+	done     chan struct{}
+	ready    atomic.Bool
+	snapshot func() *Snapshot
+}
+
+// StatusOptions extends ServeStatus for servers that are more than a
+// metrics endpoint — a fleet coordinator mounts its protocol handlers
+// and swaps in a merged fleet-wide snapshot.
+type StatusOptions struct {
+	// Registry backs /metrics and /debug/vars; nil serves empty snapshots
+	// unless Snapshot overrides it.
+	Registry *Registry
+	// Snapshot, when non-nil, replaces Registry.Snapshot() as the source
+	// for /metrics and /debug/vars (e.g. a coordinator merging worker
+	// snapshots into its own). Called per scrape; must be safe for
+	// concurrent use.
+	Snapshot func() *Snapshot
+	// Handlers are additional routes mounted on the server's mux; the
+	// patterns must not collide with the built-in endpoints.
+	Handlers map[string]http.Handler
+	// Ready is the initial /readyz state. ServeStatus (without options)
+	// starts ready for backward compatibility; a coordinator typically
+	// starts not-ready and flips via SetReady once it is accepting work.
+	Ready bool
 }
 
 // ServeStatus starts a status server for reg on addr (host:port; ":0"
-// picks a free port). The server runs until Close.
+// picks a free port), immediately ready. The server runs until Close.
 func ServeStatus(addr string, reg *Registry) (*StatusServer, error) {
+	return ServeStatusOptions(addr, StatusOptions{Registry: reg, Ready: true})
+}
+
+// ServeStatusOptions starts a status server configured by opts.
+func ServeStatusOptions(addr string, opts StatusOptions) (*StatusServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: status listener: %w", err)
 	}
+	reg := opts.Registry
 	s := &StatusServer{
-		ln:    ln,
-		reg:   reg,
-		start: time.Now(),
-		done:  make(chan struct{}),
+		ln:       ln,
+		start:    time.Now(),
+		done:     make(chan struct{}),
+		snapshot: opts.Snapshot,
 	}
+	if s.snapshot == nil {
+		s.snapshot = reg.Snapshot
+	}
+	s.ready.Store(opts.Ready)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -50,10 +87,13 @@ func ServeStatus(addr string, reg *Registry) (*StatusServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range opts.Handlers {
+		mux.Handle(pattern, h)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(s.done)
-		_ = s.srv.Serve(ln) // returns ErrServerClosed on Close
+		_ = s.srv.Serve(ln) // returns ErrServerClosed on Close/Shutdown
 	}()
 	return s, nil
 }
@@ -61,9 +101,26 @@ func ServeStatus(addr string, reg *Registry) (*StatusServer, error) {
 // Addr returns the bound address (resolving ":0").
 func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and waits for the serve loop to exit.
+// SetReady flips the /readyz state: true once the process accepts work,
+// false again when drain begins, so load balancers and fleet workers
+// stop sending requests before the listener goes away.
+func (s *StatusServer) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close stops the server immediately (in-flight requests are dropped)
+// and waits for the serve loop to exit.
 func (s *StatusServer) Close() error {
 	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown marks the server not-ready and drains gracefully: the
+// listener closes, in-flight requests run to completion, and new
+// connections are refused. It returns ctx.Err() if the drain outlives
+// ctx (remaining requests are then abandoned, as with Close).
+func (s *StatusServer) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	err := s.srv.Shutdown(ctx)
 	<-s.done
 	return err
 }
@@ -76,8 +133,18 @@ func (s *StatusServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+func (s *StatusServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "ready"})
+}
+
 func (s *StatusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.reg.Snapshot()
+	snap := s.snapshot()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(snap)
@@ -89,5 +156,5 @@ func (s *StatusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *StatusServer) handleVars(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.reg.Snapshot())
+	_ = json.NewEncoder(w).Encode(s.snapshot())
 }
