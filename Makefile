@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos fleet-smoke cover bench bench-smoke fuzz-smoke selftest reproduce clean
+.PHONY: all build test vet race chaos fleet-smoke obs-smoke cover bench bench-smoke fuzz-smoke selftest reproduce clean
 
 all: build vet test
 
@@ -39,6 +39,13 @@ chaos:
 fleet-smoke:
 	./scripts/fleet_smoke.sh
 
+# Fleet observability end to end: a traced coordinator + 2 workers over
+# loopback HTTP, validating the merged JSONL trace (one span per cell,
+# no orphan parents), the /fleet/cells attribution, /timeline,
+# /dashboard, and the report's attribution tables.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 cover:
 	$(GO) test -cover ./...
 
@@ -49,13 +56,16 @@ bench:
 # benchmark once) plus a small gcdbench sweep emitting the JSON report
 # artifacts CI uploads; catches benchmark rot without benchmark cost.
 # The hybrid line runs BenchmarkHybrid in -short mode (512-moduli corpus),
-# which self-enforces the >= 3x full-GCD reduction bound, the lane-kernel
+# which self-enforces the >= 3x full-GCD reduction bound, the trace-
+# overhead line self-enforces the <= 2% tracing budget (instrumented vs
+# Trace=nil hybrid runs, median of paired diffs), the lane-kernel
 # line runs BenchmarkLaneKernel in -short mode (self-enforces the >= 1.5x
 # per-pair speedup over the scalar kernel at GOMAXPROCS=1), and the engine
 # comparison emits the three-engine timing table as a second artifact.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
-	$(GO) test -short -run '^$$' -bench BenchmarkHybrid -benchtime=1x ./internal/bulk/
+	$(GO) test -short -run '^$$' -bench 'BenchmarkHybrid$$' -benchtime=1x ./internal/bulk/
+	$(GO) test -short -run '^$$' -bench 'BenchmarkHybridTraceOverhead$$' -benchtime=1x ./internal/bulk/
 	GOMAXPROCS=1 $(GO) test -short -run '^$$' -bench 'BenchmarkLaneKernel$$' -benchtime=1x ./internal/lanes/
 	GOMAXPROCS=1 $(GO) test -short -run '^$$' -bench 'BenchmarkTreeMul$$' -benchtime=1x ./internal/mpnat/
 	mkdir -p results

@@ -588,6 +588,225 @@ func TestChaosFleetPoisonedCell(t *testing.T) {
 	}
 }
 
+// chaosAttrInt reads an int-valued trace attribute (int in-process,
+// float64 after a JSON round trip).
+func chaosAttrInt(v any) int {
+	switch n := v.(type) {
+	case int:
+		return n
+	case int64:
+		return int(n)
+	case float64:
+		return int(n)
+	}
+	return -1
+}
+
+// TestChaosFleetTraceContinuity kills and rebuilds the coordinator
+// mid-scan under a lossy transport, with every incarnation tracing into
+// the same sink (the append-mode trace file in production). The merged
+// trace must stay coherent across the crash: exactly one cell span per
+// completed cell regardless of retries, duplications and re-leases;
+// retry events present; every parent reference resolving to an emitted
+// span (the deterministic coordinator:1 run-span ID is what re-adopts
+// pre-crash cell spans); and findings identical to the oracle.
+func TestChaosFleetTraceContinuity(t *testing.T) {
+	r := rand.New(rand.NewSource(2008))
+	nats, _ := chaosCorpus(t, r, 8800)
+	opt := chaosFleetOptions(r)
+	oracle, err := attack.Run(nats, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := attack.JournalHeader(nats, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "continuity.jsonl")
+	w, err := checkpoint.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{} // stands in for the append-mode trace file
+	mkCoord := func(journal *checkpoint.Writer, st *checkpoint.State) *fleet.Coordinator {
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Header: hdr, LeaseTTL: 50 * time.Millisecond, Journal: journal, Resume: st,
+			Metrics: obs.NewRegistry(), Trace: obs.NewTracerSink(col),
+		})
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+		return coord
+	}
+	coord := mkCoord(w, nil)
+	lb := fleet.NewLoopback(coord)
+
+	ctx := context.Background()
+	workersDone := make(chan struct{})
+	go func() {
+		defer close(workersDone)
+		chaosFleetWorkers(t, ctx, 3, func(i int) fleet.WorkerConfig {
+			wcfg := opt.BulkConfig()
+			wcfg.Metrics = obs.NewRegistry()
+			return fleet.WorkerConfig{
+				ID: fmt.Sprintf("w%d", i),
+				Transport: &fleet.ChaosTransport{Inner: lb, Plan: &faultinject.RPCPlan{
+					PDropRequest: 0.1, PDropReply: 0.1, PDuplicate: 0.1,
+					Seed: int64(300 + i),
+				}},
+				Moduli: nats, Config: wcfg,
+				Backoff: fleet.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Attempts: 2000},
+			}
+		})
+	}()
+
+	for crash := 0; crash < 2 && !coord.Done(); crash++ {
+		time.Sleep(time.Duration(5+r.Intn(20)) * time.Millisecond)
+		lb.SetDown(true)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := checkpoint.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err = checkpoint.OpenAppend(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord = mkCoord(w, st)
+		lb.Swap(coord)
+	}
+
+	select {
+	case <-workersDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("workers never finished")
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, time.Second)
+	err = coord.Wait(waitCtx)
+	cancel()
+	if err != nil {
+		t.Fatalf("final coordinator not done: %v", err)
+	}
+	rep := assembleFleet(t, nats, opt, coord)
+	sameBroken(t, "trace continuity", rep.Broken, oracle.Broken)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := col.Drain()
+	spanIDs := map[string]bool{}
+	cellSpans := map[int]int{}
+	var runSpans, retries int
+	for _, ev := range evs {
+		if ev.Kind != "span" {
+			if ev.Name == "retry" {
+				retries++
+			}
+			continue
+		}
+		spanIDs[ev.SpanID] = true
+		switch ev.Name {
+		case "fleet_run":
+			runSpans++
+			if ev.SpanID != "coordinator:1" {
+				t.Fatalf("run span ID %q: the crash-heal parentage contract needs coordinator:1", ev.SpanID)
+			}
+		case "cell":
+			cellSpans[chaosAttrInt(ev.Attrs["cell"])]++
+		}
+	}
+	// Normally exactly one (only the finishing incarnation ends its run
+	// span), but a crash landing after the last completion resumes an
+	// already-done grid and seals again — both spans share the
+	// deterministic ID, so parentage still resolves.
+	if runSpans < 1 {
+		t.Fatal("no fleet_run span in merged trace")
+	}
+	if len(cellSpans) != hdr.Units {
+		t.Fatalf("cell spans cover %d of %d cells", len(cellSpans), hdr.Units)
+	}
+	for unit, n := range cellSpans {
+		if n != 1 {
+			t.Fatalf("cell %d has %d spans, want exactly one", unit, n)
+		}
+	}
+	if retries == 0 {
+		t.Fatal("lossy transport produced no retry events in the merged trace")
+	}
+	for _, ev := range evs {
+		if ev.Parent != "" && !spanIDs[ev.Parent] {
+			t.Fatalf("orphan parent %q on %s %q", ev.Parent, ev.Kind, ev.Name)
+		}
+	}
+}
+
+// TestChaosFleetStraggler plants a faultinject delay on one cell and
+// asserts the coordinator's straggler detector flags exactly that cell
+// while the scan still completes with oracle-identical findings.
+func TestChaosFleetStraggler(t *testing.T) {
+	r := rand.New(rand.NewSource(2009))
+	nats, _ := chaosCorpus(t, r, 8900)
+	opt := attack.DefaultOptions()
+	opt.Engine = engine.Hybrid
+	opt.TileSize = 3 // enough cells for the median to form first
+	oracle, err := attack.Run(nats, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := attack.JournalHeader(nats, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last cell sleeps 1.5s; the rest finish in microseconds, so the
+	// median forms long before the sleeper passes 4x median, and the
+	// other worker's requests (or the sleeper's own heartbeats at TTL/3 =
+	// 1s) sweep it into the flagged state well before it completes.
+	slow := hdr.Units - 1
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Header: hdr, LeaseTTL: 3 * time.Second, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := fleet.NewLoopback(coord)
+	ctx := context.Background()
+	chaosFleetWorkers(t, ctx, 2, func(i int) fleet.WorkerConfig {
+		wcfg := opt.BulkConfig()
+		wcfg.Metrics = obs.NewRegistry()
+		plan := faultinject.NewPlan()
+		plan.SlowUnit = slow
+		plan.SlowFor = 1500 * time.Millisecond
+		wcfg.Fault = plan.Hook()
+		return fleet.WorkerConfig{
+			ID: fmt.Sprintf("w%d", i), Transport: lb, Moduli: nats, Config: wcfg,
+			Backoff: fleet.Backoff{Base: time.Millisecond, Attempts: 50},
+		}
+	})
+	waitCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	err = coord.Wait(waitCtx)
+	cancel()
+	if err != nil {
+		t.Fatalf("scan never finished: %v", err)
+	}
+
+	cells, err := coord.Cells(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range cells.Cells {
+		if cs.Straggler != (cs.Unit == slow) {
+			t.Fatalf("cell %d straggler=%v, want flagged only on the delayed cell %d", cs.Unit, cs.Straggler, slow)
+		}
+	}
+	if got := coord.MergedSnapshot().Counters["fleet_stragglers_total"]; got < 1 {
+		t.Fatalf("fleet_stragglers_total = %d, want >= 1", got)
+	}
+	rep := assembleFleet(t, nats, opt, coord)
+	sameBroken(t, "straggler", rep.Broken, oracle.Broken)
+}
+
 // TestChaosFleetWorkerKills runs workers in waves, killing each wave
 // mid-cell at a seeded deadline, until surviving waves finish the scan.
 // Killed workers abandon their leases (no Fail report, no spill), the

@@ -32,6 +32,8 @@ type coordinatorFlags struct {
 	truth      string
 	emit       string
 	exponent   uint64
+	report     string
+	tracePath  string
 }
 
 // runCoordinator serves the lease protocol until every cell is terminal,
@@ -47,6 +49,31 @@ func runCoordinator(ctx context.Context, cf coordinatorFlags, moduli []*mpnat.Na
 		LeaseTTL:   cf.leaseTTL,
 		FailQuorum: cf.failQuorum,
 		Metrics:    reg,
+	}
+
+	// The merged fleet trace: the coordinator's run span and events plus
+	// every worker's shipped cell spans, one JSONL timeline. Append mode
+	// so a resumed coordinator extends the interrupted run's trace (the
+	// deterministic run-span ID re-parents earlier cells correctly).
+	if cf.tracePath != "" {
+		tf, err := os.OpenFile(cf.tracePath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		ccfg.Trace = obs.NewTracer(tf)
+	}
+
+	var frep *obs.Report
+	if cf.report != "" {
+		frep = obs.NewReport("rsafactor")
+		frep.Params = map[string]any{
+			"mode":        "fleet-coordinator",
+			"lease_ttl":   cf.leaseTTL.String(),
+			"fail_quorum": cf.failQuorum,
+			"checkpoint":  cf.ckptPath,
+			"trace":       cf.tracePath,
+		}
 	}
 
 	// The journal auto-resumes: an existing file that verifies against
@@ -142,6 +169,32 @@ func runCoordinator(ctx context.Context, cf coordinatorFlags, moduli []*mpnat.Na
 		fmt.Fprintf(stdout, "quarantined cell %d: %s (its pairs are NOT covered)\n", unit, bad[unit])
 	}
 	printFindings(stdout, rep)
+
+	if frep != nil {
+		cells, cerr := coord.Cells(context.Background())
+		frep.Summary = map[string]any{
+			"moduli":      rep.Moduli,
+			"cells":       st.Units,
+			"pairs":       st.DonePairs,
+			"workers":     st.Workers,
+			"quarantined": st.Quarantined,
+			"broken_keys": len(rep.Broken),
+			"duplicates":  len(rep.Duplicates),
+		}
+		if cerr == nil {
+			frep.Tables["fleet_cells"] = cells.Cells
+			frep.Tables["fleet_workers"] = cells.Workers
+		}
+		frep.Finish(nil)
+		// The fleet's metrics are the union of every worker's shipped
+		// snapshots plus the coordinator's own counters, not the local
+		// registry alone.
+		frep.Metrics = coord.MergedSnapshot()
+		if err := frep.WriteFile(cf.report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", cf.report)
+	}
 
 	if ccfg.Journal != nil {
 		if err := ccfg.Journal.Close(); err != nil {

@@ -225,9 +225,6 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if *resumePath != "" {
 			return usagef("the fleet coordinator journal auto-resumes; use -checkpoint (it reopens an existing journal)")
 		}
-		if *report != "" || *tracePath != "" {
-			return usagef("-report and -trace are not supported in fleet coordinator mode")
-		}
 	}
 	if *workerURL != "" {
 		if *ckptPath != "" || *resumePath != "" {
@@ -235,6 +232,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		if *truth != "" || *emit != "" || *report != "" {
 			return usagef("-truth, -emit and -report apply to the coordinator's assembled findings, not to workers")
+		}
+		if *tracePath != "" {
+			return usagef("workers ship trace events to the coordinator; put -trace on -serve for the merged fleet trace")
 		}
 	}
 	if *spillPath != "" && *workerURL == "" {
@@ -309,6 +309,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			truth:      *truth,
 			emit:       *emit,
 			exponent:   *e,
+			report:     *report,
+			tracePath:  *tracePath,
 		}, moduli, sources, opt, stdout, stderr)
 	}
 	if *workerURL != "" {

@@ -1,0 +1,10 @@
+package attack
+
+import "bulkgcd/internal/obs"
+
+// Metric documentation, registered from init for `# HELP` exposition and
+// the doc-parity test.
+func init() {
+	obs.RegisterHelp("attack_broken_keys_total", "moduli factored by the scan")
+	obs.RegisterHelp("attack_duplicate_pairs_total", "pairs of identical moduli (compromised, not factored)")
+}

@@ -448,7 +448,7 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 				}
 				cfg.Fault.OnBlock(int(bi))
 				blkStart := time.Now()
-				blkSpan := cfg.Trace.StartSpan("block", "block", bi, "worker", w)
+				blkSpan := runSpan.StartChild("block", "block", bi, "worker", w)
 				var blk blockOut
 				sched.BlockPairs(blocks[bi], func(a, b int) {
 					pr.pair(plan.active[a], plan.active[b], &blk)

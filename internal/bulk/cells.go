@@ -24,14 +24,15 @@ import (
 // (one worker's scratch space and lane batcher). A process that wants
 // intra-worker parallelism runs several CellRunners.
 type CellRunner struct {
-	plan    *hybridPlan
-	cfg     Config // stable copy; pr holds a pointer into it
-	moduli  []*mpnat.Nat
-	cache   *subprod.Cache
-	pr      pairRunner
-	hm      *hybridMetrics
-	metrics *runMetrics
-	seq     atomic.Int64
+	plan       *hybridPlan
+	cfg        Config // stable copy; pr holds a pointer into it
+	moduli     []*mpnat.Nat
+	cache      *subprod.Cache
+	pr         pairRunner
+	hm         *hybridMetrics
+	metrics    *runMetrics
+	seq        atomic.Int64
+	spanParent string
 }
 
 // NewCellRunner validates the corpus and configuration and builds the
@@ -70,6 +71,13 @@ func (r *CellRunner) Header() checkpoint.Header { return r.plan.header }
 // Quarantined returns the input moduli excluded under Config.Quarantine.
 func (r *CellRunner) Quarantined() []Quarantined { return r.plan.bad }
 
+// SetSpanParent sets the span ID each subsequent cell span is emitted
+// under — a fleet worker points this at the coordinator's run span
+// (LeaseResponse.ParentSpan), so cells computed here parent correctly
+// in the merged fleet trace. "" emits root spans. No-op without a
+// Config.Trace.
+func (r *CellRunner) SetSpanParent(parent string) { r.spanParent = parent }
+
 // RunUnit computes one cell and returns its journal record. A panic
 // anywhere inside the cell — including one raised by the fault hook,
 // which is how the chaos campaign poisons specific cells — is recovered
@@ -93,12 +101,18 @@ func (r *CellRunner) RunUnit(ctx context.Context, unit int) (rec checkpoint.Reco
 		}
 	}()
 	r.cfg.Fault.OnBlock(unit)
+	c := r.plan.cells[unit]
+	// The cell span is emitted only on success: a failed or abandoned
+	// cell must not put a span in the fleet trace (the coordinator keeps
+	// exactly one cell span per completed cell).
+	span := r.cfg.Trace.StartSpanUnder(r.spanParent, "cell", "cell", unit, "a", c.A, "b", c.B)
 	start := time.Now()
 	var blk blockOut
-	r.pr.runCell(r.plan, r.plan.cells[unit], r.cache, r.hm, &blk)
+	r.pr.runCell(r.plan, c, r.cache, r.hm, &blk)
 	dur := time.Since(start)
 	r.metrics.observeBlock(&blk, dur)
 	r.hm.observeCell(dur)
+	span.End("pairs", blk.pairs, "factors", len(blk.factors), "bad_pairs", len(blk.bad))
 	return blk.record(unit), nil
 }
 

@@ -253,7 +253,7 @@ func HybridContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Resul
 				cfg.Fault.OnBlock(int(ci))
 				c := plan.cells[ci]
 				cellStart := time.Now()
-				cellSpan := cfg.Trace.StartSpan("cell", "cell", ci, "a", c.A, "b", c.B, "worker", w)
+				cellSpan := runSpan.StartChild("cell", "cell", ci, "a", c.A, "b", c.B, "worker", w)
 				var blk blockOut
 				pr.runCell(plan, c, cache, hm, &blk)
 				cellDur := time.Since(cellStart)

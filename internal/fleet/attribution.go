@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"context"
+	"sort"
+)
+
+// CellStatus is one row of the coordinator's attribution table (GET
+// /fleet/cells): which worker owns or computed the cell and what it
+// cost. Wall time runs from the cell's first lease to its terminal
+// state (or to now, while leased); compute time is the worker-reported
+// cell span duration — the GCD-kernel time, excluding queueing,
+// re-leases and transport.
+type CellStatus struct {
+	Unit  int    `json:"unit"`
+	State string `json:"state"` // "pending", "leased", "completed", "quarantined"
+	// Worker is the current lease holder (leased) or the worker whose
+	// record/verdict was accepted (completed/quarantined).
+	Worker string `json:"worker,omitempty"`
+	// Leases counts grants of this cell; Retries is the re-lease count
+	// (Leases-1); Failures counts fail reports.
+	Leases   int `json:"leases"`
+	Retries  int `json:"retries"`
+	Failures int `json:"failures,omitempty"`
+	// Pairs is the completed record's pair count.
+	Pairs int64 `json:"pairs,omitempty"`
+	// WallSeconds: first lease → terminal (or now). ComputeSeconds: the
+	// accepted worker's in-kernel time for the cell.
+	WallSeconds    float64 `json:"wall_seconds,omitempty"`
+	ComputeSeconds float64 `json:"compute_seconds,omitempty"`
+	Straggler      bool    `json:"straggler,omitempty"`
+	Reason         string  `json:"reason,omitempty"` // quarantine reason
+}
+
+// WorkerStatus aggregates one worker's contribution.
+type WorkerStatus struct {
+	Worker         string  `json:"worker"`
+	Completed      int     `json:"completed"`
+	Failed         int     `json:"failed,omitempty"`
+	Leased         int     `json:"leased,omitempty"` // cells currently held
+	Pairs          int64   `json:"pairs"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	Stragglers     int     `json:"stragglers,omitempty"`
+	// SkewMillis is the estimated clock offset (coordinator − worker)
+	// from renew round-trips; 0 when unknown.
+	SkewMillis int64 `json:"skew_millis,omitempty"`
+}
+
+// CellsResponse is the JSON payload of GET /fleet/cells.
+type CellsResponse struct {
+	TraceID string         `json:"trace,omitempty"`
+	Cells   []CellStatus   `json:"cells"`
+	Workers []WorkerStatus `json:"workers"`
+}
+
+var cellStateNames = map[cellState]string{
+	cellPending:     "pending",
+	cellLeased:      "leased",
+	cellCompleted:   "completed",
+	cellQuarantined: "quarantined",
+}
+
+// Cells implements GET /fleet/cells: the per-cell and per-worker
+// attribution table.
+func (c *Coordinator) Cells(_ context.Context) (*CellsResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	c.sweepLocked(now)
+
+	resp := &CellsResponse{TraceID: c.cfg.TraceID, Cells: make([]CellStatus, len(c.cells))}
+	agg := map[string]*WorkerStatus{}
+	worker := func(id string) *WorkerStatus {
+		w, ok := agg[id]
+		if !ok {
+			w = &WorkerStatus{Worker: id}
+			agg[id] = w
+		}
+		return w
+	}
+	// Every worker ever heard from gets a row, even with nothing
+	// attributed yet.
+	for id := range c.seen {
+		worker(id)
+	}
+
+	for i := range c.cells {
+		cell := &c.cells[i]
+		cs := CellStatus{
+			Unit:      i,
+			State:     cellStateNames[cell.state],
+			Leases:    cell.leases,
+			Failures:  cell.failures,
+			Straggler: cell.straggler,
+			Reason:    cell.reason,
+		}
+		if cell.leases > 1 {
+			cs.Retries = cell.leases - 1
+		}
+		switch cell.state {
+		case cellLeased:
+			cs.Worker = cell.worker
+			cs.WallSeconds = now.Sub(cell.firstLeased).Seconds()
+			worker(cell.worker).Leased++
+			if cell.straggler {
+				worker(cell.worker).Stragglers++
+			}
+		case cellCompleted, cellQuarantined:
+			cs.Worker = cell.by
+			cs.Pairs = cell.record.Pairs
+			cs.ComputeSeconds = cell.computeMS / 1e3
+			if !cell.firstLeased.IsZero() && !cell.terminalAt.IsZero() {
+				cs.WallSeconds = cell.terminalAt.Sub(cell.firstLeased).Seconds()
+			}
+			if cell.by != "" {
+				w := worker(cell.by)
+				if cell.state == cellCompleted {
+					w.Completed++
+					w.Pairs += cell.record.Pairs
+					w.ComputeSeconds += cell.computeMS / 1e3
+				}
+			}
+		}
+		for id := range cell.failedBy {
+			worker(id).Failed++
+		}
+		resp.Cells[i] = cs
+	}
+
+	for id, skew := range c.skewMS {
+		worker(id).SkewMillis = skew
+	}
+	resp.Workers = make([]WorkerStatus, 0, len(agg))
+	for _, w := range agg {
+		resp.Workers = append(resp.Workers, *w)
+	}
+	sort.Slice(resp.Workers, func(i, j int) bool { return resp.Workers[i].Worker < resp.Workers[j].Worker })
+	return resp, nil
+}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -52,6 +53,22 @@ type CoordinatorConfig struct {
 
 	// Clock injects time for tests; nil means time.Now.
 	Clock func() time.Time
+
+	// Trace, when non-nil, receives the merged fleet trace: the
+	// coordinator's own run span and lease/fail/straggler events plus
+	// every worker's shipped events, skew-corrected onto the
+	// coordinator's clock. Attribution (see Cells) works without it.
+	Trace *obs.Tracer
+
+	// TraceID identifies the distributed trace; "" derives it from the
+	// header fingerprint, so every coordinator of the same run (before
+	// and after a crash) produces the same ID.
+	TraceID string
+
+	// StragglerFactor is the k in the straggler rule: a leased cell
+	// running longer than k times the median completed-cell duration
+	// (with at least three completions observed) is flagged; 0 means 4.
+	StragglerFactor float64
 }
 
 type cellState int
@@ -75,6 +92,19 @@ type cellInfo struct {
 	failedBy map[string]bool
 	failures int
 	reason   string
+
+	// Attribution: who computed the cell and what it cost. firstLeased
+	// anchors wall time (first grant → terminal state); leaseStart
+	// anchors the *current* lease for straggler detection; computeMS is
+	// the worker-reported cell span duration (GCD-kernel time).
+	leases      int
+	firstLeased time.Time
+	leaseStart  time.Time
+	terminalAt  time.Time
+	by          string // worker whose record/verdict was accepted
+	computeMS   float64
+	straggler   bool
+	slowOn      map[string]bool // workers this cell straggled on (scheduler avoids re-pairing)
 }
 
 // Coordinator owns the cell grid and implements the lease protocol.
@@ -90,6 +120,12 @@ type Coordinator struct {
 	snapshots map[string]*obs.Snapshot // latest metrics per worker
 	seen      map[string]bool          // workers ever heard from
 	done      chan struct{}
+
+	runSpan    *obs.Span
+	skewMS     map[string]int64 // per-worker min(arrival - sent) renew sample
+	failMerged map[string]bool  // lease IDs whose fail-shipped events were merged
+	durs       []float64        // completed-cell durations (seconds), for the straggler median
+	medianDur  float64          // cached median of durs
 }
 
 // NewCoordinator builds a coordinator for the run described by
@@ -113,14 +149,33 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	c := &Coordinator{
-		cfg:       cfg,
-		cells:     make([]cellInfo, cfg.Header.Units),
-		remaining: cfg.Header.Units,
-		snapshots: map[string]*obs.Snapshot{},
-		seen:      map[string]bool{},
-		done:      make(chan struct{}),
+	if cfg.StragglerFactor <= 0 {
+		cfg.StragglerFactor = 4
 	}
+	if cfg.TraceID == "" {
+		// Deterministic from the run identity: a restarted coordinator
+		// continues the same trace, and every worker agrees by construction.
+		fp := cfg.Header.Fingerprint
+		if len(fp) > 16 {
+			fp = fp[:16]
+		}
+		cfg.TraceID = fp
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		cells:      make([]cellInfo, cfg.Header.Units),
+		remaining:  cfg.Header.Units,
+		snapshots:  map[string]*obs.Snapshot{},
+		seen:       map[string]bool{},
+		done:       make(chan struct{}),
+		skewMS:     map[string]int64{},
+		failMerged: map[string]bool{},
+	}
+	cfg.Trace.SetIdentity(cfg.TraceID, "coordinator")
+	cfg.Trace.SetClock(cfg.Clock)
+	c.runSpan = cfg.Trace.StartSpan("fleet_run",
+		"units", cfg.Header.Units, "total_pairs", cfg.Header.TotalPairs,
+		"fingerprint", cfg.Header.Fingerprint)
 	if cfg.Resume != nil {
 		if err := cfg.Resume.Verify(cfg.Header); err != nil {
 			return nil, fmt.Errorf("fleet: resume: %w", err)
@@ -136,6 +191,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			cell.record = rec
 			c.remaining--
 		}
+		c.runSpan.Event("resume", "done_cells", len(cfg.Resume.Done), "remaining", c.remaining)
 	}
 	if cfg.Journal != nil {
 		if err := cfg.Journal.Begin(cfg.Header); err != nil {
@@ -143,9 +199,25 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 	}
 	if c.remaining == 0 {
-		close(c.done)
+		c.finishLocked()
 	}
 	return c, nil
+}
+
+// finishLocked seals the scan: ends the run span and releases waiters.
+// Called with c.mu held (or before the coordinator is shared).
+func (c *Coordinator) finishLocked() {
+	var completed, quarantined int
+	for i := range c.cells {
+		switch c.cells[i].state {
+		case cellCompleted:
+			completed++
+		case cellQuarantined:
+			quarantined++
+		}
+	}
+	c.runSpan.End("completed", completed, "quarantined", quarantined)
+	close(c.done)
 }
 
 // checkFingerprint rejects requests from a different run.
@@ -156,17 +228,39 @@ func (c *Coordinator) checkFingerprint(fp string) error {
 	return nil
 }
 
-// sweepLocked re-queues every expired lease. Called under c.mu on each
-// request, so expiry is lazy — no background timer, and under a fake
-// clock expiry happens exactly when the next request observes it.
+// sweepLocked re-queues every expired lease and flags stragglers.
+// Called under c.mu on each request, so expiry is lazy — no background
+// timer, and under a fake clock expiry happens exactly when the next
+// request observes it.
 func (c *Coordinator) sweepLocked(now time.Time) {
 	for i := range c.cells {
 		cell := &c.cells[i]
-		if cell.state == cellLeased && !now.Before(cell.expiry) {
+		if cell.state != cellLeased {
+			continue
+		}
+		if !now.Before(cell.expiry) {
+			c.runSpan.Event("lease_expired", "cell", i, "worker", cell.worker, "lease", cell.leaseID)
 			cell.state = cellPending
 			cell.leaseID = ""
 			cell.worker = ""
 			c.cfg.Metrics.Counter("fleet_lease_expirations_total").Add(1)
+			continue
+		}
+		// Straggler rule: once at least three cells have completed, a
+		// leased cell running past k·median of completed durations is
+		// flagged (once), counted, and remembered against its worker so
+		// the scheduler prefers a different machine on re-lease.
+		if !cell.straggler && len(c.durs) >= 3 && c.medianDur > 0 {
+			if running := now.Sub(cell.leaseStart).Seconds(); running > c.cfg.StragglerFactor*c.medianDur {
+				cell.straggler = true
+				if cell.slowOn == nil {
+					cell.slowOn = map[string]bool{}
+				}
+				cell.slowOn[cell.worker] = true
+				c.cfg.Metrics.Counter("fleet_stragglers_total").Add(1)
+				c.runSpan.Event("straggler", "cell", i, "worker", cell.worker,
+					"running_seconds", running, "median_seconds", c.medianDur)
+			}
 		}
 	}
 }
@@ -185,22 +279,32 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 	if c.remaining == 0 {
 		return &LeaseResponse{Done: true}, nil
 	}
-	// Prefer a pending cell this worker has not already failed on; a
-	// poisoned cell then burns through distinct workers (tripping the
-	// quorum) instead of ping-ponging on one machine. Fall back to any
-	// pending cell so a lone worker still makes progress.
-	pick := -1
+	// Prefer a pending cell this worker has not already failed on *and*
+	// not already straggled on; then one it merely hasn't failed on (a
+	// poisoned cell burns through distinct workers, tripping the quorum,
+	// instead of ping-ponging on one machine); fall back to any pending
+	// cell so a lone worker still makes progress.
+	pick, okPick := -1, -1
 	for i := range c.cells {
 		if c.cells[i].state != cellPending {
 			continue
 		}
-		if !c.cells[i].failedBy[req.Worker] {
-			pick = i
+		if c.cells[i].failedBy[req.Worker] {
+			if pick < 0 {
+				pick = i
+			}
+			continue
+		}
+		if okPick < 0 {
+			okPick = i
+		}
+		if !c.cells[i].slowOn[req.Worker] {
+			okPick = i
 			break
 		}
-		if pick < 0 {
-			pick = i
-		}
+	}
+	if okPick >= 0 {
+		pick = okPick
 	}
 	if pick < 0 {
 		// Everything left is leased out: poll again before the earliest
@@ -213,11 +317,19 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 	cell.leaseID = strconv.FormatInt(c.leaseSeq, 10)
 	cell.worker = req.Worker
 	cell.expiry = now.Add(c.cfg.LeaseTTL)
+	cell.leases++
+	cell.leaseStart = now
+	if cell.firstLeased.IsZero() {
+		cell.firstLeased = now
+	}
 	c.cfg.Metrics.Counter("fleet_leases_total").Add(1)
+	c.runSpan.Event("lease", "cell", pick, "worker", req.Worker, "lease", cell.leaseID)
 	return &LeaseResponse{
-		Unit:      pick,
-		LeaseID:   cell.leaseID,
-		TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+		Unit:       pick,
+		LeaseID:    cell.leaseID,
+		TTLMillis:  c.cfg.LeaseTTL.Milliseconds(),
+		TraceID:    c.cfg.TraceID,
+		ParentSpan: c.runSpan.ID(),
 	}, nil
 }
 
@@ -236,6 +348,16 @@ func (c *Coordinator) Renew(_ context.Context, req RenewRequest) (*RenewResponse
 	c.sweepLocked(now)
 	if req.Metrics != nil {
 		c.snapshots[req.Worker] = req.Metrics
+	}
+	if req.SentUnixMS != 0 {
+		// Cristian-style skew estimate: sample = latency − skew, and
+		// latency ≥ 0, so the minimum sample over many renewals converges
+		// on −skew — exactly the offset that maps the worker's clock onto
+		// the coordinator's.
+		sample := now.UnixMilli() - req.SentUnixMS
+		if cur, ok := c.skewMS[req.Worker]; !ok || sample < cur {
+			c.skewMS[req.Worker] = sample
+		}
 	}
 	for i := range c.cells {
 		cell := &c.cells[i]
@@ -298,13 +420,60 @@ func (c *Coordinator) Complete(_ context.Context, req CompleteRequest) (*Complet
 	cell.leaseID = ""
 	cell.worker = ""
 	cell.record = rec
+	cell.by = req.Worker
+	cell.terminalAt = now
 	c.remaining--
 	c.cfg.Metrics.Counter("fleet_completions_total").Add(1)
 	c.cfg.Metrics.Counter("fleet_pairs_completed_total").Add(rec.Pairs)
+
+	// Attribution + trace merge, first acceptance only: the shipped cell
+	// span yields the worker-side compute time, and merging here (never
+	// on duplicates) keeps exactly one cell span per completed cell in
+	// the fleet trace.
+	for _, ev := range req.Trace {
+		if ev.Kind == "span" && ev.Name == "cell" {
+			cell.computeMS = ev.DurMS
+		}
+	}
+	if !cell.firstLeased.IsZero() {
+		c.observeDurLocked(now.Sub(cell.firstLeased).Seconds())
+	}
+	c.mergeTraceLocked(req.Worker, req.Trace)
+
 	if c.remaining == 0 {
-		close(c.done)
+		c.finishLocked()
 	}
 	return &CompleteResponse{}, nil
+}
+
+// observeDurLocked records one completed-cell duration and refreshes
+// the cached median the straggler rule compares against.
+func (c *Coordinator) observeDurLocked(seconds float64) {
+	c.durs = append(c.durs, seconds)
+	sorted := append([]float64(nil), c.durs...)
+	sort.Float64s(sorted)
+	c.medianDur = sorted[len(sorted)/2]
+}
+
+// mergeTraceLocked appends a worker's shipped events to the fleet
+// trace, shifting their timestamps by the worker's estimated clock
+// offset so the merged timeline is causally ordered on the
+// coordinator's clock.
+func (c *Coordinator) mergeTraceLocked(worker string, evs []obs.TraceEvent) {
+	if c.cfg.Trace == nil || len(evs) == 0 {
+		return
+	}
+	off, ok := c.skewMS[worker]
+	for _, ev := range evs {
+		if ok && off != 0 {
+			ev.Time = ev.Time.Add(time.Duration(off) * time.Millisecond)
+			if ev.Start != nil {
+				st := ev.Start.Add(time.Duration(off) * time.Millisecond)
+				ev.Start = &st
+			}
+		}
+		c.cfg.Trace.EmitEvent(ev)
+	}
 }
 
 // Fail implements POST /fail: the cell is re-queued, or quarantined
@@ -324,6 +493,12 @@ func (c *Coordinator) Fail(_ context.Context, req FailRequest) (*FailResponse, e
 		return nil, fmt.Errorf("fleet: fail: unit %d out of range [0,%d)", req.Unit, len(c.cells))
 	}
 	cell := &c.cells[req.Unit]
+	// Merge shipped events at most once per lease: a duplicated fail RPC
+	// (lost reply, chaos duplication) re-sends the same batch.
+	if req.LeaseID != "" && !c.failMerged[req.LeaseID] {
+		c.failMerged[req.LeaseID] = true
+		c.mergeTraceLocked(req.Worker, req.Trace)
+	}
 	if cell.state == cellCompleted || cell.state == cellQuarantined {
 		return &FailResponse{Quarantined: cell.state == cellQuarantined}, nil
 	}
@@ -336,6 +511,7 @@ func (c *Coordinator) Fail(_ context.Context, req FailRequest) (*FailResponse, e
 	cell.leaseID = ""
 	cell.worker = ""
 	c.cfg.Metrics.Counter("fleet_cell_failures_total").Add(1)
+	c.runSpan.Event("cell_failed", "cell", req.Unit, "worker", req.Worker, "reason", req.Reason)
 	if len(cell.failedBy) < c.cfg.FailQuorum && cell.failures < c.cfg.MaxCellFailures {
 		return &FailResponse{}, nil
 	}
@@ -351,10 +527,13 @@ func (c *Coordinator) Fail(_ context.Context, req FailRequest) (*FailResponse, e
 	cell.state = cellQuarantined
 	cell.reason = reason
 	cell.record = rec
+	cell.by = req.Worker
+	cell.terminalAt = now
 	c.remaining--
 	c.cfg.Metrics.Counter("fleet_quarantined_cells_total").Add(1)
+	c.runSpan.Event("quarantine", "cell", req.Unit, "reason", reason)
 	if c.remaining == 0 {
-		close(c.done)
+		c.finishLocked()
 	}
 	return &FailResponse{Quarantined: true}, nil
 }

@@ -1,0 +1,23 @@
+package fleet
+
+import "bulkgcd/internal/obs"
+
+// Metric documentation, registered from init so the coordinator's
+// /metrics carries `# HELP` lines and the doc-parity test can diff this
+// inventory against DESIGN.md.
+func init() {
+	for name, help := range map[string]string{
+		"fleet_leases_total":                "cell leases granted",
+		"fleet_renewals_total":              "lease heartbeats accepted",
+		"fleet_completions_total":           "cells completed and accepted",
+		"fleet_duplicate_completions_total": "idempotent re-deliveries of an already-completed cell",
+		"fleet_cell_failures_total":         "cell failure reports accepted",
+		"fleet_lease_expirations_total":     "leases reclaimed after a missed TTL",
+		"fleet_integrity_errors_total":      "completions rejected for record mismatch",
+		"fleet_quarantined_cells_total":     "cells quarantined by the failure quorum",
+		"fleet_pairs_completed_total":       "pairs covered by accepted completions",
+		"fleet_stragglers_total":            "leased cells flagged as stragglers",
+	} {
+		obs.RegisterHelp(name, help)
+	}
+}

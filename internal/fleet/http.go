@@ -89,6 +89,14 @@ func (c *Coordinator) Handlers() map[string]http.Handler {
 			}
 			writeJSON(w, http.StatusOK, st)
 		}),
+		"/fleet/cells": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			cs, err := c.Cells(r.Context())
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, cs)
+		}),
 	}
 }
 

@@ -84,6 +84,12 @@ type LeaseResponse struct {
 	Unit      int    `json:"unit"`
 	LeaseID   string `json:"lease_id"`
 	TTLMillis int64  `json:"ttl_millis"`
+	// TraceID and ParentSpan propagate trace context: the worker stamps
+	// TraceID on every event it emits and hangs its cell spans under
+	// ParentSpan (the coordinator's run span), so the merged fleet trace
+	// is one causally-connected tree.
+	TraceID    string `json:"trace,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 }
 
 // RenewRequest is the heartbeat: it extends the lease and carries the
@@ -95,6 +101,13 @@ type RenewRequest struct {
 	// Metrics is the worker's obs registry snapshot; the coordinator
 	// keeps the latest per worker and merges them into its /metrics.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// SentUnixMS is the worker's clock (Unix milliseconds) when the
+	// renew was sent. The coordinator keeps, per worker, the minimum of
+	// (arrival − SentUnixMS) over all renewals — a Cristian-style skew
+	// estimate (network latency is nonnegative, so the minimum sample
+	// approaches the pure clock offset) used to align worker event
+	// timestamps in the merged trace.
+	SentUnixMS int64 `json:"sent_unix_ms,omitempty"`
 }
 
 // RenewResponse confirms the extension.
@@ -111,6 +124,11 @@ type CompleteRequest struct {
 	Fingerprint string            `json:"fingerprint"`
 	LeaseID     string            `json:"lease_id,omitempty"`
 	Record      checkpoint.Record `json:"record"`
+	// Trace carries the worker's buffered trace events — the cell's
+	// span plus any retry/abandon events since the last shipment. The
+	// coordinator merges them into the fleet trace on first acceptance
+	// only, so re-sent completions cannot duplicate spans.
+	Trace []obs.TraceEvent `json:"trace,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion.
@@ -129,6 +147,10 @@ type FailRequest struct {
 	LeaseID     string `json:"lease_id,omitempty"`
 	Unit        int    `json:"unit"`
 	Reason      string `json:"reason"`
+	// Trace carries the worker's buffered events (failures never include
+	// a cell span — those are emitted on success only). Merged at most
+	// once per LeaseID, so duplicated fail RPCs cannot duplicate events.
+	Trace []obs.TraceEvent `json:"trace,omitempty"`
 }
 
 // FailResponse acknowledges a failure report.

@@ -75,6 +75,10 @@ func terminal(err error) bool {
 type retrier struct {
 	b   Backoff
 	rng *rand.Rand
+	// onRetry observes each failed non-terminal attempt (0-based) before
+	// the next one is scheduled; the worker uses it to emit retry events
+	// into the fleet trace. Nil disables.
+	onRetry func(op string, attempt int, err error)
 }
 
 func newRetrier(b Backoff, seed int64) *retrier {
@@ -116,6 +120,9 @@ func (r *retrier) do(ctx context.Context, op string, f func(context.Context) err
 		// caller's own context ending stops the retry loop.
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if r.onRetry != nil {
+			r.onRetry(op, i, last)
 		}
 	}
 	return fmt.Errorf("%w: %s failed %d times, last: %v", ErrCoordinatorLost, op, r.b.Attempts, last)

@@ -1,0 +1,381 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bulkgcd/internal/bulk"
+	"bulkgcd/internal/faultinject"
+	"bulkgcd/internal/obs"
+)
+
+// traceIndex splits a merged fleet trace into the pieces the assertions
+// care about.
+type traceIndex struct {
+	run       *obs.TraceEvent
+	cellSpans []obs.TraceEvent
+	spanIDs   map[string]bool
+	events    map[string]int // point-event name -> count
+}
+
+func indexTrace(t *testing.T, evs []obs.TraceEvent) *traceIndex {
+	t.Helper()
+	idx := &traceIndex{spanIDs: map[string]bool{}, events: map[string]int{}}
+	for i := range evs {
+		ev := evs[i]
+		switch ev.Kind {
+		case "span":
+			if ev.SpanID == "" {
+				t.Fatalf("span %q has no ID", ev.Name)
+			}
+			if idx.spanIDs[ev.SpanID] {
+				t.Fatalf("duplicate span ID %s", ev.SpanID)
+			}
+			idx.spanIDs[ev.SpanID] = true
+			switch ev.Name {
+			case "fleet_run":
+				if idx.run != nil {
+					t.Fatalf("two fleet_run spans")
+				}
+				idx.run = &evs[i]
+			case "cell":
+				idx.cellSpans = append(idx.cellSpans, ev)
+			}
+		case "event":
+			idx.events[ev.Name]++
+		default:
+			t.Fatalf("unknown event kind %q", ev.Kind)
+		}
+	}
+	return idx
+}
+
+// TestFleetTraceMergedParentage: a two-worker loopback scan with tracing
+// on yields one merged stream holding the coordinator's run span and
+// exactly one cell span per cell, each parented under the run span and
+// carrying the shared trace ID and its worker's node name.
+func TestFleetTraceMergedParentage(t *testing.T) {
+	ms := fleetCorpus(t, 24, 2, 46)
+	cfg := fleetConfig()
+	hdr, err := bulk.HybridJournalHeader(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Header: hdr, LeaseTTL: time.Second, Metrics: obs.NewRegistry(),
+		Trace: obs.NewTracerSink(col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(coord)
+	ctx := context.Background()
+	runFleet(t, ctx, coord, func(id string) WorkerConfig {
+		wcfg := fleetConfig()
+		wcfg.Metrics = obs.NewRegistry()
+		// Pace the cells so both workers win leases (an unpaced 64-bit
+		// corpus finishes before the second worker gets one).
+		wcfg.Fault = &faultinject.Hook{Block: func(int) { time.Sleep(2 * time.Millisecond) }}
+		return WorkerConfig{
+			ID: id, Transport: lb, Moduli: ms, Config: wcfg,
+			Backoff: Backoff{Base: time.Millisecond, Attempts: 5},
+		}
+	}, 2)
+
+	idx := indexTrace(t, col.Drain())
+	if idx.run == nil {
+		t.Fatal("no fleet_run span in merged trace")
+	}
+	if idx.run.SpanID != "coordinator:1" {
+		t.Fatalf("run span ID %q; the deterministic ID contract (first span on the coordinator) is broken", idx.run.SpanID)
+	}
+	if idx.run.Node != "coordinator" {
+		t.Fatalf("run span node %q", idx.run.Node)
+	}
+	wantTrace := hdr.Fingerprint[:16]
+	if idx.run.TraceID != wantTrace {
+		t.Fatalf("run span trace %q, want fingerprint prefix %q", idx.run.TraceID, wantTrace)
+	}
+	if len(idx.cellSpans) != hdr.Units {
+		t.Fatalf("%d cell spans for %d cells", len(idx.cellSpans), hdr.Units)
+	}
+	workers := map[string]int{}
+	for _, cs := range idx.cellSpans {
+		if cs.Parent != idx.run.SpanID {
+			t.Fatalf("cell span %s parented under %q, want the run span %s", cs.SpanID, cs.Parent, idx.run.SpanID)
+		}
+		if cs.TraceID != wantTrace {
+			t.Fatalf("cell span %s trace %q", cs.SpanID, cs.TraceID)
+		}
+		if cs.Node != "a" && cs.Node != "b" {
+			t.Fatalf("cell span %s from unknown node %q", cs.SpanID, cs.Node)
+		}
+		if cs.Start == nil || cs.DurMS < 0 {
+			t.Fatalf("cell span %s missing timing: %+v", cs.SpanID, cs)
+		}
+		workers[cs.Node]++
+	}
+	if len(workers) != 2 {
+		t.Fatalf("cell spans from %d workers, want both: %v", len(workers), workers)
+	}
+	if idx.events["lease"] < hdr.Units {
+		t.Fatalf("%d lease events for %d cells", idx.events["lease"], hdr.Units)
+	}
+}
+
+// TestFleetCellsAttribution: after a clean scan every cell is attributed
+// to the worker that computed it, with lease counts and wall time, and
+// the per-worker aggregation adds back up to the grid. The same table is
+// served as JSON at /fleet/cells.
+func TestFleetCellsAttribution(t *testing.T) {
+	ms := fleetCorpus(t, 24, 2, 47)
+	cfg := fleetConfig()
+	hdr, err := bulk.HybridJournalHeader(ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Header: hdr, LeaseTTL: time.Second, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(coord)
+	ctx := context.Background()
+	runFleet(t, ctx, coord, func(id string) WorkerConfig {
+		wcfg := fleetConfig()
+		wcfg.Metrics = obs.NewRegistry()
+		return WorkerConfig{
+			ID: id, Transport: lb, Moduli: ms, Config: wcfg,
+			Backoff: Backoff{Base: time.Millisecond, Attempts: 5},
+		}
+	}, 2)
+
+	cells, err := coord.Cells(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells.Cells) != hdr.Units {
+		t.Fatalf("%d rows for %d cells", len(cells.Cells), hdr.Units)
+	}
+	var pairs int64
+	for _, cs := range cells.Cells {
+		if cs.State != "completed" {
+			t.Fatalf("cell %d state %q after a clean scan", cs.Unit, cs.State)
+		}
+		if cs.Worker != "a" && cs.Worker != "b" {
+			t.Fatalf("cell %d attributed to %q", cs.Unit, cs.Worker)
+		}
+		if cs.Leases < 1 {
+			t.Fatalf("cell %d completed with %d leases", cs.Unit, cs.Leases)
+		}
+		if cs.WallSeconds <= 0 {
+			t.Fatalf("cell %d wall time %v", cs.Unit, cs.WallSeconds)
+		}
+		pairs += cs.Pairs
+	}
+	if pairs != hdr.TotalPairs {
+		t.Fatalf("attributed %d pairs, grid has %d", pairs, hdr.TotalPairs)
+	}
+	var completed int
+	var wpairs int64
+	for _, w := range cells.Workers {
+		completed += w.Completed
+		wpairs += w.Pairs
+	}
+	if completed != hdr.Units || wpairs != hdr.TotalPairs {
+		t.Fatalf("worker aggregation: %d cells / %d pairs, want %d / %d",
+			completed, wpairs, hdr.Units, hdr.TotalPairs)
+	}
+
+	// The HTTP view serves the same table.
+	mux := http.NewServeMux()
+	for pattern, h := range coord.Handlers() {
+		mux.Handle(pattern, h)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/fleet/cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet/cells = %d", resp.StatusCode)
+	}
+	var wire CellsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Cells) != hdr.Units || len(wire.Workers) != len(cells.Workers) {
+		t.Fatalf("wire table: %d cells, %d workers", len(wire.Cells), len(wire.Workers))
+	}
+	if wire.TraceID != hdr.Fingerprint[:16] {
+		t.Fatalf("wire trace ID %q", wire.TraceID)
+	}
+}
+
+// TestFleetStragglerDetection scripts the straggler rule under the fake
+// clock: three quick completions establish the median, then a cell held
+// ten times longer is flagged exactly once, counted, remembered against
+// its worker, and surfaced as a run-span event.
+func TestFleetStragglerDetection(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	reg := obs.NewRegistry()
+	col := &obs.Collector{}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Header: testHeader(5), LeaseTTL: time.Hour, Metrics: reg,
+		Clock: clk.Now, Trace: obs.NewTracerSink(col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Three one-second cells from worker "fast" set the median at 1s.
+	for i := 0; i < 3; i++ {
+		l, err := coord.Lease(ctx, LeaseRequest{Worker: "fast", Fingerprint: testFP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+		if _, err := coord.Complete(ctx, CompleteRequest{
+			Worker: "fast", Fingerprint: testFP, LeaseID: l.LeaseID, Record: rec(l.Unit, 10),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l, err := coord.Lease(ctx, LeaseRequest{Worker: "slow", Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10s > 4 (default factor) x 1s median: the next sweep flags it.
+	clk.Advance(10 * time.Second)
+	if _, err := coord.Status(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Snapshot().Counters["fleet_stragglers_total"]; got != 1 {
+		t.Fatalf("fleet_stragglers_total = %d, want 1", got)
+	}
+	cells, err := coord.Cells(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged int
+	for _, cs := range cells.Cells {
+		if cs.Straggler {
+			flagged++
+			if cs.Unit != l.Unit || cs.Worker != "slow" {
+				t.Fatalf("straggler row %+v, want cell %d on slow", cs, l.Unit)
+			}
+		}
+	}
+	if flagged != 1 {
+		t.Fatalf("%d cells flagged, want 1", flagged)
+	}
+	for _, w := range cells.Workers {
+		if w.Worker == "slow" && w.Stragglers != 1 {
+			t.Fatalf("slow worker straggler count %d", w.Stragglers)
+		}
+	}
+	// Repeated sweeps must not double-count.
+	clk.Advance(time.Second)
+	if _, err := coord.Status(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["fleet_stragglers_total"]; got != 1 {
+		t.Fatalf("straggler double-counted: %d", got)
+	}
+	var straggleEvents int
+	for _, ev := range col.Drain() {
+		if ev.Kind == "event" && ev.Name == "straggler" {
+			straggleEvents++
+		}
+	}
+	if straggleEvents != 1 {
+		t.Fatalf("%d straggler events, want 1", straggleEvents)
+	}
+
+	// The scheduler now prefers pairing "slow" with the remaining fresh
+	// cell rather than re-handing it the flagged one after expiry.
+	if _, err := coord.Lease(ctx, LeaseRequest{Worker: "slow", Fingerprint: testFP}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetSkewEstimation: renew requests stamped with a skewed worker
+// clock converge on the true offset, and merged trace events are shifted
+// onto the coordinator's clock.
+func TestFleetSkewEstimation(t *testing.T) {
+	clk := NewFakeClock(time.Unix(5000, 0))
+	col := &obs.Collector{}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Header: testHeader(2), LeaseTTL: time.Hour, Clock: clk.Now,
+		Trace: obs.NewTracerSink(col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	l, err := coord.Lease(ctx, LeaseRequest{Worker: "w", Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker's clock runs 2s behind the coordinator's; renew samples
+	// carry 30ms and 10ms of one-way latency — the minimum wins.
+	const skew = 2 * time.Second
+	for _, latency := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond} {
+		sent := clk.Now().Add(-skew)
+		clk.Advance(latency)
+		if _, err := coord.Renew(ctx, RenewRequest{
+			Worker: "w", Fingerprint: testFP, LeaseID: l.LeaseID,
+			SentUnixMS: sent.UnixMilli(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells, err := coord.Cells(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, w := range cells.Workers {
+		if w.Worker == "w" {
+			got = w.SkewMillis
+		}
+	}
+	if got != skew.Milliseconds()+10 {
+		t.Fatalf("skew estimate %dms, want %dms (smallest latency sample)", got, skew.Milliseconds()+10)
+	}
+
+	// A shipped event stamped on the worker's (slow) clock lands on the
+	// coordinator's timeline after the shift.
+	workerTime := clk.Now().Add(-skew)
+	if _, err := coord.Complete(ctx, CompleteRequest{
+		Worker: "w", Fingerprint: testFP, LeaseID: l.LeaseID, Record: rec(l.Unit, 10),
+		Trace: []obs.TraceEvent{{Time: workerTime, Kind: "event", Name: "marker", Node: "w"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var marker *obs.TraceEvent
+	for _, ev := range col.Drain() {
+		if ev.Name == "marker" {
+			ev := ev
+			marker = &ev
+		}
+	}
+	if marker == nil {
+		t.Fatal("shipped marker event not merged")
+	}
+	shift := marker.Time.Sub(workerTime)
+	if shift != time.Duration(got)*time.Millisecond {
+		t.Fatalf("merged event shifted by %v, want %v", shift, time.Duration(got)*time.Millisecond)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"bulkgcd/internal/bulk"
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 )
 
 // WorkerConfig configures one fleet worker process (or goroutine).
@@ -61,6 +62,11 @@ type WorkerReport struct {
 	// Spilled is the path of the locally flushed record journal, when
 	// the worker had a finished cell it could not deliver.
 	Spilled string
+	// Trace holds the worker's undelivered trace events — whatever was
+	// buffered when the coordinator was lost (including the spill
+	// event), so an operator can splice them into the fleet trace by
+	// hand the same way a spilled record is fed back.
+	Trace []obs.TraceEvent
 }
 
 // RunWorker runs the worker loop: lease a cell, heartbeat while
@@ -85,6 +91,14 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerReport, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	// The worker traces into an in-memory collector; buffered events are
+	// shipped to the coordinator with each complete/fail RPC and merged
+	// there into the fleet trace. The trace ID arrives with the first
+	// lease; until then events carry only the node name.
+	col := &obs.Collector{}
+	tr := obs.NewTracerSink(col)
+	tr.SetIdentity("", cfg.ID)
+	cfg.Config.Trace = tr
 	runner, err := bulk.NewCellRunner(cfg.Moduli, cfg.Config)
 	if err != nil {
 		return nil, err
@@ -93,7 +107,11 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerReport, error) {
 	h := fnv.New64a()
 	h.Write([]byte(cfg.ID))
 	retry := newRetrier(cfg.Backoff, int64(h.Sum64()))
+	retry.onRetry = func(op string, attempt int, err error) {
+		tr.Event("retry", "op", op, "attempt", attempt, "err", err.Error())
+	}
 	rep := &WorkerReport{}
+	ship := &shipper{col: col}
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -129,10 +147,22 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerReport, error) {
 			}
 			continue
 		}
+		// Adopt the lease's trace context: the trace ID stamps every
+		// event from here on, and cell spans parent under the
+		// coordinator's run span.
+		if lease.TraceID != "" {
+			tr.SetIdentity(lease.TraceID, cfg.ID)
+		}
+		runner.SetSpanParent(lease.ParentSpan)
 
 		rec, lost, err := computeCell(ctx, cfg, runner, retry, fp, lease, logf)
 		if lost {
 			rep.Abandoned++
+			tr.Event("abandon", "cell", lease.Unit, "lease", lease.LeaseID)
+			// Drop the abandoned cell's span (the re-lease holder owns the
+			// cell; its span must not ride the next shipment) but keep
+			// retry/abandon events.
+			ship.requeue(dropCellSpan(ship.take(), lease.Unit))
 			continue
 		}
 		if err != nil {
@@ -143,15 +173,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerReport, error) {
 			// policy can count us, then move on.
 			rep.Failed++
 			logf("worker %s: cell %d failed: %v", cfg.ID, lease.Unit, err)
+			tr.Event("cell_error", "cell", lease.Unit, "err", err.Error())
+			batch := ship.take()
 			ferr := retry.do(ctx, "fail", func(ctx context.Context) error {
 				_, e := cfg.Transport.Fail(ctx, FailRequest{
 					Worker: cfg.ID, Fingerprint: fp, LeaseID: lease.LeaseID,
-					Unit: lease.Unit, Reason: err.Error(),
+					Unit: lease.Unit, Reason: err.Error(), Trace: batch,
 				})
 				return e
 			})
 			if errors.Is(ferr, ErrCoordinatorLost) {
 				rep.CoordinatorLost = true
+				rep.Trace = append(batch, ship.take()...)
 				return rep, nil
 			}
 			if ferr != nil && !terminal(ferr) {
@@ -163,9 +196,14 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerReport, error) {
 		// Graceful degradation: deliver the finished cell even if the
 		// lease lapsed meanwhile (completion is idempotent); if the
 		// coordinator is gone, flush the record locally and exit cleanly.
+		// The buffered trace batch rides the completion — re-sent
+		// attempts carry the same batch, which the coordinator merges on
+		// first acceptance only.
+		batch := ship.take()
 		cerr := retry.do(ctx, "complete", func(ctx context.Context) error {
 			_, e := cfg.Transport.Complete(ctx, CompleteRequest{
 				Worker: cfg.ID, Fingerprint: fp, LeaseID: lease.LeaseID, Record: rec,
+				Trace: batch,
 			})
 			return e
 		})
@@ -179,14 +217,64 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerReport, error) {
 					logf("worker %s: spill failed: %v", cfg.ID, serr)
 				} else {
 					rep.Spilled = cfg.SpillPath
+					tr.Event("spill", "cell", rec.Unit, "path", cfg.SpillPath)
 					logf("worker %s: coordinator lost; cell %d spilled to %s", cfg.ID, rec.Unit, cfg.SpillPath)
 				}
 			}
+			rep.Trace = append(batch, ship.take()...)
 			return rep, nil
 		default:
 			return rep, cerr // integrity/fingerprint or ctx error: surface it
 		}
 	}
+}
+
+// shipper accumulates trace events between RPC shipments: take drains
+// the collector plus anything requeued, requeue puts kept events back
+// at the front for the next shipment.
+type shipper struct {
+	col   *obs.Collector
+	carry []obs.TraceEvent
+}
+
+func (s *shipper) take() []obs.TraceEvent {
+	evs := append(s.carry, s.col.Drain()...)
+	s.carry = nil
+	return evs
+}
+
+func (s *shipper) requeue(evs []obs.TraceEvent) {
+	s.carry = append(evs, s.carry...)
+}
+
+// dropCellSpan removes the given cell's span from a batch (abandoned
+// cells must not contribute spans; the re-lease holder's completion
+// will).
+func dropCellSpan(evs []obs.TraceEvent, unit int) []obs.TraceEvent {
+	out := evs[:0]
+	for _, ev := range evs {
+		if ev.Kind == "span" && ev.Name == "cell" {
+			if u, ok := ev.Attrs["cell"]; ok && attrInt(u) == unit {
+				continue
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// attrInt normalizes a trace attribute that may be an int (in-process)
+// or float64 (after a JSON round trip).
+func attrInt(v any) int {
+	switch n := v.(type) {
+	case int:
+		return n
+	case int64:
+		return int(n)
+	case float64:
+		return int(n)
+	}
+	return -1
 }
 
 // computeCell runs one leased cell under a heartbeat. It returns
@@ -218,7 +306,8 @@ func computeCell(ctx context.Context, cfg WorkerConfig, runner *bulk.CellRunner,
 				rctx, cancel := context.WithTimeout(ctx, ttl/3)
 				_, rerr := cfg.Transport.Renew(rctx, RenewRequest{
 					Worker: cfg.ID, Fingerprint: fp, LeaseID: lease.LeaseID,
-					Metrics: cfg.Config.Metrics.Snapshot(),
+					Metrics:    cfg.Config.Metrics.Snapshot(),
+					SentUnixMS: time.Now().UnixMilli(),
 				})
 				cancel()
 				if terminal(rerr) {

@@ -1,0 +1,21 @@
+package gcd
+
+import (
+	"strings"
+
+	"bulkgcd/internal/obs"
+)
+
+// Metric documentation for every algorithm variant, registered from
+// init. The `<alg>` placeholder in DESIGN.md's metric table expands over
+// Algorithms, matching exactly what registers here.
+func init() {
+	for _, alg := range Algorithms {
+		prefix := "gcd_" + strings.ToLower(alg.String()) + "_"
+		name := alg.String()
+		obs.RegisterHelp(prefix+"iterations", "do-while iterations per "+name+" GCD")
+		obs.RegisterHelp(prefix+"early_exits_total", name+" computations stopped at the s/2 threshold")
+		obs.RegisterHelp(prefix+"beta_nonzero_total", name+" iterations taking the beta > 0 path")
+		obs.RegisterHelp(prefix+"memops_total", name+" word-level memory operations (Section IV)")
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "sync"
+
+// Collector is an in-memory trace Sink: it buffers every event a
+// Tracer emits until Drain hands them off. Fleet workers trace each
+// cell into a Collector and ship the drained batch on the completing
+// RPC, so the coordinator receives a cell's whole event stream
+// atomically — either the cell completes and its spans arrive, or it
+// doesn't and they never pollute the merged trace.
+//
+// A nil Collector discards events, mirroring the nil-Tracer contract.
+type Collector struct {
+	mu  sync.Mutex
+	evs []TraceEvent
+}
+
+// EmitTrace implements Sink.
+func (c *Collector) EmitTrace(ev TraceEvent) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+// Drain returns the buffered events in emission order and resets the
+// buffer. Returns nil when empty.
+func (c *Collector) Drain() []TraceEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evs := c.evs
+	c.evs = nil
+	return evs
+}
+
+// Len reports the number of buffered events.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.evs)
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// The help registry maps metric names to their one-line descriptions,
+// feeding the `# HELP` lines of the Prometheus text exposition. Engine
+// packages register their metric families from init, so any process
+// that links an engine exposes its documentation — and the repository's
+// doc-parity test diffs this registry against DESIGN.md's metric table,
+// keeping code and docs from drifting.
+var (
+	helpMu    sync.RWMutex
+	helpTexts = map[string]string{}
+)
+
+// RegisterHelp associates a help string with a metric name. Later
+// registrations of the same name win (harmless: families register
+// identical text from init).
+func RegisterHelp(name, help string) {
+	if name == "" || help == "" {
+		return
+	}
+	helpMu.Lock()
+	helpTexts[name] = help
+	helpMu.Unlock()
+}
+
+// HelpFor returns the registered help for name, "" when unknown.
+func HelpFor(name string) string {
+	helpMu.RLock()
+	defer helpMu.RUnlock()
+	return helpTexts[name]
+}
+
+// HelpNames returns every registered metric name in lexical order.
+func HelpNames() []string {
+	helpMu.RLock()
+	defer helpMu.RUnlock()
+	out := make([]string, 0, len(helpTexts))
+	for name := range helpTexts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

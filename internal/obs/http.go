@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +19,8 @@ import (
 //	                          and again during drain (see SetReady)
 //	GET /metrics              Prometheus text exposition of the registry
 //	GET /metrics?format=json  the same snapshot as expvar-style JSON
+//	GET /timeline             bounded snapshot ring with rates (JSON)
+//	GET /dashboard            dependency-free HTML view polling /timeline
 //	GET /debug/vars           alias for the JSON snapshot
 //	GET /debug/pprof/...      the standard net/http/pprof handlers
 //
@@ -31,6 +34,10 @@ type StatusServer struct {
 	done     chan struct{}
 	ready    atomic.Bool
 	snapshot func() *Snapshot
+	timeline *TimeSeries
+	tlStop   chan struct{}
+	tlOnce   sync.Once
+	tlDone   chan struct{}
 }
 
 // StatusOptions extends ServeStatus for servers that are more than a
@@ -52,6 +59,12 @@ type StatusOptions struct {
 	// starts ready for backward compatibility; a coordinator typically
 	// starts not-ready and flips via SetReady once it is accepting work.
 	Ready bool
+	// Timeline backs /timeline and /dashboard; nil gets a fresh ring of
+	// DefaultTimelineCapacity. The server records one snapshot per
+	// TimelineInterval (default one second) until Close/Shutdown.
+	Timeline *TimeSeries
+	// TimelineInterval is the snapshot cadence; <= 0 means one second.
+	TimelineInterval time.Duration
 }
 
 // ServeStatus starts a status server for reg on addr (host:port; ":0"
@@ -77,10 +90,16 @@ func ServeStatusOptions(addr string, opts StatusOptions) (*StatusServer, error) 
 		s.snapshot = reg.Snapshot
 	}
 	s.ready.Store(opts.Ready)
+	s.timeline = opts.Timeline
+	if s.timeline == nil {
+		s.timeline = NewTimeSeries(0)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/timeline", s.handleTimeline)
+	mux.HandleFunc("/dashboard", s.handleDashboard)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -95,7 +114,40 @@ func ServeStatusOptions(addr string, opts StatusOptions) (*StatusServer, error) 
 		defer close(s.done)
 		_ = s.srv.Serve(ln) // returns ErrServerClosed on Close/Shutdown
 	}()
+
+	// Timeline recorder: one snapshot immediately (so /timeline is never
+	// empty) then one per interval until the server stops.
+	interval := opts.TimelineInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.tlStop = make(chan struct{})
+	s.tlDone = make(chan struct{})
+	s.timeline.Record(time.Now(), s.snapshot())
+	go func() {
+		defer close(s.tlDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.tlStop:
+				return
+			case now := <-t.C:
+				s.timeline.Record(now, s.snapshot())
+			}
+		}
+	}()
 	return s, nil
+}
+
+// Timeline returns the server's snapshot ring (e.g. to fold its final
+// state into a report).
+func (s *StatusServer) Timeline() *TimeSeries { return s.timeline }
+
+// stopTimeline halts the recorder goroutine; safe to call repeatedly.
+func (s *StatusServer) stopTimeline() {
+	s.tlOnce.Do(func() { close(s.tlStop) })
+	<-s.tlDone
 }
 
 // Addr returns the bound address (resolving ":0").
@@ -109,6 +161,7 @@ func (s *StatusServer) SetReady(ready bool) { s.ready.Store(ready) }
 // Close stops the server immediately (in-flight requests are dropped)
 // and waits for the serve loop to exit.
 func (s *StatusServer) Close() error {
+	s.stopTimeline()
 	err := s.srv.Close()
 	<-s.done
 	return err
@@ -120,6 +173,7 @@ func (s *StatusServer) Close() error {
 // ctx (remaining requests are then abandoned, as with Close).
 func (s *StatusServer) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
+	s.stopTimeline()
 	err := s.srv.Shutdown(ctx)
 	<-s.done
 	return err
@@ -157,4 +211,14 @@ func (s *StatusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *StatusServer) handleVars(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.snapshot())
+}
+
+func (s *StatusServer) handleTimeline(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.timeline.Timeline())
+}
+
+func (s *StatusServer) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashboardHTML))
 }

@@ -150,6 +150,7 @@ func (h *Histogram) snapshot() HistSnapshot {
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	s.refreshQuantiles()
 	return s
 }
 

@@ -95,7 +95,7 @@ func (p *ProgressPrinter) Update(done, total int64) {
 	}
 	eta := "?"
 	if rate > 0 && total > done {
-		eta = (time.Duration(float64(total-done)/rate*float64(time.Second))).Round(time.Second).String()
+		eta = (time.Duration(float64(total-done) / rate * float64(time.Second))).Round(time.Second).String()
 	} else if final {
 		eta = "0s"
 	}

@@ -25,6 +25,20 @@ type HistSnapshot struct {
 	Buckets []int64   `json:"buckets"`
 	Count   int64     `json:"count"`
 	Sum     float64   `json:"sum"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates (see
+	// Quantile), refreshed whenever the snapshot is taken or merged so
+	// the JSON exposition and reports carry them ready-made.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// refreshQuantiles recomputes the cached P50/P95/P99 estimates from the
+// current buckets.
+func (h *HistSnapshot) refreshQuantiles() {
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
 }
 
 // Mean returns Sum/Count (0 when empty). For integer-valued
@@ -90,6 +104,7 @@ func (h *HistSnapshot) merge(other HistSnapshot) error {
 	}
 	h.Count += other.Count
 	h.Sum += other.Sum
+	h.refreshQuantiles()
 	return nil
 }
 
@@ -117,6 +132,7 @@ func (s *Snapshot) Merge(other *Snapshot) error {
 				Count:   oh.Count,
 				Sum:     oh.Sum,
 			}
+			cp.refreshQuantiles()
 			s.Histograms[name] = cp
 			continue
 		}
@@ -151,23 +167,44 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// writeHelp emits the `# HELP` line for name when its family has
+// registered documentation (engines register from init; ad-hoc test
+// metrics have none, and the format makes HELP optional).
+func writeHelp(w io.Writer, name string) error {
+	if help := HelpFor(name); help != "" {
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		return err
+	}
+	return nil
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format (version 0.0.4), deterministically ordered so the
-// output is golden-testable. Histogram buckets are emitted cumulatively
-// with the trailing +Inf bucket, per the format.
+// output is golden-testable. Registered metric families get `# HELP`
+// lines; histogram buckets are emitted cumulatively with the trailing
+// +Inf bucket, per the format.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TimeSeries is a bounded ring of periodic Registry snapshots — the
+// memory behind GET /timeline and the dashboard. Each Record call
+// stores one full snapshot; Timeline renders the ring as a series of
+// points with counter deltas converted to per-second rates and
+// histogram quantile summaries, so a poller sees throughput over time
+// without the server ever growing past its fixed capacity.
+type TimeSeries struct {
+	mu   sync.Mutex
+	cap  int
+	pts  []tsPoint // ring buffer, pts[(head+i)%cap] is the i-th oldest
+	head int
+	n    int
+}
+
+type tsPoint struct {
+	at   time.Time
+	snap *Snapshot
+}
+
+// DefaultTimelineCapacity bounds the ring when the caller doesn't: 360
+// points is six minutes at the default one-second interval — enough to
+// see a straggler develop, small enough to never matter.
+const DefaultTimelineCapacity = 360
+
+// NewTimeSeries returns a ring holding at most capacity snapshots
+// (DefaultTimelineCapacity when capacity <= 0).
+func NewTimeSeries(capacity int) *TimeSeries {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCapacity
+	}
+	return &TimeSeries{cap: capacity, pts: make([]tsPoint, capacity)}
+}
+
+// Record appends one snapshot taken at the given instant, evicting the
+// oldest point once the ring is full. A nil TimeSeries ignores it.
+func (ts *TimeSeries) Record(at time.Time, snap *Snapshot) {
+	if ts == nil || snap == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.n < ts.cap {
+		ts.pts[(ts.head+ts.n)%ts.cap] = tsPoint{at: at, snap: snap}
+		ts.n++
+		return
+	}
+	ts.pts[ts.head] = tsPoint{at: at, snap: snap}
+	ts.head = (ts.head + 1) % ts.cap
+}
+
+// Len reports the number of stored points.
+func (ts *TimeSeries) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.n
+}
+
+// Timeline is the JSON payload of GET /timeline.
+type Timeline struct {
+	// Capacity is the ring bound; once Points reaches it, old points
+	// fall off the front.
+	Capacity int             `json:"capacity"`
+	Points   []TimelinePoint `json:"points"`
+}
+
+// TimelinePoint is one snapshot instant. Rates carries, for every
+// counter, the per-second delta since the previous point (absent on
+// the first point). Hists summarizes each histogram down to its count,
+// mean and p50/p95/p99 so the dashboard doesn't re-derive quantiles
+// from buckets client-side.
+type TimelinePoint struct {
+	At       time.Time              `json:"ts"`
+	Counters map[string]int64       `json:"counters"`
+	Gauges   map[string]float64     `json:"gauges,omitempty"`
+	Rates    map[string]float64     `json:"rates,omitempty"`
+	Hists    map[string]HistSummary `json:"hists,omitempty"`
+}
+
+// HistSummary is the quantile digest of one histogram at one instant.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Timeline renders the ring oldest-first. A nil TimeSeries renders
+// empty.
+func (ts *TimeSeries) Timeline() Timeline {
+	if ts == nil {
+		return Timeline{}
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tl := Timeline{Capacity: ts.cap, Points: make([]TimelinePoint, 0, ts.n)}
+	var prev *tsPoint
+	for i := 0; i < ts.n; i++ {
+		p := &ts.pts[(ts.head+i)%ts.cap]
+		tp := TimelinePoint{At: p.at, Counters: p.snap.Counters}
+		if len(p.snap.Gauges) > 0 {
+			tp.Gauges = p.snap.Gauges
+		}
+		if len(p.snap.Histograms) > 0 {
+			tp.Hists = make(map[string]HistSummary, len(p.snap.Histograms))
+			for name, h := range p.snap.Histograms {
+				tp.Hists[name] = HistSummary{
+					Count: h.Count, Mean: h.Mean(),
+					P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+				}
+			}
+		}
+		if prev != nil {
+			if dt := p.at.Sub(prev.at).Seconds(); dt > 0 {
+				tp.Rates = make(map[string]float64, len(p.snap.Counters))
+				for name, v := range p.snap.Counters {
+					tp.Rates[name] = float64(v-prev.snap.Counters[name]) / dt
+				}
+			}
+		}
+		tl.Points = append(tl.Points, tp)
+		prev = p
+	}
+	return tl
+}

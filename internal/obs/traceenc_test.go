@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAppendEventMatchesEncodingJSON differentially pins the hand-rolled
+// trace encoder to encoding/json: for every event shape the engines and
+// the fleet merge path produce — plus adversarial strings and floats —
+// appendEvent's bytes must equal json.Encoder's. This is what lets the
+// fast path replace the reflective marshal without a schema break.
+func TestAppendEventMatchesEncodingJSON(t *testing.T) {
+	ts := time.Date(2026, 1, 2, 3, 4, 5, 123456789, time.UTC)
+	start := ts.Add(-90 * time.Millisecond)
+	events := []TraceEvent{
+		{Time: ts, Kind: "event", Name: "quarantine", Attrs: map[string]any{"unit": 3, "reason": "panic"}},
+		{Time: ts, TraceID: "0123456789abcdef", SpanID: "coordinator:1", Node: "coordinator",
+			Kind: "span", Name: "fleet_run", Start: &start, DurMS: 90.125,
+			Attrs: map[string]any{"units": int64(12), "done": true, "frac": 0.25}},
+		{Time: ts, TraceID: "t", SpanID: "w0:2", Parent: "coordinator:1", Node: "w0",
+			Kind: "span", Name: "cell", Start: &start, DurMS: 1e-7,
+			Attrs: map[string]any{"pairs": uint64(1 << 40), "nil": nil}},
+		// Strings exercising every escape class, HTML escaping included.
+		{Time: ts, Kind: "event", Name: `quote " slash \ <tag> & amp`,
+			Attrs: map[string]any{"ctl": "a\nb\rc\td\x00e\x1f", "uni": "caf\u00e9 \u2028sep\u2029",
+				"bad": string([]byte{0x80, 0xff}) + "ok"}},
+		// Float corner cases on both dur_ms and attr values.
+		{Time: ts, Kind: "event", Name: "floats", DurMS: 1e21,
+			Attrs: map[string]any{"tiny": 1e-9, "neg": -1e-9, "big": 1e22, "zero": 0.0,
+				"int": 42.0, "max": math.MaxFloat64}},
+		// Attr value of a type the fast path does not special-case.
+		{Time: ts, Kind: "event", Name: "fallback",
+			Attrs: map[string]any{"list": []int{1, 2, 3}, "m": map[string]string{"k": "<v>"}}},
+		// Fractional-second trimming: .25, .0 (dropped dot), full nanos.
+		{Time: time.Date(2026, 1, 2, 3, 4, 5, 250000000, time.UTC), Kind: "event", Name: "t1"},
+		{Time: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), Kind: "event", Name: "t2"},
+		{Time: ts.In(time.FixedZone("JST", 9*3600)), Kind: "event", Name: "t3"},
+	}
+	for _, ev := range events {
+		want, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("%s: reference marshal: %v", ev.Name, err)
+		}
+		want = append(want, '\n')
+		got, err := appendEvent(nil, &ev)
+		if err != nil {
+			t.Fatalf("%s: appendEvent: %v", ev.Name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s:\n got %s\nwant %s", ev.Name, got, want)
+		}
+	}
+}
+
+// TestAppendEventRejectsWhatJSONRejects: the fast path must drop the
+// same events the reflective marshal would error on, not emit corrupt
+// lines for them.
+func TestAppendEventRejectsWhatJSONRejects(t *testing.T) {
+	ts := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	bad := []TraceEvent{
+		{Time: time.Date(10000, 1, 1, 0, 0, 0, 0, time.UTC), Kind: "event", Name: "year"},
+		{Time: ts, Kind: "event", Name: "nan", DurMS: math.NaN()},
+		{Time: ts, Kind: "event", Name: "inf", Attrs: map[string]any{"v": math.Inf(1)}},
+		{Time: ts, Kind: "event", Name: "chan", Attrs: map[string]any{"v": make(chan int)}},
+	}
+	for _, ev := range bad {
+		if _, jerr := json.Marshal(ev); jerr == nil {
+			t.Fatalf("%s: expected reference marshal to fail", ev.Name)
+		}
+		if _, err := appendEvent(nil, &ev); err == nil {
+			t.Errorf("%s: appendEvent accepted what json.Marshal rejects", ev.Name)
+		}
+	}
+}
+
+// TestTracerEmitUsesFastPath: an end-to-end write through the Tracer
+// still matches a json.Encoder stream for a representative span.
+func TestTracerEmitUsesFastPath(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb)
+	at := time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)
+	tr.SetClock(func() time.Time { at = at.Add(time.Second); return at })
+	tr.SetIdentity("deadbeefdeadbeef", "w1")
+	s := tr.StartSpan("cell", "cell", 7, "html", "<a&b>")
+	s.End("pairs", int64(100))
+
+	var ref strings.Builder
+	enc := json.NewEncoder(&ref)
+	startAt := time.Date(2026, 3, 4, 5, 6, 8, 0, time.UTC)
+	if err := enc.Encode(TraceEvent{
+		Time: startAt.Add(time.Second), TraceID: "deadbeefdeadbeef", SpanID: "w1:1", Node: "w1",
+		Kind: "span", Name: "cell", Start: &startAt, DurMS: 1000,
+		Attrs: map[string]any{"cell": 7, "html": "<a&b>", "pairs": int64(100)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != ref.String() {
+		t.Fatalf("tracer output diverges from json.Encoder:\n got %s\nwant %s", sb.String(), ref.String())
+	}
+}
