@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos fleet-smoke obs-smoke cover bench bench-smoke fuzz-smoke selftest reproduce clean
+.PHONY: all build test vet race chaos fleet-smoke obs-smoke registry-smoke cover bench bench-smoke fuzz-smoke selftest reproduce clean
 
 all: build vet test
 
@@ -19,9 +19,10 @@ test:
 # the batch-GCD tree engine (both tree backends), the attack pipeline
 # that drives both, the lock-free metrics layer, the lane-batched kernel
 # (shared per-worker arenas), the subquadratic multiplier + generic tree
-# builder they all multiply through, and the public facade.
+# builder they all multiply through, the streaming registry (findings
+# forwarder + node store), and the public facade.
 race:
-	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ ./internal/lanes/ ./internal/mpnat/ ./internal/subprod/ ./internal/fleet/ .
+	$(GO) test -race ./internal/bulk/ ./internal/batchgcd/ ./internal/attack/ ./internal/obs/ ./internal/lanes/ ./internal/mpnat/ ./internal/subprod/ ./internal/fleet/ ./internal/registry/ .
 
 # Fault-injection hardening: the chaos suite (kill/resume/panic
 # campaigns plus the fleet partition/crash/poison campaigns,
@@ -31,7 +32,8 @@ race:
 chaos:
 	$(GO) test -race -short -run 'TestChaos' .
 	$(GO) test -race -short ./internal/checkpoint/ ./internal/faultinject/ ./internal/sigctx/ \
-	    ./internal/bulk/ ./internal/attack/ ./internal/fleet/ ./cmd/rsafactor/ ./cmd/gcdbench/
+	    ./internal/bulk/ ./internal/attack/ ./internal/fleet/ ./internal/registry/ \
+	    ./cmd/rsafactor/ ./cmd/gcdbench/
 
 # Real-process fleet run: one coordinator + two workers as separate
 # rsafactor processes over loopback HTTP, findings diffed against a
@@ -45,6 +47,13 @@ fleet-smoke:
 # /dashboard, and the report's attribution tables.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Streaming registry end to end: a real `rsafactor watch` server fed a
+# weak corpus over HTTP in three waves with a SIGKILL between waves two
+# and three; the replayed registry must lose nothing acknowledged and
+# the final /broken set must diff clean against a one-shot batch run.
+registry-smoke:
+	./scripts/registry_smoke.sh
 
 cover:
 	$(GO) test -cover ./...
@@ -62,8 +71,12 @@ bench:
 # line runs BenchmarkLaneKernel in -short mode (self-enforces the >= 1.5x
 # per-pair speedup over the scalar kernel at GOMAXPROCS=1), and the engine
 # comparison emits the three-engine timing table as a second artifact.
+# The registry line runs BenchmarkRegistrySubmit in -short mode (8192-key
+# seed), which self-enforces the O(log N) spine-merge bound per submission
+# and a >= 5x advantage over a full batch-GCD rescan.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
+	$(GO) test -short -run '^$$' -bench 'BenchmarkRegistrySubmit$$' -benchtime=1x ./internal/registry/
 	$(GO) test -short -run '^$$' -bench 'BenchmarkHybrid$$' -benchtime=1x ./internal/bulk/
 	$(GO) test -short -run '^$$' -bench 'BenchmarkHybridTraceOverhead$$' -benchtime=1x ./internal/bulk/
 	GOMAXPROCS=1 $(GO) test -short -run '^$$' -bench 'BenchmarkLaneKernel$$' -benchtime=1x ./internal/lanes/
@@ -83,6 +96,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSubMulRshift -fuzztime 30s ./internal/mpnat/
 	$(GO) test -run '^$$' -fuzz FuzzHexRoundTrip -fuzztime 30s ./internal/mpnat/
 	$(GO) test -run '^$$' -fuzz FuzzLanesMatchesScalar -fuzztime 30s ./internal/lanes/
+	$(GO) test -run '^$$' -fuzz FuzzSpineMerge -fuzztime 30s ./internal/registry/
 
 selftest:
 	$(GO) run ./cmd/gcdselftest -n 5000 -v

@@ -32,7 +32,6 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -128,6 +127,11 @@ func main() {
 
 // run implements the tool; factored out of main so tests can drive it.
 func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	// `rsafactor watch` is the long-lived registry server; everything
+	// else is the one-shot scan below.
+	if len(args) > 0 && args[0] == "watch" {
+		return runWatch(ctx, args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("rsafactor", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -551,33 +555,26 @@ func printFindings(stdout io.Writer, rep *attack.Report) {
 // moduli pass through to the attack layer's quarantine instead of
 // failing the whole corpus.
 func readCorpus(r io.Reader, stderr io.Writer, lenient bool) ([]*mpnat.Nat, []pemkeys.Source, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
+	src := corpus.NewSource(r)
+	if lenient {
+		src = corpus.NewLenientSource(r)
+	}
+	var ms []*mpnat.Nat
+	var sources []pemkeys.Source
+	for src.Next() {
+		rec := src.Record()
+		ms = append(ms, rec.N)
+		if rec.PEM != nil {
+			sources = append(sources, *rec.PEM)
+		}
+	}
+	for _, sk := range src.Skipped() {
+		fmt.Fprintf(stderr, "rsafactor: skipped PEM block %d (%s): %s\n", sk.Pos, sk.Label, sk.Reason)
+	}
+	if err := src.Err(); err != nil {
 		return nil, nil, err
 	}
-	if bytes.Contains(data, []byte("-----BEGIN ")) {
-		bigs, sources, skipped, err := pemkeys.ReadModuli(bytes.NewReader(data))
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, sk := range skipped {
-			fmt.Fprintf(stderr, "rsafactor: skipped PEM block %d (%s): %s\n", sk.Index, sk.Type, sk.Reason)
-		}
-		out := make([]*mpnat.Nat, len(bigs))
-		for i, n := range bigs {
-			if n.Bit(0) == 0 && !lenient {
-				return nil, nil, fmt.Errorf("PEM key %d has an even modulus", i)
-			}
-			out[i] = mpnat.FromBig(n)
-		}
-		return out, sources, nil
-	}
-	if lenient {
-		ms, err := corpus.ReadLenient(bytes.NewReader(data))
-		return ms, nil, err
-	}
-	ms, err := corpus.Read(bytes.NewReader(data))
-	return ms, nil, err
+	return ms, sources, nil
 }
 
 // emitPrivateKeys writes each fully recovered key as key<index>.pem under

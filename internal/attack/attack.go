@@ -223,11 +223,21 @@ func JournalHeader(moduli []*mpnat.Nat, opt Options) (checkpoint.Header, error) 
 // cross product newModuli x old plus the new x new triangle, for rolling
 // scans over growing corpora. Broken-key indices are global, with old
 // moduli at 0..len(old)-1 and the new ones following.
+//
+// Deprecated: the registry (internal/registry, bulkgcd.OpenRegistry)
+// subsumes rolling scans: it persists the corpus as a product-tree
+// index, so each arriving key costs one O(log N) tree descent instead
+// of a cross product against the whole history, and verdicts survive
+// kill+restart. RunIncremental remains as a thin shim for the one-shot
+// `rsafactor -prev` flow and delegates to the same pair interpretation
+// as Run.
 func RunIncremental(old, newModuli []*mpnat.Nat, opt Options) (*Report, error) {
 	return RunIncrementalContext(context.Background(), old, newModuli, opt)
 }
 
 // RunIncrementalContext is RunIncremental with cooperative cancellation.
+//
+// Deprecated: see [RunIncremental].
 func RunIncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, opt Options) (*Report, error) {
 	if opt.Exponent == 0 {
 		opt.Exponent = rsakey.DefaultExponent

@@ -22,6 +22,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -39,10 +41,19 @@ type Header struct {
 	V           int    `json:"v"`
 	Engine      string `json:"engine"`
 	Fingerprint string `json:"fingerprint"`
-	// Units is the number of work units the run is divided into.
+	// Units is the number of work units the run is divided into. In a
+	// growable journal (Grow set) it is only the count at creation time:
+	// records beyond it are accepted, because an append-only corpus keeps
+	// creating new units after the header was written.
 	Units int `json:"units"`
 	// TotalPairs is the number of pair GCDs of the full run.
 	TotalPairs int64 `json:"total_pairs"`
+	// Grow marks an append-only journal over a growing corpus: the
+	// Fingerprint is a prefix hash chain seed (see Chain) rather than a
+	// whole-corpus digest, so a corpus that has grown since the journal
+	// was written still verifies — the historical prefix is bound
+	// record-by-record through Record.Chain instead of all-at-once.
+	Grow bool `json:"grow,omitempty"`
 }
 
 // Factor is one journaled finding: gcd(n_I, n_J) = P (hex) > 1.
@@ -70,6 +81,13 @@ type Record struct {
 	Factors []Factor  `json:"factors,omitempty"`
 	Bad     []BadPair `json:"bad,omitempty"`
 	BadCell string    `json:"bad_cell,omitempty"`
+	// Chain, in growable journals, is the prefix hash chain value after
+	// the corpus entry this record covers (Chain.Sum after Extend number
+	// Unit). A resumed run recomputes the chain over its corpus and
+	// rejects any record whose Chain disagrees — so a journal verifies
+	// against a corpus that has *grown* (every record matches a prefix
+	// entry) but not against one that was edited or reordered.
+	Chain string `json:"chain,omitempty"`
 }
 
 // Writer appends records to a journal file. It is safe for concurrent use
@@ -125,6 +143,20 @@ func OpenAppend(path string) (*Writer, error) {
 
 // Path returns the journal's file path.
 func (w *Writer) Path() string { return w.path }
+
+// Prior returns the header already stored in an appended-to journal, or
+// nil on a fresh file. Growable-journal owners adopt it so Begin's
+// equality check holds across reopens regardless of how far the corpus
+// has grown since creation.
+func (w *Writer) Prior() *Header {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.prior == nil {
+		return nil
+	}
+	h := *w.prior
+	return &h
+}
 
 // Begin records the run's header: on a fresh journal it is written as the
 // first line; when appending to an existing journal it must match the
@@ -238,7 +270,7 @@ func parse(data []byte) (hdr *Header, done map[int]Record, ignored int) {
 			continue
 		}
 		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Unit < 0 || rec.Unit >= hdr.Units {
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Unit < 0 || (rec.Unit >= hdr.Units && !hdr.Grow) {
 			ignored++
 			continue
 		}
@@ -277,6 +309,66 @@ func (s *State) Quarantined() map[int]string {
 		}
 	}
 	return out
+}
+
+// Chain is a prefix hash chain over an append-only corpus:
+//
+//	h_0 = SHA256(seed)
+//	h_i = SHA256(h_{i-1} || entry_i)
+//
+// A growable journal stores h_i (hex) in each record's Chain field. A
+// resumed run replays its corpus through a fresh Chain and compares
+// sums record by record: any prefix of the grown corpus verifies, while
+// an edited, reordered, or truncated corpus diverges at the first
+// changed entry. Chain is not safe for concurrent use; the owner
+// extends it under its own corpus lock.
+type Chain struct {
+	sum [sha256.Size]byte
+}
+
+// NewChain starts a chain from seed (any stable run identifier; the
+// growable journal's Header.Fingerprint by convention).
+func NewChain(seed string) *Chain {
+	c := &Chain{}
+	c.sum = sha256.Sum256([]byte(seed))
+	return c
+}
+
+// Extend absorbs the next corpus entry and returns the new chain value.
+func (c *Chain) Extend(entry []byte) string {
+	h := sha256.New()
+	h.Write(c.sum[:])
+	h.Write(entry)
+	h.Sum(c.sum[:0])
+	return c.Sum()
+}
+
+// Sum returns the current chain value in hex.
+func (c *Chain) Sum() string { return hex.EncodeToString(c.sum[:]) }
+
+// VerifyChain checks a loaded growable journal against the corpus
+// entries of the current run, in order. It returns the records whose
+// Chain matches the recomputed prefix chain, keyed by unit; records
+// beyond the corpus (or with a mismatched chain value) are dropped,
+// which means they are recomputed rather than trusted. An error is
+// returned only if the journal is not a growable journal.
+func (s *State) VerifyChain(seed string, entries [][]byte) (map[int]Record, error) {
+	if !s.Header.Grow {
+		return nil, fmt.Errorf("checkpoint: journal is not growable (header lacks grow flag)")
+	}
+	c := NewChain(seed)
+	ok := make(map[int]Record, len(s.Done))
+	for i, entry := range entries {
+		want := c.Extend(entry)
+		rec, found := s.Done[i]
+		if !found {
+			continue
+		}
+		if rec.Chain == want {
+			ok[i] = rec
+		}
+	}
+	return ok, nil
 }
 
 // Compact rewrites the journal at path to its canonical minimal form:

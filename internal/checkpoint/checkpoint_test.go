@@ -365,6 +365,118 @@ func TestCompactTornWrite(t *testing.T) {
 	}
 }
 
+// TestGrowChain: a growable journal over an append-only corpus must
+// resume after the corpus has grown (records bind to the prefix chain,
+// not a whole-corpus digest), survive a torn final append, and reject
+// records whose chain disagrees with the replayed corpus.
+func TestGrowChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.jsonl")
+	hdr := Header{V: Version, Engine: "registry", Fingerprint: "seed-1", Units: 1, Grow: true}
+	corpus := [][]byte{[]byte("n0"), []byte("n1"), []byte("n2")}
+
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(hdr); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChain(hdr.Fingerprint)
+	for i, entry := range corpus {
+		if err := w.Append(Record{Unit: i, Pairs: 1, Chain: c.Extend(entry)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash tearing the final append.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"unit":3,"chain":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume with a grown corpus: the old records must all verify, and
+	// the torn fragment is ignored, not trusted.
+	grown := append(append([][]byte{}, corpus...), []byte("n3"), []byte("n4"))
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ignored != 1 {
+		t.Fatalf("Ignored = %d, want the torn fragment", st.Ignored)
+	}
+	ok, err := st.VerifyChain(hdr.Fingerprint, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != len(corpus) {
+		t.Fatalf("verified %d records, want %d", len(ok), len(corpus))
+	}
+
+	// Appending after the torn line under the same constant header works;
+	// units beyond the creation-time count are accepted because Grow is set.
+	w2, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior := w2.Prior(); prior == nil || !prior.Grow {
+		t.Fatalf("Prior() = %+v, want growable header", prior)
+	}
+	if err := w2.Begin(hdr); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewChain(hdr.Fingerprint)
+	for _, entry := range corpus {
+		c2.Extend(entry)
+	}
+	for i := len(corpus); i < len(grown); i++ {
+		if err := w2.Append(Record{Unit: i, Pairs: 1, Chain: c2.Extend(grown[i])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = st.VerifyChain(hdr.Fingerprint, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != len(grown) {
+		t.Fatalf("verified %d records after growth, want %d", len(ok), len(grown))
+	}
+
+	// An edited corpus diverges at the first changed entry: everything
+	// from there on is recomputed, not trusted.
+	edited := append([][]byte{}, grown...)
+	edited[1] = []byte("tampered")
+	ok, err = st.VerifyChain(hdr.Fingerprint, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != 1 {
+		t.Fatalf("verified %d records over edited corpus, want 1 (unit 0 only)", len(ok))
+	}
+	if _, hasUnit0 := ok[0]; !hasUnit0 {
+		t.Fatal("unit 0 (unedited prefix) should still verify")
+	}
+
+	// A non-growable journal refuses chain verification outright.
+	fixed := &State{Header: header()}
+	if _, err := fixed.VerifyChain("seed", nil); err == nil {
+		t.Fatal("VerifyChain accepted a non-growable journal")
+	}
+}
+
 func TestCompactErrors(t *testing.T) {
 	if _, err := Compact(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
 		t.Fatal("Compact accepted a missing journal")

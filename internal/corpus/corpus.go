@@ -46,9 +46,10 @@ func Write(w io.Writer, moduli []*mpnat.Nat, comment string) error {
 }
 
 // Read parses a corpus from r. It rejects zero and even moduli early so
-// the attack layer can assume valid inputs.
+// the attack layer can assume valid inputs. It is a collecting wrapper
+// over Source, so it also accepts PEM streams.
 func Read(r io.Reader) ([]*mpnat.Nat, error) {
-	return read(r, true)
+	return collect(NewSource(r))
 }
 
 // ReadLenient parses like Read but keeps zero and even moduli, leaving
@@ -56,36 +57,16 @@ func Read(r io.Reader) ([]*mpnat.Nat, error) {
 // such entries per index instead of failing the whole corpus, which is
 // the right trade for large collected key sets with a few corrupt lines.
 func ReadLenient(r io.Reader) ([]*mpnat.Nat, error) {
-	return read(r, false)
+	return collect(NewLenientSource(r))
 }
 
-func read(r io.Reader, strict bool) ([]*mpnat.Nat, error) {
+func collect(src *Source) ([]*mpnat.Nat, error) {
 	var out []*mpnat.Nat
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		n, err := mpnat.ParseHex(line)
-		if err != nil {
-			return nil, fmt.Errorf("corpus: line %d: %w", lineNo, err)
-		}
-		if strict {
-			if n.IsZero() {
-				return nil, fmt.Errorf("corpus: line %d: zero modulus", lineNo)
-			}
-			if n.IsEven() {
-				return nil, fmt.Errorf("corpus: line %d: even modulus (not an RSA modulus)", lineNo)
-			}
-		}
-		out = append(out, n)
+	for src.Next() {
+		out = append(out, src.Record().N)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("corpus: %w", err)
+	if err := src.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -654,6 +654,35 @@ func (n *Nat) Bytes() []byte {
 	return out[i:]
 }
 
+// AppendWordBytes appends n's packed words to buf, little-endian, and
+// returns the extended slice. It is the zero-reversal serialization used
+// by the registry's node files: multi-megabyte tree products round-trip
+// without the per-byte reordering Bytes performs. The length is always
+// Len()*4 bytes; SetWordBytes inverts it.
+func (n *Nat) AppendWordBytes(buf []byte) []byte {
+	for _, w := range n.w {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return buf
+}
+
+// SetWordBytes sets n from a little-endian packed-word dump produced by
+// AppendWordBytes and returns n. The length must be a multiple of 4.
+func (n *Nat) SetWordBytes(b []byte) (*Nat, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mpnat: word dump length %d is not a multiple of 4", len(b))
+	}
+	words := len(b) / 4
+	n.w = n.w[:0]
+	n.Grow(words)
+	n.w = n.w[:words]
+	for i := range n.w {
+		n.w[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+	}
+	n.norm()
+	return n, nil
+}
+
 // SetBytes sets n from big-endian bytes and returns n.
 func (n *Nat) SetBytes(b []byte) *Nat {
 	words := (len(b) + 3) / 4

@@ -1,0 +1,366 @@
+package registry
+
+import (
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bulkgcd/internal/obs"
+)
+
+func b(v int64) *big.Int { return big.NewInt(v) }
+
+func openT(t testing.TB, dir string, cfg Config) *Registry {
+	t.Helper()
+	r, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustSubmit(t *testing.T, r *Registry, n *big.Int) Verdict {
+	t.Helper()
+	v, err := r.Submit(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestVerdicts drives the four verdict kinds over handcrafted moduli of
+// known factorization.
+func TestVerdicts(t *testing.T) {
+	r := openT(t, t.TempDir(), Config{Metrics: obs.NewRegistry()})
+	defer r.Close()
+
+	// 15 = 3·5 into an empty registry: clean.
+	v := mustSubmit(t, r, b(15))
+	if v.Kind != Clean || v.Index != 0 || v.G.Cmp(one) != 0 {
+		t.Fatalf("first key: %+v", v)
+	}
+	// 77 = 7·11: clean.
+	if v = mustSubmit(t, r, b(77)); v.Kind != Clean || v.Index != 1 {
+		t.Fatalf("second key: %+v", v)
+	}
+	// 21 = 3·7 shares 3 with key 0 and 7 with key 1.
+	v = mustSubmit(t, r, b(21))
+	if v.Kind != Shared || v.Index != 2 || len(v.Partners) != 2 {
+		t.Fatalf("shared key: %+v", v)
+	}
+	if v.Partners[0].Index != 0 || v.Partners[0].Factor.Cmp(b(3)) != 0 || v.Partners[0].Dup {
+		t.Fatalf("partner 0: %+v", v.Partners[0])
+	}
+	if v.Partners[1].Index != 1 || v.Partners[1].Factor.Cmp(b(7)) != 0 {
+		t.Fatalf("partner 1: %+v", v.Partners[1])
+	}
+	if v.G.Cmp(b(21)) != 0 { // gcd(21, 15·77·21-product prefix) = 21
+		t.Fatalf("G = %v", v.G)
+	}
+	// A duplicate of key 0 — which now also shares 3 with key 2.
+	v = mustSubmit(t, r, b(15))
+	if v.Kind != Duplicate || v.Index != 3 || len(v.Partners) != 2 {
+		t.Fatalf("duplicate: %+v", v)
+	}
+	if !v.Partners[0].Dup || v.Partners[0].Index != 0 || v.Partners[0].Factor.Cmp(b(15)) != 0 {
+		t.Fatalf("dup partner: %+v", v.Partners[0])
+	}
+	if v.Partners[1].Dup || v.Partners[1].Index != 2 || v.Partners[1].Factor.Cmp(b(3)) != 0 {
+		t.Fatalf("dup's shared partner: %+v", v.Partners[1])
+	}
+	// Malformed: zero and even are rejected without consuming an index.
+	if v = mustSubmit(t, r, b(0)); v.Kind != Malformed || v.Index != -1 || v.Reason == "" {
+		t.Fatalf("zero: %+v", v)
+	}
+	if v = mustSubmit(t, r, b(1024)); v.Kind != Malformed || v.Index != -1 {
+		t.Fatalf("even: %+v", v)
+	}
+	// Clean again: 221 = 13·17.
+	if v = mustSubmit(t, r, b(221)); v.Kind != Clean || v.Index != 4 {
+		t.Fatalf("clean after rejects: %+v", v)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+
+	broken := r.Broken()
+	want := map[int]int64{0: 15, 1: 7, 2: 21, 3: 15}
+	if len(broken) != len(want) {
+		t.Fatalf("Broken() = %+v", broken)
+	}
+	for _, bk := range broken {
+		if bk.G.Cmp(b(want[bk.Index])) != 0 {
+			t.Fatalf("broken[%d].G = %v, want %d", bk.Index, bk.G, want[bk.Index])
+		}
+	}
+}
+
+// TestFindingsChannel: every pairwise discovery is streamed.
+func TestFindingsChannel(t *testing.T) {
+	r := openT(t, t.TempDir(), Config{FindingsBuffer: 16})
+	mustSubmit(t, r, b(15))
+	mustSubmit(t, r, b(21))
+	r.Close()
+	var got []Finding
+	for f := range r.Findings() {
+		got = append(got, f)
+	}
+	if len(got) != 1 || got[0].Index != 1 || got[0].Partner != 0 || got[0].Factor.Cmp(b(3)) != 0 {
+		t.Fatalf("findings = %+v", got)
+	}
+}
+
+// TestRestartIdentity: close + reopen replays to identical state without
+// recomputing any verdict, and the registry keeps accepting keys.
+func TestRestartIdentity(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Config{})
+	for _, n := range []int64{15, 77, 21, 15, 221} {
+		mustSubmit(t, r, b(n))
+	}
+	before := r.Broken()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openT(t, dir, Config{Metrics: obs.NewRegistry()})
+	defer r2.Close()
+	if st := r2.Stats(); st.Replayed != 0 {
+		t.Fatalf("clean restart recomputed %d verdicts", st.Replayed)
+	}
+	after := r2.Broken()
+	if len(after) != len(before) {
+		t.Fatalf("broken %d != %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i].Index != before[i].Index || after[i].G.Cmp(before[i].G) != 0 {
+			t.Fatalf("broken[%d]: %+v != %+v", i, after[i], before[i])
+		}
+	}
+	// 33 = 3·11 shares 3 with keys 0,2,3 and 11 with key 1.
+	v := mustSubmit(t, r2, b(33))
+	if v.Kind != Shared || len(v.Partners) != 4 {
+		t.Fatalf("post-restart submit: %+v", v)
+	}
+}
+
+// TestTornCorpusLine: a crash mid-append leaves a torn final corpus
+// line; the key was never acknowledged, so Open drops it.
+func TestTornCorpusLine(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Config{})
+	mustSubmit(t, r, b(15))
+	mustSubmit(t, r, b(77))
+	r.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, "corpus.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("abc"); err != nil { // torn: no newline
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r2 := openT(t, dir, Config{})
+	defer r2.Close()
+	if r2.Len() != 2 {
+		t.Fatalf("Len() = %d after torn line", r2.Len())
+	}
+	// The truncated log accepts appends cleanly.
+	if v := mustSubmit(t, r2, b(21)); v.Index != 2 || len(v.Partners) != 2 {
+		t.Fatalf("submit after truncation: %+v", v)
+	}
+}
+
+// TestCrashBeforeJournal: the corpus line landed but the journal record
+// did not (crash between the two syncs). Open recomputes the verdict
+// and ends byte-identical to the uninterrupted run.
+func TestCrashBeforeJournal(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Config{})
+	for _, n := range []int64{15, 77, 21} {
+		mustSubmit(t, r, b(n))
+	}
+	want := r.Broken()
+	r.Close()
+
+	// Drop the last journal record, keeping the corpus line.
+	jpath := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	cut := len(data)
+	for i := len(data) - 2; i >= 0; i-- {
+		if data[i] == '\n' {
+			cut = i + 1
+			lines++
+			break
+		}
+	}
+	if lines != 1 {
+		t.Fatal("journal too short to truncate")
+	}
+	if err := os.WriteFile(jpath, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openT(t, dir, Config{Metrics: obs.NewRegistry()})
+	defer r2.Close()
+	if st := r2.Stats(); st.Replayed != 1 {
+		t.Fatalf("Replayed = %d, want 1", st.Replayed)
+	}
+	got := r2.Broken()
+	if len(got) != len(want) {
+		t.Fatalf("broken %+v != %+v", got, want)
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].G.Cmp(want[i].G) != 0 {
+			t.Fatalf("broken[%d]: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRemove: a tombstoned key disappears from every future product and
+// verdict, durably.
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Config{})
+	mustSubmit(t, r, b(15)) // 3·5
+	mustSubmit(t, r, b(77)) // 7·11
+	if err := r.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	// 21 = 3·7 no longer shares with removed key 0; only 7 with key 1.
+	v := mustSubmit(t, r, b(21))
+	if v.Kind != Shared || len(v.Partners) != 1 || v.Partners[0].Index != 1 {
+		t.Fatalf("after remove: %+v", v)
+	}
+	if v.G.Cmp(b(7)) != 0 {
+		t.Fatalf("G = %v, want 7", v.G)
+	}
+	r.Close()
+
+	// The tombstone survives restart.
+	r2 := openT(t, dir, Config{})
+	defer r2.Close()
+	v = mustSubmit(t, r2, b(15))
+	if v.Kind != Shared || len(v.Partners) != 1 || v.Partners[0].Index != 2 {
+		t.Fatalf("duplicate of removed key after restart: %+v", v)
+	}
+	if err := r2.Remove(99); err == nil {
+		t.Fatal("out-of-range Remove accepted")
+	}
+}
+
+// TestNodeFileCorruption: a damaged node file is rebuilt, never trusted.
+func TestNodeFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Config{})
+	for _, n := range []int64{15, 77, 221, 13} {
+		mustSubmit(t, r, b(n))
+	}
+	r.Close()
+
+	nodes, err := filepath.Glob(filepath.Join(dir, "nodes", "*.node"))
+	if err != nil || len(nodes) == 0 {
+		t.Fatalf("no node files: %v", err)
+	}
+	for _, p := range nodes {
+		if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r2 := openT(t, dir, Config{Metrics: obs.NewRegistry()})
+	defer r2.Close()
+	// 33 = 3·11 shares 3 with key 0 (15=3·5) and 11 with key 1 (77=7·11).
+	v := mustSubmit(t, r2, b(33))
+	if v.Kind != Shared || len(v.Partners) != 2 {
+		t.Fatalf("after node corruption: %+v", v)
+	}
+	if st := r2.Stats(); st.NodeBuilds == 0 {
+		t.Fatal("corrupted nodes were not rebuilt")
+	}
+}
+
+// TestCompact: journal duplicates collapse, orphan node files go away,
+// and the registry keeps working.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Config{})
+	for _, n := range []int64{15, 77, 21} {
+		mustSubmit(t, r, b(n))
+	}
+	// Plant an orphan node file and a stale temp.
+	orphan := filepath.Join(dir, "nodes", "05-00000007.node")
+	if err := os.WriteFile(orphan, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "nodes", "01-00000000.node.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removedN, err := r.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removedN < 2 {
+		t.Fatalf("Compact removed %d, want >= 2 (orphan + temp)", removedN)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan node file survived")
+	}
+	if v := mustSubmit(t, r, b(33)); v.Kind != Shared {
+		t.Fatalf("submit after compact: %+v", v)
+	}
+	r.Close()
+
+	r2 := openT(t, dir, Config{})
+	defer r2.Close()
+	if r2.Len() != 4 {
+		t.Fatalf("Len() = %d after compacted restart", r2.Len())
+	}
+}
+
+// TestRootsOf: spans of the spine roots partition [0, n) in order.
+func TestRootsOf(t *testing.T) {
+	for n := 0; n <= 300; n++ {
+		next := 0
+		for _, k := range rootsOf(n) {
+			lo, hi := k.span()
+			if lo != next || hi <= lo {
+				t.Fatalf("n=%d: root %+v spans [%d,%d), want lo=%d", n, k, lo, hi, next)
+			}
+			next = hi
+		}
+		if next != n {
+			t.Fatalf("n=%d: roots cover [0,%d)", n, next)
+		}
+	}
+}
+
+// TestAncestorsOf: each listed node contains the leaf, lives in the
+// forest, and the list covers every level from the leaf's root down.
+func TestAncestorsOf(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 100} {
+		for i := 0; i < n; i++ {
+			anc := ancestorsOf(i, n)
+			for _, k := range anc {
+				lo, hi := k.span()
+				if i < lo || i >= hi {
+					t.Fatalf("n=%d i=%d: ancestor %+v misses leaf", n, i, k)
+				}
+				if hi > n {
+					t.Fatalf("n=%d i=%d: ancestor %+v outside forest", n, i, k)
+				}
+			}
+			// The leaf's root subtree has some level k; ancestors are k..1.
+			if len(anc) > 0 && anc[0].level != len(anc) {
+				t.Fatalf("n=%d i=%d: ancestors %+v not contiguous", n, i, anc)
+			}
+		}
+	}
+}

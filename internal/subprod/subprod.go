@@ -267,43 +267,52 @@ type CacheStats struct {
 	Entries int
 }
 
-// Cache is a byte-budgeted LRU cache of tile subproducts, keyed by tile
-// index. It is safe for concurrent use. Values must be treated as
-// read-only by callers (they are shared across workers).
+// KeyedCache is a byte-budgeted LRU cache of subproducts, generic over
+// the key type: the hybrid engine keys tile subproducts by tile index,
+// the key registry keys persistent tree nodes by (level, index) pairs.
+// It is safe for concurrent use. Values must be treated as read-only by
+// callers (they are shared across workers).
 //
 // A Get miss builds outside the lock, so two workers racing on the same
 // key may both build; the extra build is wasted work, never a
 // correctness issue (the first insert wins and both callers return
 // equal values).
-type Cache struct {
+type KeyedCache[K comparable] struct {
 	mu      sync.Mutex
 	budget  int64 // <= 0 means unlimited
 	used    int64
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[int]*list.Element
+	order   *list.List // front = most recently used; values are *cacheEntry[K]
+	entries map[K]*list.Element
 
 	hits, misses, builds, evictions int64
 }
 
-type cacheEntry struct {
-	key int
+type cacheEntry[K comparable] struct {
+	key K
 	val *mpnat.Nat
 }
 
-// NewCache returns a cache holding at most budget bytes of subproduct
-// payload (budget <= 0 means unlimited). A single value larger than the
-// whole budget is handed to the caller but never retained.
-func NewCache(budget int64) *Cache {
-	return &Cache{budget: budget, order: list.New(), entries: map[int]*list.Element{}}
+// Cache is the tile-index-keyed cache the hybrid engine uses.
+type Cache = KeyedCache[int]
+
+// NewCache returns a tile-index-keyed cache holding at most budget bytes
+// of subproduct payload (budget <= 0 means unlimited). A single value
+// larger than the whole budget is handed to the caller but never
+// retained.
+func NewCache(budget int64) *Cache { return NewKeyedCache[int](budget) }
+
+// NewKeyedCache is NewCache for an arbitrary comparable key type.
+func NewKeyedCache[K comparable](budget int64) *KeyedCache[K] {
+	return &KeyedCache[K]{budget: budget, order: list.New(), entries: map[K]*list.Element{}}
 }
 
 // Get returns the cached value for key, building and (budget permitting)
 // inserting it on a miss.
-func (c *Cache) Get(key int, build func() *mpnat.Nat) *mpnat.Nat {
+func (c *KeyedCache[K]) Get(key K, build func() *mpnat.Nat) *mpnat.Nat {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		v := el.Value.(*cacheEntry).val
+		v := el.Value.(*cacheEntry[K]).val
 		c.hits++
 		c.mu.Unlock()
 		return v
@@ -316,20 +325,35 @@ func (c *Cache) Get(key int, build func() *mpnat.Nat) *mpnat.Nat {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.insertLocked(key, v)
+}
+
+// Put inserts a value built elsewhere (budget permitting) and returns
+// the retained value: the already-cached one when a racing worker got
+// there first, v otherwise.
+func (c *KeyedCache[K]) Put(key K, v *mpnat.Nat) *mpnat.Nat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertLocked(key, v)
+}
+
+// insertLocked adds v under key unless the key is already present, then
+// evicts from the LRU tail until the budget holds. Callers hold mu.
+func (c *KeyedCache[K]) insertLocked(key K, v *mpnat.Nat) *mpnat.Nat {
 	if el, ok := c.entries[key]; ok {
 		// A racing worker inserted first; its value is identical.
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).val
+		return el.Value.(*cacheEntry[K]).val
 	}
 	size := NatBytes(v)
 	if c.budget > 0 && size > c.budget {
 		return v // larger than the whole budget: use, don't retain
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: v})
+	c.entries[key] = c.order.PushFront(&cacheEntry[K]{key: key, val: v})
 	c.used += size
 	for c.budget > 0 && c.used > c.budget && c.order.Len() > 1 {
 		back := c.order.Back()
-		e := back.Value.(*cacheEntry)
+		e := back.Value.(*cacheEntry[K])
 		c.order.Remove(back)
 		delete(c.entries, e.key)
 		c.used -= NatBytes(e.val)
@@ -338,8 +362,21 @@ func (c *Cache) Get(key int, build func() *mpnat.Nat) *mpnat.Nat {
 	return v
 }
 
+// Drop removes key from the cache if present (the registry invalidates
+// rebuilt nodes after a quarantine divides a leaf out of their products).
+func (c *KeyedCache[K]) Drop(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry[K])
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.used -= NatBytes(e.val)
+	}
+}
+
 // Stats returns a snapshot of the cache accounting.
-func (c *Cache) Stats() CacheStats {
+func (c *KeyedCache[K]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{

@@ -272,3 +272,56 @@ func TestTreeBackendString(t *testing.T) {
 		t.Fatalf("unknown backend label: %s", TreeBackend(9))
 	}
 }
+
+// TestKeyedCache exercises the generic-key cache the registry's node
+// store uses: struct keys, Put insertion, Drop invalidation, and the
+// LRU budget discipline shared with the int-keyed tile cache.
+func TestKeyedCache(t *testing.T) {
+	type nodeKey struct{ level, index int }
+	val := func(words int) *mpnat.Nat { // words 32-bit words of payload
+		ws := make([]uint32, words)
+		for i := range ws {
+			ws[i] = uint32(i + 1)
+		}
+		return mpnat.NewFromWords(ws)
+	}
+	c := NewKeyedCache[nodeKey](40) // room for two 4-word (16-byte) values plus change
+	builds := 0
+	get := func(k nodeKey) *mpnat.Nat {
+		return c.Get(k, func() *mpnat.Nat { builds++; return val(4) })
+	}
+	a, b := nodeKey{1, 0}, nodeKey{1, 1}
+	get(a)
+	get(a)
+	if builds != 1 {
+		t.Fatalf("builds = %d after two Gets of one key, want 1", builds)
+	}
+	get(b)
+	get(nodeKey{2, 0}) // exceeds 40 bytes: evicts the LRU entry (a)
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after eviction: %+v, want 1 eviction, 2 entries", st)
+	}
+	get(a) // must rebuild
+	if builds != 4 {
+		t.Fatalf("builds = %d, want 4 (a rebuilt after eviction)", builds)
+	}
+
+	// Put retains the value; a second Put of the same key keeps the first.
+	first := c.Put(nodeKey{3, 3}, val(2))
+	second := c.Put(nodeKey{3, 3}, val(2))
+	if first != second {
+		t.Fatal("second Put did not return the retained value")
+	}
+	// Drop invalidates: the next Get rebuilds.
+	c.Drop(nodeKey{3, 3})
+	rebuilt := c.Get(nodeKey{3, 3}, func() *mpnat.Nat { return val(3) })
+	if rebuilt.Len() != 3 {
+		t.Fatal("Drop did not invalidate the entry")
+	}
+	// A value larger than the whole budget is returned but never retained.
+	huge := c.Put(nodeKey{9, 9}, val(100))
+	if huge == nil || c.Stats().Bytes > 40 {
+		t.Fatalf("oversized value retained: %+v", c.Stats())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	_ "bulkgcd/internal/fleet"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/obs"
+	_ "bulkgcd/internal/registry"
 )
 
 // designMetricNames extracts every backticked metric name from the 5c
