@@ -3,6 +3,7 @@
 //	gcdbench -table 4                reproduce Table IV (iteration counts)
 //	gcdbench -table 5                reproduce Table V (CPU vs GPU time)
 //	gcdbench -table 4,5 -json b.json both tables, plus a JSON report artifact
+//	gcdbench -cores 1,2,4,8          multicore scaling sweep (speedup, efficiency, steals)
 //	gcdbench -betastats              Section V beta > 0 statistics
 //	gcdbench -memops                 Section IV memory-op accounting (Fig. 1)
 //	gcdbench -status :8080           live /metrics + pprof while the sweep runs
@@ -61,6 +62,7 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		sms       = fs.Int("sms", 15, "simulated streaming multiprocessors (independent UMM units)")
 		early     = fs.Bool("early", true, "use early-terminate variants (Table V)")
 		workers   = fs.Int("workers", 0, "worker-pool size for both crossover engines (0 = all CPUs)")
+		coresStr  = fs.String("cores", "", "comma list of pool widths for the multicore scaling sweep (e.g. 1,2,4,8); pins GOMAXPROCS per point")
 		seed      = fs.Int64("seed", 1, "deterministic seed")
 		sizesStr  = fs.String("sizes", "512,1024,2048,4096", "comma-separated modulus sizes")
 		ckptDir   = fs.String("checkpoint", "", "journal Table V bulk runs to this directory and resume interrupted cells from it")
@@ -192,6 +194,30 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 			rpt.Tables["engine_comparison"] = experiments.EngineComparisonJSON(ps)
 		}
 	}
+	if *coresStr != "" {
+		ran = true
+		cores, err := parseCores(*coresStr)
+		if err != nil {
+			return err
+		}
+		kk, err := engine.ParseKernelKind(*kernel)
+		if err != nil {
+			return err
+		}
+		size := sizes[0]
+		fmt.Fprintf(stdout, "Multicore scaling: all-pairs engine, %d moduli at %d bits, %s kernel (this machine: %d CPUs)\n\n",
+			*moduli, size, kk, runtime.NumCPU())
+		ps, err := experiments.RunCoreScalingContext(ctx, experiments.CoreScalingConfig{
+			Cores: cores, Moduli: *moduli, Bits: size, Seed: *seed, Kernel: kk,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.CoreScalingTable(ps).String())
+		if rpt != nil {
+			rpt.Tables["core_scaling"] = experiments.CoreScalingJSON(ps)
+		}
+	}
 	if *ablation {
 		ran = true
 		size := sizes[0]
@@ -209,7 +235,7 @@ func run(ctx context.Context, args []string, stdout, stderrW io.Writer) error {
 		fmt.Fprint(stdout, ta.Table().String())
 	}
 	if !ran {
-		return fmt.Errorf("nothing to do: pass -table 4, -table 5, -betastats, -memops, -crossover and/or -ablation")
+		return fmt.Errorf("nothing to do: pass -table 4, -table 5, -betastats, -memops, -crossover, -cores and/or -ablation")
 	}
 	if rpt != nil {
 		rpt.Finish(reg)
@@ -242,6 +268,27 @@ func parseEngines(s string) ([]engine.Kind, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no engines given")
+	}
+	return out, nil
+}
+
+// parseCores parses the -cores comma list into ascending-order-as-given
+// pool widths.
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 || v > 1024 {
+			return nil, fmt.Errorf("bad core count %q (need integers in 1..1024)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no core counts given")
 	}
 	return out, nil
 }

@@ -144,7 +144,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		batch      = fs.Bool("batch", false, "deprecated alias for -engine=batch")
 		tile       = fs.Int("tile", 0, "hybrid engine tile width (0 = default 64)")
 		subBudget  = fs.Int64("subprod-budget", 0, "hybrid subproduct cache byte budget (0 = unlimited)")
-		workers    = fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = all CPUs); more workers than CPUs adds no throughput, only scheduling overhead — the work-stealing pool already keeps every core busy")
 		e          = fs.Uint64("e", 65537, "RSA public exponent for key recovery")
 		prev       = fs.String("prev", "", "previously scanned corpus (same formats); compute only pairs involving the new corpus")
 		truth      = fs.String("truth", "", "ground-truth file from keygen -truth; verify the findings")

@@ -1,0 +1,72 @@
+package attack
+
+import (
+	"fmt"
+	"testing"
+
+	"bulkgcd/internal/engine"
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/rsakey"
+	"bulkgcd/internal/subprod"
+)
+
+// TestDifferentialWorkerCounts pins the work-stealing pool's core
+// contract: findings are byte-identical at every pool width. The widths
+// deliberately include 1 (the inline no-pool path), 2 (one thief), 7
+// (odd, so the static split is ragged and steal-half rebalancing kicks
+// in) and 16 (far more workers than this machine has cores, so deques
+// drain in arbitrary interleavings). Each width runs the three engines
+// the scheduler now drives — all-pairs, hybrid cells, batch GCD on the
+// nat-backed tree — and every report must match the brute-force
+// math/big oracle and the width-1 report exactly.
+func TestDifferentialWorkerCounts(t *testing.T) {
+	moduli := differentialCorpus(t, 77)
+	wantBroken, wantDups := naiveReference(moduli)
+
+	engines := []struct {
+		name string
+		opt  Options
+	}{
+		{"pairs", Options{
+			Algorithm: gcd.Approximate, Early: true,
+			Exponent: rsakey.DefaultExponent,
+		}},
+		{"pairs-lanes", Options{
+			Algorithm: gcd.Approximate, Early: true,
+			Kernel: engine.KernelLanes, LaneWidth: 4,
+			Exponent: rsakey.DefaultExponent,
+		}},
+		{"hybrid", Options{
+			Engine:    engine.Hybrid,
+			Algorithm: gcd.Approximate, Early: true, TileSize: 4,
+			Exponent: rsakey.DefaultExponent,
+		}},
+		{"batch-nat", Options{
+			Engine: engine.Batch, Tree: subprod.BackendNat,
+			Exponent: rsakey.DefaultExponent,
+		}},
+	}
+
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			var base *Report
+			for _, w := range []int{1, 2, 7, 16} {
+				opt := eng.opt
+				opt.Config.Workers = w
+				rep, err := Run(moduli, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				checkAgainstNaive(t, moduli, rep, wantBroken, wantDups)
+				if base == nil {
+					base = rep
+					continue
+				}
+				t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+					checkReportsIdentical(t, base, rep)
+				})
+			}
+		})
+	}
+}

@@ -85,10 +85,11 @@ type tracker struct {
 	remainderH *obs.Histogram // batchgcd_remainder_level_seconds
 	leafH      *obs.Histogram // batchgcd_leaf_gcd_seconds
 	trace      *obs.Tracer
+	metrics    *obs.Registry // scheduler pools (engine_steals_total and friends)
 }
 
 func newTracker(total int64, cfg Config) *tracker {
-	t := &tracker{total: total, progress: obs.SerializeProgress(cfg.Progress), fault: cfg.Fault, trace: cfg.Trace}
+	t := &tracker{total: total, progress: obs.SerializeProgress(cfg.Progress), fault: cfg.Fault, trace: cfg.Trace, metrics: cfg.Metrics}
 	if reg := cfg.Metrics; reg != nil {
 		t.ops = reg.Counter("batchgcd_tree_ops_total")
 		t.findings = reg.Counter("batchgcd_findings_total")
@@ -207,6 +208,7 @@ func validateRSA(moduli []*big.Int) error {
 func buildTree(ctx context.Context, moduli []*big.Int, workers int, tr *tracker) (*ProductTree, error) {
 	st, err := subprod.Build(ctx, moduli, subprod.BuildOptions{
 		Workers: workers,
+		Metrics: tr.metrics,
 		OnLevel: func(level, nodes int, run func() error) error {
 			return tr.phase("product", level, nodes, tr.productH, run)
 		},
@@ -239,7 +241,7 @@ func (t *ProductTree) remainderTree(ctx context.Context, workers int, tr *tracke
 		next := make([]*big.Int, len(nodes))
 		parent := cur
 		if err := tr.phase("remainder", lvl, len(nodes), tr.remainderH, func() error {
-			return subprod.ParallelEach(ctx, len(nodes), workers, func(i, w int) {
+			return engine.Run(ctx, len(nodes), engine.PoolOptions{Workers: workers, Metrics: tr.metrics}, func(i, w int) {
 				s := &scratch[w]
 				s.sq.Mul(nodes[i], nodes[i])
 				rem := new(big.Int)
@@ -284,6 +286,7 @@ func natRemainders(ctx context.Context, moduli []*big.Int, workers int, tr *trac
 	}
 	t, err := subprod.BuildNat(ctx, leaves, subprod.BuildOptions{
 		Workers: workers,
+		Metrics: tr.metrics,
 		OnLevel: func(level, nodes int, run func() error) error {
 			return tr.phase("product", level, nodes, tr.productH, run)
 		},
@@ -305,7 +308,7 @@ func natRemainders(ctx context.Context, moduli []*big.Int, workers int, tr *trac
 		next := make([]*mpnat.Nat, len(nodes))
 		parent := cur
 		if err := tr.phase("remainder", lvl, len(nodes), tr.remainderH, func() error {
-			return subprod.ParallelEach(ctx, len(nodes), workers, func(i, w int) {
+			return engine.Run(ctx, len(nodes), engine.PoolOptions{Workers: workers, Metrics: tr.metrics}, func(i, w int) {
 				s := &scratch[w]
 				s.mul.Sqr(&s.sq, nodes[i])
 				rem := new(mpnat.Nat)
@@ -364,7 +367,7 @@ func SharedFactorsContext(ctx context.Context, moduli []*big.Int, cfg Config) ([
 	out := make([]*big.Int, len(moduli))
 	scratch := make([]big.Int, workers) // per-worker quotient
 	if err := tr.phase("leaf", 0, len(moduli), nil, func() error {
-		return subprod.ParallelEach(ctx, len(moduli), workers, func(i, w int) {
+		return engine.Run(ctx, len(moduli), engine.PoolOptions{Workers: workers, Grain: 8, Metrics: tr.metrics}, func(i, w int) {
 			// (P / n_i) mod n_i == (P mod n_i^2) / n_i for n_i | P.
 			q := &scratch[w]
 			q.Quo(rems[i], moduli[i])
@@ -473,7 +476,7 @@ func resolveWhole(ctx context.Context, moduli []*big.Int, whole []int, proper []
 	}
 	out := make([]Finding, len(whole))
 	scratch := make([]big.Int, workers) // per-worker gcd
-	err := subprod.ParallelEach(ctx, len(whole), workers, func(k, w int) {
+	err := engine.Run(ctx, len(whole), engine.PoolOptions{Workers: workers}, func(k, w int) {
 		i := whole[k]
 		g := &scratch[w]
 		f := Finding{Index: i, DuplicateOf: -1}

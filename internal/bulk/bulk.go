@@ -6,7 +6,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,7 +13,6 @@ import (
 	"bulkgcd/internal/engine"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
-	"bulkgcd/internal/obs"
 )
 
 // Factor is one non-trivial GCD found by the all-pairs computation.
@@ -405,7 +403,6 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 	}
 
 	workers := cfg.EffectiveWorkers()
-	outs := make([]blockOut, workers)
 
 	metrics := newRunMetrics(cfg.Metrics, cfg.Algorithm)
 	metrics.begin(workers, len(plan.bad), resumedPairs)
@@ -416,68 +413,21 @@ func AllPairsContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Res
 		"engine", "allpairs", "algorithm", cfg.Algorithm.String(), "early", cfg.Early,
 		"moduli", len(moduli), "workers", workers, "blocks", len(blocks), "total_pairs", total)
 
-	progress := obs.SerializeProgress(cfg.Progress)
-	var next atomic.Int64
-	var done atomic.Int64
-	done.Store(resumedPairs)
-	if progress != nil && resumedPairs > 0 {
-		progress(resumedPairs, total)
-	}
-	var pairSeq atomic.Int64
-	var ckptOnce sync.Once
-	var ckptErr error
-
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pr := newPairRunner(&cfg, plan.maxBits, moduli, &pairSeq, metrics)
-			out := &outs[w]
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				bi := next.Add(1) - 1
-				if bi >= int64(len(blocks)) {
-					return
-				}
-				if _, ok := resumed[int(bi)]; ok {
-					continue // completed by the interrupted run
-				}
-				cfg.Fault.OnBlock(int(bi))
-				blkStart := time.Now()
-				blkSpan := runSpan.StartChild("block", "block", bi, "worker", w)
-				var blk blockOut
-				sched.BlockPairs(blocks[bi], func(a, b int) {
-					pr.pair(plan.active[a], plan.active[b], &blk)
-				})
-				pr.flush(&blk) // drain the lane batch before the unit is sealed
-				blkDur := time.Since(blkStart)
-				if cfg.Checkpoint != nil {
-					ckStart := time.Now()
-					err := cfg.Checkpoint.Append(blk.record(int(bi)))
-					metrics.observeCheckpoint(time.Since(ckStart))
-					if err != nil {
-						ckptOnce.Do(func() { ckptErr = err })
-						return
-					}
-				}
-				metrics.observeBlock(&blk, blkDur)
-				blkSpan.End("pairs", blk.pairs, "factors", len(blk.factors), "bad_pairs", len(blk.bad))
-				out.merge(&blk)
-				out.busy += time.Since(blkStart)
-				if progress != nil {
-					progress(done.Add(blk.pairs), total)
-				}
-			}
-		}(w)
+	up := &unitPool{
+		cfg: &cfg, moduli: moduli, maxBits: plan.maxBits, metrics: metrics,
+		runSpan: runSpan, spanName: "block", spanKey: "block",
+		resumed: resumed, total: total, resumed0: resumedPairs,
+		run: func(pr *pairRunner, i int, blk *blockOut) {
+			sched.BlockPairs(blocks[i], func(a, b int) {
+				pr.pair(plan.active[a], plan.active[b], blk)
+			})
+			pr.flush(blk) // drain the lane batch before the unit is sealed
+		},
 	}
-	wg.Wait()
-
-	if ckptErr != nil {
-		return nil, fmt.Errorf("bulk: checkpoint: %w", ckptErr)
+	outs, _, err := up.execute(ctx, len(blocks), workers)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{
 		Elapsed:      time.Since(start),

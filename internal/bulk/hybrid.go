@@ -3,14 +3,11 @@ package bulk
 import (
 	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/gcd"
 	"bulkgcd/internal/mpnat"
-	"bulkgcd/internal/obs"
 	"bulkgcd/internal/subprod"
 )
 
@@ -206,7 +203,6 @@ func HybridContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Resul
 	}
 
 	workers := cfg.EffectiveWorkers()
-	outs := make([]blockOut, workers)
 
 	metrics := newRunMetrics(cfg.Metrics, cfg.Algorithm)
 	hm := newHybridMetrics(cfg.Metrics)
@@ -219,68 +215,24 @@ func HybridContext(ctx context.Context, moduli []*mpnat.Nat, cfg Config) (*Resul
 		"moduli", len(moduli), "workers", workers, "tile", plan.tile,
 		"cells", len(plan.cells), "total_pairs", plan.total)
 
-	cache := subprod.NewCache(cfg.SubprodBudget)
-	progress := obs.SerializeProgress(cfg.Progress)
-	var next atomic.Int64
-	var done atomic.Int64
-	done.Store(resumedPairs)
-	if progress != nil && resumedPairs > 0 {
-		progress(resumedPairs, plan.total)
-	}
-	var pairSeq atomic.Int64
-	var ckptOnce sync.Once
-	var ckptErr error
+	// The tile-subproduct cache is probed from every worker's hot filter
+	// loop, so it is sharded to roughly one lock per worker.
+	cache := subprod.NewCacheShards(cfg.SubprodBudget, workers)
 
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pr := newPairRunner(&cfg, plan.maxBits, moduli, &pairSeq, metrics)
-			out := &outs[w]
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				ci := next.Add(1) - 1
-				if ci >= int64(len(plan.cells)) {
-					return
-				}
-				if _, ok := resumed[int(ci)]; ok {
-					continue // completed by the interrupted run
-				}
-				cfg.Fault.OnBlock(int(ci))
-				c := plan.cells[ci]
-				cellStart := time.Now()
-				cellSpan := runSpan.StartChild("cell", "cell", ci, "a", c.A, "b", c.B, "worker", w)
-				var blk blockOut
-				pr.runCell(plan, c, cache, hm, &blk)
-				cellDur := time.Since(cellStart)
-				if cfg.Checkpoint != nil {
-					ckStart := time.Now()
-					err := cfg.Checkpoint.Append(blk.record(int(ci)))
-					metrics.observeCheckpoint(time.Since(ckStart))
-					if err != nil {
-						ckptOnce.Do(func() { ckptErr = err })
-						return
-					}
-				}
-				metrics.observeBlock(&blk, cellDur)
-				hm.observeCell(cellDur)
-				cellSpan.End("pairs", blk.pairs, "factors", len(blk.factors), "bad_pairs", len(blk.bad))
-				out.merge(&blk)
-				out.busy += time.Since(cellStart)
-				if progress != nil {
-					progress(done.Add(blk.pairs), plan.total)
-				}
-			}
-		}(w)
+	up := &unitPool{
+		cfg: &cfg, moduli: moduli, maxBits: plan.maxBits, metrics: metrics,
+		runSpan: runSpan, spanName: "cell", spanKey: "cell",
+		spanAttrs: func(i int) []any { return []any{"a", plan.cells[i].A, "b", plan.cells[i].B} },
+		resumed:   resumed, total: plan.total, resumed0: resumedPairs,
+		run: func(pr *pairRunner, i int, blk *blockOut) {
+			pr.runCell(plan, plan.cells[i], cache, hm, blk)
+		},
+		observeUnit: hm.observeCell,
 	}
-	wg.Wait()
-
-	if ckptErr != nil {
-		return nil, fmt.Errorf("bulk: checkpoint: %w", ckptErr)
+	outs, _, err := up.execute(ctx, len(plan.cells), workers)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{
 		Elapsed:      time.Since(start),

@@ -3,14 +3,10 @@ package bulk
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/mpnat"
-	"bulkgcd/internal/obs"
 )
 
 // incrementalPlan is the validated shape of an incremental run: active
@@ -103,16 +99,11 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 		return nil, err
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := cfg.EffectiveWorkers()
 	// The combined slice gives pairRunner global-index addressing.
 	all := make([]*mpnat.Nat, 0, len(old)+len(newModuli))
 	all = append(all, old...)
 	all = append(all, newModuli...)
-
-	outs := make([]blockOut, workers)
 
 	metrics := newRunMetrics(cfg.Metrics, cfg.Algorithm)
 	metrics.begin(workers, len(plan.bad), resumedPairs)
@@ -124,72 +115,25 @@ func IncrementalContext(ctx context.Context, old, newModuli []*mpnat.Nat, cfg Co
 		"old", len(old), "new", len(newModuli), "workers", workers,
 		"stripes", len(plan.newActive), "total_pairs", plan.total)
 
-	progress := obs.SerializeProgress(cfg.Progress)
-	var next atomic.Int64
-	var done atomic.Int64
-	done.Store(resumedPairs)
-	if progress != nil && resumedPairs > 0 {
-		progress(resumedPairs, plan.total)
-	}
-	var pairSeq atomic.Int64
-	var ckptOnce sync.Once
-	var ckptErr error
-
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pr := newPairRunner(&cfg, plan.maxBits, all, &pairSeq, metrics)
-			out := &outs[w]
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				j := next.Add(1) - 1
-				if j >= int64(len(plan.newActive)) {
-					return
-				}
-				if _, ok := resumed[int(j)]; ok {
-					continue
-				}
-				cfg.Fault.OnBlock(int(j))
-				gj := plan.newActive[j]
-				blkStart := time.Now()
-				blkSpan := cfg.Trace.StartSpan("block", "stripe", j, "worker", w)
-				var blk blockOut
-				for _, gi := range plan.oldActive {
-					pr.pair(gi, gj, &blk)
-				}
-				for k := int(j) + 1; k < len(plan.newActive); k++ {
-					pr.pair(gj, plan.newActive[k], &blk)
-				}
-				pr.flush(&blk) // drain the lane batch before the unit is sealed
-				blkDur := time.Since(blkStart)
-				if cfg.Checkpoint != nil {
-					ckStart := time.Now()
-					err := cfg.Checkpoint.Append(blk.record(int(j)))
-					metrics.observeCheckpoint(time.Since(ckStart))
-					if err != nil {
-						ckptOnce.Do(func() { ckptErr = err })
-						return
-					}
-				}
-				metrics.observeBlock(&blk, blkDur)
-				blkSpan.End("pairs", blk.pairs, "factors", len(blk.factors), "bad_pairs", len(blk.bad))
-				out.merge(&blk)
-				out.busy += time.Since(blkStart)
-				if progress != nil {
-					progress(done.Add(blk.pairs), plan.total)
-				}
+	up := &unitPool{
+		cfg: &cfg, moduli: all, maxBits: plan.maxBits, metrics: metrics,
+		runSpan: runSpan, spanName: "block", spanKey: "stripe",
+		resumed: resumed, total: plan.total, resumed0: resumedPairs,
+		run: func(pr *pairRunner, j int, blk *blockOut) {
+			gj := plan.newActive[j]
+			for _, gi := range plan.oldActive {
+				pr.pair(gi, gj, blk)
 			}
-		}(w)
+			for k := j + 1; k < len(plan.newActive); k++ {
+				pr.pair(gj, plan.newActive[k], blk)
+			}
+			pr.flush(blk) // drain the lane batch before the unit is sealed
+		},
 	}
-	wg.Wait()
-
-	if ckptErr != nil {
-		return nil, fmt.Errorf("bulk: checkpoint: %w", ckptErr)
+	outs, _, err := up.execute(ctx, len(plan.newActive), workers)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{
 		Elapsed:      time.Since(start),

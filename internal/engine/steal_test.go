@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bulkgcd/internal/obs"
+)
+
+// TestRunCoversEveryUnit checks the exactly-once contract over a grid
+// of sizes, pool widths and grains, including degenerate shapes.
+func TestRunCoversEveryUnit(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, workers := range []int{0, 1, 2, 3, 7, 16, 33} {
+			for _, grain := range []int{0, 1, 4, 100} {
+				var hits sync.Map
+				var count atomic.Int64
+				err := Run(context.Background(), n, PoolOptions{Workers: workers, Grain: grain}, func(i, w int) {
+					if i < 0 || i >= n {
+						t.Errorf("n=%d workers=%d grain=%d: index %d out of range", n, workers, grain, i)
+					}
+					if workers > 0 && (w < 0 || w >= workers) {
+						t.Errorf("n=%d workers=%d grain=%d: worker %d out of range", n, workers, grain, w)
+					}
+					if _, dup := hits.LoadOrStore(i, true); dup {
+						t.Errorf("n=%d workers=%d grain=%d: index %d ran twice", n, workers, grain, i)
+					}
+					count.Add(1)
+				})
+				if err != nil {
+					t.Fatalf("n=%d workers=%d grain=%d: %v", n, workers, grain, err)
+				}
+				if got := count.Load(); got != int64(n) {
+					t.Fatalf("n=%d workers=%d grain=%d: ran %d units", n, workers, grain, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunWorkerIndexIsExclusive verifies a worker index is never
+// serviced by two goroutines at once, the property per-worker arenas
+// rely on.
+func TestRunWorkerIndexIsExclusive(t *testing.T) {
+	const workers = 8
+	var active [workers]atomic.Int32
+	err := Run(context.Background(), 4096, PoolOptions{Workers: workers}, func(i, w int) {
+		if active[w].Add(1) != 1 {
+			t.Errorf("worker %d entered concurrently", w)
+		}
+		active[w].Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStealsUnderSkew plants all the work in a few huge units at the
+// front so the statically-partitioned back half of the pool starves
+// unless stealing redistributes; with enough tiny trailing units the
+// steal counter must move.
+func TestRunStealsUnderSkew(t *testing.T) {
+	const n = 512
+	var sum atomic.Int64
+	st, err := RunStats(context.Background(), n, PoolOptions{Workers: 8}, func(i, w int) {
+		if i < 4 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		sum.Add(int64(i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != int64(n*(n-1)/2) {
+		t.Fatalf("sum %d", sum.Load())
+	}
+	if st.Workers != 8 {
+		t.Fatalf("workers %d", st.Workers)
+	}
+	if st.Steals == 0 {
+		t.Fatal("skewed load produced zero steals")
+	}
+	if len(st.Busy) != 8 || st.BusyTotal() <= 0 {
+		t.Fatalf("busy stats %v", st.Busy)
+	}
+}
+
+// TestRunMetrics wires a registry and checks the scheduler families
+// appear with plausible values.
+func TestRunMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, err := RunStats(context.Background(), 256, PoolOptions{Workers: 4, Metrics: reg}, func(i, w int) {
+		if i == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["engine_steals_total"] < 0 {
+		t.Fatal("missing engine_steals_total")
+	}
+	if got, ok := snap.Gauges["engine_queue_depth"]; !ok || got != 0 {
+		t.Fatalf("engine_queue_depth = %v, %v (want 0 after drain)", got, ok)
+	}
+	h, ok := snap.Histograms["engine_worker_busy_seconds"]
+	if !ok || h.Count != 4 {
+		t.Fatalf("engine_worker_busy_seconds: ok=%v count=%d, want one observation per worker", ok, h.Count)
+	}
+}
+
+// TestRunPanicPropagates: a panic in fn must cancel the pool (other
+// workers stop claiming) and re-raise on the caller's goroutine.
+func TestRunPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var after atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v", workers, r)
+				}
+			}()
+			_ = Run(context.Background(), 10000, PoolOptions{Workers: workers}, func(i, w int) {
+				if i == 37 {
+					panic("boom")
+				}
+				after.Add(1)
+			})
+		}()
+		// Cancellation is cooperative at unit granularity, so a few
+		// in-flight units may finish, but the pool must not drain all
+		// 10000 units after the panic.
+		if after.Load() >= 9999 {
+			t.Fatalf("workers=%d: pool kept running after panic (%d units)", workers, after.Load())
+		}
+	}
+}
+
+// TestRunCancellation: cancelling the context mid-run stops the pool
+// cooperatively and surfaces the ctx error.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Run(ctx, 100000, PoolOptions{Workers: 4}, func(i, w int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= 100000 {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}
+
+// TestRunCancelledBeforeStart: an already-cancelled context runs
+// nothing (single- and multi-worker paths).
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := Run(ctx, 64, PoolOptions{Workers: workers}, func(i, w int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if ran.Load() > int64(workers) {
+			t.Fatalf("workers=%d: ran %d units on a dead context", workers, ran.Load())
+		}
+	}
+}
+
+// TestRunHammer drives many concurrent pools at once under the race
+// detector to shake out deque races.
+func TestRunHammer(t *testing.T) {
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var count atomic.Int64
+			if err := Run(context.Background(), 2048, PoolOptions{Workers: 1 + r%5, Grain: 1 + r%3}, func(i, w int) {
+				count.Add(1)
+			}); err != nil {
+				t.Error(err)
+			}
+			if count.Load() != 2048 {
+				t.Errorf("pool %d ran %d units", r, count.Load())
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -121,67 +121,119 @@ func cshift(v uint64, s uint) uint64 {
 	return v >> (64 - s)
 }
 
-// tail finishes lane j once both operands fit in one limb, with the exact
-// semantics and accounting of the scalar runApproximate64: exact 64-bit
-// quotient, decremented to odd, subtract, strip. The lane retires here, so
-// a refill joins the lockstep at the next superstep.
-func (k *Kernel) tail(j int) {
-	xm, ym := k.lanePlanes(j)
-	x, y := xm[j], ym[j]
+// tail128 finishes lane j once X fits two limbs: both operands then live
+// entirely in the head registers, so the whole endgame runs as an exact
+// 128-bit Euclid remainder loop with no operand-matrix traffic — the
+// register analog of the scalar kernel's Case 1 tail, two limbs earlier.
+//
+// The remainder update X <- X mod Y preserves gcd(X, Y) exactly, the
+// loop can only reach Y == 0 from a state whose Y is the (odd) gcd
+// itself, and the Y bit-length check runs after every update, so the
+// early/exact verdict and the exact gcd are byte-identical to the scalar
+// kernel by the DESIGN.md section 5e argument: the verdict is a function
+// of the gcd's size alone, not of the reduction path.
+func (k *Kernel) tail128(j int) {
+	var xh, xl, yh, yl uint64
+	switch k.lx[j] {
+	case 2:
+		xh, xl = k.hx1[j], k.hx2[j]
+	case 1:
+		xl = k.hx1[j]
+	}
+	switch k.ly[j] {
+	case 2:
+		yh, yl = k.hy1[j], k.hy2[j]
+	case 1:
+		yl = k.hy1[j]
+	}
 	early := int(k.early[j])
 	for {
-		lx, ly := wordsOf64(x), wordsOf64(y)
+		// One read of each operand and one write of X per step, in the
+		// paper's 32-bit-word units, mirroring the sweep accounting.
 		k.iters[j]++
 		k.tailIters[j]++
-		k.memops[j] += int64(2*lx + ly)
-		q := x / y
-		r := x - q*y
-		if q&1 == 0 {
-			// Even quotient: effective alpha is q-1, value (X mod Y) + Y,
-			// which can carry past 64 bits; the value is even, so the
-			// carry folds into the strip shift.
-			sum, carry := bits.Add64(r, y, 0)
-			x = stripWithCarry(sum, carry)
-		} else {
-			x = strip64(r)
+		k.memops[j] += int64(2*words128(xh, xl) + words128(yh, yl))
+		// X <- X mod Y; Y is non-zero here (checked below after every
+		// update, and on entry by the retirement in exchangeAndRetire).
+		switch {
+		case yh != 0:
+			xh, xl = mod128(xh, xl, yh, yl)
+		case xh != 0:
+			if xh >= yl {
+				xh %= yl // fold the top limb so Div64's precondition holds
+			}
+			_, xl = bits.Div64(xh, xl, yl)
+			xh = 0
+		default:
+			xl %= yl
 		}
-		if x < y {
-			x, y = y, x
-		}
-		if y == 0 {
-			xm[j] = x
+		// The remainder is below Y, so (Y, r) is already ordered X >= Y.
+		xh, xl, yh, yl = yh, yl, xh, xl
+		if yh|yl == 0 {
+			// Exact: the last non-zero remainder is the odd gcd. Write it
+			// back to the column (zero-padding above is intact — values
+			// only shrank) so retirement converts it as usual.
+			xm, _ := k.lanePlanes(j)
+			xm[j] = xl
+			xm[k.l+j] = xh
 			k.lx[j] = 1
-			ym[j] = 0
+			if xh != 0 {
+				k.lx[j] = 2
+			}
 			k.ly[j] = 0
 			k.retire(j, false)
 			return
 		}
-		if early > 0 && bits.Len64(y) < early {
+		if early > 0 && bitlen128(yh, yl) < early {
 			k.retire(j, true)
 			return
 		}
 	}
 }
 
-// strip64 removes trailing zero bits; strip64(0) = 0.
-func strip64(v uint64) uint64 {
-	if v == 0 {
-		return 0
+// mod128 returns (xh:xl) mod (yh:yl) for yh >= 1 and x >= y. Small
+// quotients dominate (Gauss-Kuzmin), so q in {1, 2, 3} is peeled with
+// double-word subtractions; q >= 4 pays for the 3-by-2 divide plus a
+// multiply-back (q*y <= x < 2^128, so the low 128 bits are exact).
+func mod128(xh, xl, yh, yl uint64) (uint64, uint64) {
+	dl, br := bits.Sub64(xl, yl, 0)
+	dh, _ := bits.Sub64(xh, yh, br)
+	if lt128(dh, dl, yh, yl) {
+		return dh, dl
 	}
-	return v >> uint(bits.TrailingZeros64(v))
+	dl, br = bits.Sub64(dl, yl, 0)
+	dh, _ = bits.Sub64(dh, yh, br)
+	if lt128(dh, dl, yh, yl) {
+		return dh, dl
+	}
+	dl, br = bits.Sub64(dl, yl, 0)
+	dh, _ = bits.Sub64(dh, yh, br)
+	if lt128(dh, dl, yh, yl) {
+		return dh, dl
+	}
+	q := div128(xh, xl, yh, yl)
+	hi, lo := bits.Mul64(yl, q)
+	hi += yh * q
+	rl, br2 := bits.Sub64(xl, lo, 0)
+	rh, _ := bits.Sub64(xh, hi, br2)
+	return rh, rl
 }
 
-// stripWithCarry strips trailing zeros of the 65-bit value carry:sum,
-// which is known to be even and non-zero.
-func stripWithCarry(sum, carry uint64) uint64 {
-	if carry == 0 {
-		return strip64(sum)
+// bitlen128 is the bit length of (h:l).
+func bitlen128(h, l uint64) int {
+	if h != 0 {
+		return 64 + bits.Len64(h)
 	}
-	if sum == 0 {
-		return 1 // the value is exactly 2^64
+	return bits.Len64(l)
+}
+
+// words128 is the 32-bit word length of (h:l), for memory-op accounting
+// in the paper's units.
+func words128(h, l uint64) int {
+	if h != 0 {
+		return 2 + wordsOf64(h)
 	}
-	tz := uint(bits.TrailingZeros64(sum))
-	return sum>>tz | 1<<(64-tz)
+	return wordsOf64(l)
 }
 
 // wordsOf64 is the 32-bit word length of v, for memory-op accounting in

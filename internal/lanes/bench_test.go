@@ -10,20 +10,28 @@ import (
 )
 
 // BenchmarkLaneKernel races the lane-batched kernel against the scalar
-// Approximate kernel over the same disjoint pairs of a 4096-moduli
-// 512-bit planted corpus (512 moduli under -short), both single-threaded
-// so the comparison is per-pair throughput of one worker, not pool
-// scheduling. Each iteration runs the full pair set through both
-// kernels; the benchmark reports ns/pair per kernel plus the speedup,
-// cross-checks that the kernels produced identical verdicts, and fails
-// outright if the lane kernel is not at least 1.5x faster per pair —
-// the acceptance bound the lockstep redesign claims.
+// Approximate kernel over the same disjoint pairs of a 1024-bit planted
+// corpus — the paper's RSA key size — with 1024 moduli (256 under
+// -short), both single-threaded so the comparison is per-pair
+// throughput of one worker, not pool scheduling. Each iteration runs
+// the full pair set through both kernels; the benchmark reports ns/pair
+// per kernel plus the speedup, cross-checks that the kernels produced
+// identical verdicts, and fails outright if the lane kernel is not at
+// least 3x faster per pair — the acceptance bound the head-batched
+// simulation claims.
+//
+// The operand size matters to the ratio: the scalar kernel sweeps the
+// full operand every iteration (O(n) per quotient step) while the lane
+// kernel's head-batched steps are O(1), paying O(n) only once per
+// ~32-step batch apply — so its advantage grows with the key size, from
+// ~2.6x at 512 bits to >4x at 1024. The gate is enforced at the size
+// the paper attacks.
 func BenchmarkLaneKernel(b *testing.B) {
-	count := 4096
+	count := 1024
 	if testing.Short() {
 		count = 512
 	}
-	const bits = 512
+	const bits = 1024
 	c, err := rsakey.GenerateCorpus(rsakey.CorpusSpec{
 		Count: count, Bits: bits, WeakPairs: 8, Seed: 11,
 	})
@@ -74,8 +82,8 @@ func BenchmarkLaneKernel(b *testing.B) {
 	b.ReportMetric(scalarNs, "scalar-ns/pair")
 	b.ReportMetric(lanesNs, "lanes-ns/pair")
 	b.ReportMetric(speedup, "speedup")
-	if speedup < 1.5 {
-		b.Fatalf("lane kernel speedup %.2fx over scalar, need >= 1.5x (scalar %.0f ns/pair, lanes %.0f ns/pair)",
+	if speedup < 3.0 {
+		b.Fatalf("lane kernel speedup %.2fx over scalar, need >= 3.0x (scalar %.0f ns/pair, lanes %.0f ns/pair)",
 			speedup, scalarNs, lanesNs)
 	}
 }

@@ -1,0 +1,84 @@
+package lanes
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bulkgcd/internal/gcd"
+	"bulkgcd/internal/mpnat"
+)
+
+// TestForcedDepthMatchesScalar sweeps pinned Lehmer head-batch depths —
+// from the degenerate depth 1 (every superstep re-reads full heads)
+// through the adaptive controller's whole range to 96 (far past
+// maxBatchDepth, exercising the clamp) — across several lane widths,
+// and requires results identical to the scalar kernel at every point.
+// This is the differential gate for the adaptive-depth satellite: the
+// batch depth is a pure performance knob, so any cap must be invisible
+// in the findings (a shorter batch is just a shallower unimodular
+// prefix applied more often).
+func TestForcedDepthMatchesScalar(t *testing.T) {
+	rnd := rand.New(rand.NewSource(91))
+	const maxBits = 1024
+	var pairs []Pair
+	add := func(x, y *mpnat.Nat, early int) {
+		pairs = append(pairs, Pair{A: len(pairs), B: ^len(pairs), X: x, Y: y, Early: early})
+	}
+	for _, bits := range []int{64, 127, 256, 1024} {
+		for i := 0; i < 4; i++ {
+			x, y := oddRand(rnd, bits), oddRand(rnd, bits)
+			add(x, y, 0)
+			add(x, y, bits/2)
+		}
+	}
+	// Shared-factor pairs, where a depth-dependent drift would change a
+	// finding rather than just a quotient sequence.
+	for i := 0; i < 6; i++ {
+		p := oddRand(rnd, 192)
+		x := mpnat.FromBig(new(big.Int).Mul(p.ToBig(), oddRand(rnd, 192).ToBig()))
+		y := mpnat.FromBig(new(big.Int).Mul(p.ToBig(), oddRand(rnd, 192).ToBig()))
+		add(x, y, 0)
+	}
+	// Skewed pairs: deep batches hit the correction path hardest here.
+	for i := 0; i < 6; i++ {
+		add(oddRand(rnd, 1024), oddRand(rnd, 65), 0)
+	}
+
+	// Scalar oracle, computed once.
+	s := gcd.NewScratch(maxBits)
+	want := make([]*mpnat.Nat, len(pairs))
+	for i, p := range pairs {
+		g, _ := s.Compute(gcd.Approximate, p.X, p.Y, gcd.Options{EarlyBits: p.Early})
+		if g != nil {
+			want[i] = g.Clone()
+		}
+	}
+
+	for _, width := range []int{1, 4, 16} {
+		for _, depth := range []int{1, 2, 4, 96} {
+			k := NewKernel(width, maxBits)
+			k.SetBatchDepth(depth)
+			res := k.Run(pairs)
+			if len(res) != len(pairs) {
+				t.Fatalf("width %d depth %d: %d results for %d pairs",
+					width, depth, len(res), len(pairs))
+			}
+			for i, r := range res {
+				if r.A != pairs[i].A || r.B != pairs[i].B {
+					t.Fatalf("width %d depth %d pair %d: labels (%d,%d), want (%d,%d)",
+						width, depth, i, r.A, r.B, pairs[i].A, pairs[i].B)
+				}
+				switch {
+				case want[i] == nil && r.G == nil:
+				case want[i] == nil || r.G == nil:
+					t.Errorf("width %d depth %d pair %d (early=%d): got %s, want %s",
+						width, depth, i, pairs[i].Early, hex(r.G), hex(want[i]))
+				case r.G.Cmp(want[i]) != 0:
+					t.Errorf("width %d depth %d pair %d: got %s, want %s",
+						width, depth, i, r.G.Hex(), want[i].Hex())
+				}
+			}
+		}
+	}
+}

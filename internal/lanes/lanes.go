@@ -82,6 +82,15 @@ type Telemetry struct {
 	// each superstep, so ActiveLanes/LaneSlots is the mean occupancy.
 	LaneSlots   int64
 	ActiveLanes int64
+	// HeadBatches counts applied head-batched quotient compositions;
+	// HeadSteps sums the quotient steps they composed, so
+	// HeadSteps/HeadBatches is the realized batch depth. HeadCapHits
+	// counts batches ended by the adaptive depth cap rather than the
+	// acceptance bound, and DepthCap snapshots the cap's current value.
+	HeadBatches int64
+	HeadSteps   int64
+	HeadCapHits int64
+	DepthCap    int64
 }
 
 // one is the shared gcd-is-1 result, mirroring the scalar kernel.
@@ -101,8 +110,9 @@ type Kernel struct {
 	// can run to a shared bound without per-lane bounds checks. Which
 	// plane holds lane j's X is selected by xsel[j], so the frequent
 	// X <-> Y exchange flips a bit instead of moving limbs.
-	a, b []uint64
-	xsel []uint8 // 0: X in a, Y in b; 1: the other way
+	a, b   []uint64
+	planes [2][]uint64 // {a, b}, indexed by xsel for a branch-free select
+	xsel   []uint8     // 0: X in a, Y in b; 1: the other way
 
 	// Per-lane registers.
 	lx, ly    []int32 // active limb lengths, X >= Y maintained
@@ -123,6 +133,15 @@ type Kernel struct {
 	hy1, hy2 []uint64 // top and second limb of Y (undefined above ly)
 
 	utmp []uint64 // beta > 0 scratch: one extracted lane, limbs+1
+	elig []int32  // superstep scratch: head-batch-eligible lanes in order
+
+	// Adaptive head-batch depth controller (see lehmer64.go): the cap
+	// grows while most batches in a window end cap-bound and freezes once
+	// the acceptance-rejection rate takes over. SetBatchDepth pins it.
+	depthCap  int32
+	adaptive  bool
+	hbRuns    int32
+	hbCapHits int32
 
 	results   []Result
 	conv      mpnat.Nat // limb-to-Nat conversion scratch for retirements
@@ -162,8 +181,13 @@ func NewKernel(width, maxBits int) *Kernel {
 		hy2: make([]uint64, width),
 
 		utmp:      make([]uint64, limbs+1),
+		elig:      make([]int32, 0, width),
 		convWords: make([]uint32, 0, 2*limbs),
+
+		depthCap: initialBatchDepth,
+		adaptive: true,
 	}
+	k.planes = [2][]uint64{k.a, k.b}
 	for j := range k.slot {
 		k.slot[j] = -1
 	}
@@ -174,12 +198,34 @@ func NewKernel(width, maxBits int) *Kernel {
 // Width returns the lane count L.
 func (k *Kernel) Width() int { return k.l }
 
-// lanePlanes returns lane j's X and Y matrices per its plane selector.
-func (k *Kernel) lanePlanes(j int) (xm, ym []uint64) {
-	if k.xsel[j] == 0 {
-		return k.a, k.b
+// SetBatchDepth pins the head-batch depth cap to d and disables the
+// adaptive controller; d < 1 restores the adaptive default. Any cap
+// yields identical findings — a shorter batch is just a shallower
+// unimodular prefix — so this exists for differential tests that sweep
+// forced depths, and for experiments.
+func (k *Kernel) SetBatchDepth(d int) {
+	if d < 1 {
+		k.depthCap = initialBatchDepth
+		k.adaptive = true
+		k.hbRuns, k.hbCapHits = 0, 0
+		return
 	}
-	return k.b, k.a
+	if d > maxBatchDepth {
+		d = maxBatchDepth
+	}
+	k.depthCap = int32(d)
+	k.adaptive = false
+}
+
+// BatchDepth returns the current head-batch depth cap.
+func (k *Kernel) BatchDepth() int { return int(k.depthCap) }
+
+// lanePlanes returns lane j's X and Y matrices per its plane selector.
+// The swap decision is a coin flip on random operands, so the selector
+// indexes an array of the two planes instead of branching.
+func (k *Kernel) lanePlanes(j int) (xm, ym []uint64) {
+	s := k.xsel[j] & 1
+	return k.planes[s], k.planes[1^s]
 }
 
 // Run executes every pair of the batch, filling lanes in input order and
@@ -295,10 +341,27 @@ func (k *Kernel) superstep() {
 	k.Telemetry.Supersteps++
 	k.Telemetry.LaneSlots += int64(k.l)
 	k.Telemetry.ActiveLanes += int64(k.occupied)
+	// Collect head-batch-eligible lanes and stream them through the
+	// two-slot fused simulation queue (see runFusedQueue): the sim is
+	// latency-bound, and two independent chains nearly double its
+	// throughput. Collection order is a pure function of lane state, so
+	// execution stays deterministic; lanes are independent, so results
+	// are unchanged.
+	elig := k.elig[:0]
 	for j := 0; j < k.l; j++ {
-		if k.slot[j] >= 0 {
-			k.stepLane(j)
+		if k.slot[j] < 0 {
+			continue
 		}
+		if k.lx[j] > 2 && k.lx[j] == k.ly[j] {
+			elig = append(elig, int32(j))
+			continue
+		}
+		k.stepLane(j)
+	}
+	if len(elig) >= 2 {
+		k.runFusedQueue(elig)
+	} else if len(elig) == 1 {
+		k.stepLane(int(elig[0]))
 	}
 }
 
@@ -308,14 +371,15 @@ func (k *Kernel) superstep() {
 // exchange and the termination check — the same order as the scalar
 // Approximate loop.
 func (k *Kernel) stepLane(j int) {
-	if k.lx[j] <= 1 {
-		// Both operands fit one limb: finish in the exact 64-bit
-		// tail (approx Case 1). A lane refilled by the retirement
-		// joins the lockstep at the next superstep.
-		k.tail(j)
+	if k.lx[j] <= 2 {
+		// Both operands fit the head registers: finish in the exact
+		// 128-bit register tail (the endgame analog of approx Case 1),
+		// with no matrix traffic at all. A lane refilled by the
+		// retirement joins the lockstep at the next superstep.
+		k.tail128(j)
 		return
 	}
-	if k.lx[j] == k.ly[j] && k.lx[j] >= 3 && k.headBatch(j) {
+	if k.lx[j] == k.ly[j] && k.headBatch(j) {
 		// A head batch composed several quotient steps and applied them
 		// in one fused column pass; it already updated lengths, heads
 		// and the iteration/memory accounting. Fall through to the
@@ -324,6 +388,13 @@ func (k *Kernel) stepLane(j int) {
 		k.exchangeAndRetire(j)
 		return
 	}
+	k.stepSlow(j)
+}
+
+// stepSlow is the single-step fallback: the quotient approximation and
+// the per-step fused sweep (or the rare serialized beta > 0 update),
+// shared by stepLane and the unpaired tail of a head-batch pair.
+func (k *Kernel) stepSlow(j int) {
 	alpha, beta := approx64(k.lx[j], k.ly[j], k.hx1[j], k.hx2[j], k.hy1[j], k.hy2[j])
 	// Memory-op accounting in the paper's 32-bit-word units: each limb
 	// is two words, each iteration reads X, reads Y and writes X; the

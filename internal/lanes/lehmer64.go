@@ -1,19 +1,35 @@
 package lanes
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // This file holds the head-batched quotient composition: the lane analog
 // of Lehmer's trick, fitted to the Approximate-Euclidean update. When a
 // lane's operands have equal limb length, several quotient steps are
-// simulated on the 64-bit normalized heads the kernel already carries in
-// registers, composed into a 2x2 unimodular matrix, and applied to the
+// simulated on the double-word (128-bit) heads the kernel already carries
+// in registers, composed into a 2x2 unimodular matrix, and applied to the
 // operand columns in one dual-output fused sweep. One column pass then
-// pays for ~10 quotient steps instead of one, which is what lifts the
+// pays for ~25 quotient steps instead of one, which is what lifts the
 // lane kernel past the scalar kernel: the per-step serial borrow/multiply
 // chain over the column was the dominant cost, and iteration counts of
 // the d = 64 and d = 32 kernels are otherwise identical (the average
 // quotient is small, so packing two words per limb does not shrink the
 // step count — see DESIGN.md section 5e).
+//
+// The simulation runs on the unnormalized top-two-limb windows
+// (hx1:hx2) and (hy1:hy2). With lx == ly >= 3 both top limbs are
+// non-zero, so both simulated values carry at least 65 significant bits —
+// at worst one more than the previous single-word normalized heads, on
+// average two words' worth — which roughly doubles the certified batch
+// depth before the acceptance bound trips (Lehmer's classic precision
+// argument: k head bits certify ~k/2 quotient steps' coefficient
+// growth). The depth cap adapts at run time: it grows while most batches
+// still end cap-bound (the acceptance test would have admitted more
+// steps) and freezes once the natural acceptance-rejection rate
+// dominates, so corpora with small quotients get deep batches and
+// adversarial ones settle shallow without re-tuning.
 //
 // Correctness does not depend on the simulated quotients agreeing with
 // full-precision Euclid. The composed matrix M has det +-1 by
@@ -25,54 +41,335 @@ import "math/bits"
 // rshift. Findings therefore stay byte-identical to the scalar kernel
 // by the same invariance argument as the per-step path.
 
-// maxBatchQ caps a simulated quotient: a step with q at or above 2^31
-// ends the batch and lets the full-precision path take it (such a step
-// removes 31+ bits on its own, so nothing is lost).
-const maxBatchQ = 1 << 31
+const (
+	// initialBatchDepth seeds the adaptive depth cap. Random 512-bit
+	// corpora settle around 25-40 accepted steps per batch, so the cap
+	// doubles a few times early in a run and then stops moving.
+	initialBatchDepth = 16
+	// maxBatchDepth bounds the adaptive growth. The 64-bit coefficient
+	// rows overflow after ~90 steps even for an all-ones quotient
+	// sequence (Fibonacci growth), so depth beyond this is unreachable.
+	maxBatchDepth = 256
+	// adaptWindow is the number of head batches between adaptation
+	// decisions; capGrowNum/capGrowDen is the cap-bound fraction above
+	// which the cap doubles (the acceptance-rejection rate threshold).
+	adaptWindow = 32
+	capGrowNum  = 1
+	capGrowDen  = 2
+)
+
+// lt128 reports (ah:al) < (bh:bl).
+func lt128(ah, al, bh, bl uint64) bool {
+	_, br := bits.Sub64(al, bl, 0)
+	_, br = bits.Sub64(ah, bh, br)
+	return br != 0
+}
+
+// fhead builds an IEEE double from the top 53 bits of the 128-bit value
+// (h:l), h != 0, by assembling the exponent and truncated mantissa
+// directly — about seven branch-free integer ops, an order of magnitude
+// cheaper than going through the compiler's uint64-to-float conversions
+// twice. Truncation makes the result a one-ulp underestimate of the
+// exact value, which the quotient correction below accounts for.
+func fhead(h, l uint64) float64 {
+	n := uint(bits.LeadingZeros64(h))
+	m := h<<n | l>>(64-n) // top 64 bits, MSB at bit 63 (n == 0: l>>64 is 0 in Go)
+	e := uint64(127) - uint64(n) + 1023
+	return math.Float64frombits(e<<52 | (m>>11)&(1<<52-1))
+}
 
 // headBatch tries to advance lane j by a batch of quotient steps
-// simulated on the normalized 64-bit heads. It requires lx == ly (the
+// simulated on the double-word heads. It requires lx == ly >= 3 (the
 // caller checks) and returns false — lane untouched — when the heads
 // cannot certify even one step; the caller then falls back to the
 // single-step path, which guarantees outer progress.
 //
-// Head error bound: with W = 2^(p-64) for p = bitlen(X), X = (xh+ex)*W
-// and Y = (yh+ey)*W with ex, ey in [0,1). A composed row with
-// magnitudes (a, b) evaluates to (a*sim_x - b*sim_y + a*ex - b*ey)*W,
-// i.e. sim*W with an additive error strictly inside (-b, a) head units.
-// Requiring sim_x >= u0+u1 and sim_y >= v0+v1 after every accepted step
-// therefore keeps both true outputs strictly positive at apply time.
+// Head error bound: with W = 2^(64*(lx-2)), X = (xh+ex)*W and
+// Y = (yh+ey)*W for the exact 128-bit windows xh, yh and ex, ey in
+// [0,1). A composed row with magnitudes (a, b) evaluates to
+// (a*sim_x - b*sim_y + a*ex - b*ey)*W, i.e. sim*W with an additive error
+// strictly inside (-b, a) head units. Requiring sim_x >= u0+u1 and
+// sim_y >= v0+v1 after every accepted step therefore keeps both true
+// outputs strictly positive at apply time, and the continuant identity
+// coeff*sim <= xh < 2^128 keeps both below 2^(64*lx).
 func (k *Kernel) headBatch(j int) bool {
-	// Normalize both heads to X's top bit: xh gets its MSB set, yh is
-	// Y's bits in the same window (yh < 2^64 because Y <= X).
-	s := uint(bits.LeadingZeros64(k.hx1[j]))
-	xh := k.hx1[j]<<s | cshift(k.hx2[j], s)
-	yh := k.hy1[j]<<s | cshift(k.hy2[j], s)
-	if yh == 0 {
-		return false // Y more than 64 bits below X: one 4-C step strips plenty
-	}
-	u0, u1 := uint64(1), uint64(0) // row of X: +u0*X - u1*Y (parity even)
-	v0, v1 := uint64(0), uint64(1) // row of Y: -v0*X + v1*Y
-	sx, sy := xh, yh
-	t := 0
+	// The sims are the exact Euclid remainder sequence of the 128-bit
+	// windows; X >= Y at equal lengths implies (sxh:sxl) >= (syh:syl).
+	return k.headBatchFrom(j,
+		k.hx1[j], k.hx2[j], k.hy1[j], k.hy2[j],
+		1, 0, 0, 1, 0)
+}
+
+// runFusedQueue streams head-batch-eligible lanes through a two-slot
+// interleaved simulation. The per-step serial chain — quotient feeding
+// the remainder feeding the next step's operands — is ~25 cycles of
+// pure latency per lane, far above its retirement cost; keeping two
+// independent lanes' chains in flight lets the out-of-order core fill
+// one chain's stalls with the other's work. When a slot's batch ends,
+// the lane is finished and applied on the spot and the slot reloads
+// from the queue, so the second chain stays hot across batch
+// boundaries instead of draining at every pairwise exit.
+//
+// The fused loop carries no per-step guards: it only commits steps
+// whose remainder keeps sy >= 2^66 (syh >= 4). Under that rule every
+// continuant coefficient stays below 2^62 — from X0 = v1*X_t + u1*Y_t
+// and Y0 = v0*X_t + u0*Y_t with nonnegative continuant entries and
+// X_t, Y_t >= 2^66, X0, Y0 < 2^128 — so the in-loop row updates cannot
+// overflow single words, and both sims exceed any row sum (< 2^63) at
+// handoff, which is exactly the acceptance invariant the guarded path
+// maintains. Each lane then finishes through the single-lane path from
+// its current state: the one step the fused loop declined to commit is
+// recomputed there under the full per-step guards, so semantics are
+// exactly len(elig) independent headBatch calls in queue order.
+func (k *Kernel) runFusedQueue(elig []int32) {
+	depth := int(k.depthCap)
+	next := 2
+	ja, jb := int(elig[0]), int(elig[1])
+	axh, axl := k.hx1[ja], k.hx2[ja]
+	ayh, ayl := k.hy1[ja], k.hy2[ja]
+	fax, fay := fhead(axh, axl), fhead(ayh, ayl)
+	au0, au1, av0, av1 := uint64(1), uint64(0), uint64(0), uint64(1)
+	ta, accA := 0, uint64(1)
+	bxh, bxl := k.hx1[jb], k.hx2[jb]
+	byh, byl := k.hy1[jb], k.hy2[jb]
+	fbx, fby := fhead(bxh, bxl), fhead(byh, byl)
+	bu0, bu1, bv0, bv1 := uint64(1), uint64(0), uint64(0), uint64(1)
+	tb, accB := 0, uint64(1)
 	for {
-		// Quotient of the simulated remainders. Small quotients dominate
-		// (Gauss-Kuzmin), so peel q in {1, 2, 3} with subtractions before
-		// paying for a hardware divide.
-		var q, r uint64
-		switch d := sx - sy; {
-		case d < sy:
-			q, r = 1, d
-		case d-sy < sy:
-			q, r = 2, d-sy
-		case d-2*sy < sy:
-			q, r = 3, d-2*sy
-		default:
-			q = sx / sy
-			r = sx - q*sy
-			if q >= maxBatchQ {
-				break // huge step: let full precision take it
+		aEnd := ayh < 4 || ta >= depth
+		if !aEnd { // one phase-1 step of slot A
+			// Branch-free quotient: one pipelined double divide over the
+			// 53-bit truncated heads, corrected to the exact Euclid
+			// quotient by multiply-back. The relative error is ~2^-51, so
+			// below the 2^40 guard the estimate is within one of exact and
+			// at most one correction fires — branches the predictor never
+			// sees taken. The int64 conversion compiles to a bare truncating
+			// instruction (no range-check compare on the divide's critical
+			// path); an out-of-range result goes negative and lands in the
+			// guard as a huge uint64. This replaces the Gauss-Kuzmin-random
+			// peel-vs-divide branch of the single-lane path (which
+			// mispredicts about every third step) and the unpipelined
+			// 128/64 hardware divide.
+			if accA > 1<<19 {
+				// The float heads have amplified too much rounding error
+				// (see the acc discussion above): re-derive them from the
+				// exact integers, putting one head conversion back on the
+				// chain every ~20 steps instead of every step.
+				fax, fay = fhead(axh, axl), fhead(ayh, ayl)
+				accA = 1
 			}
+			qf := math.Trunc(fax / fay)
+			q := uint64(int64(qf))
+			if q > 1<<12 {
+				// Estimates beyond the drift-safe gate (or garbage from an
+				// out-of-range conversion) are redone on freshly derived
+				// floats, where the estimate is within one of exact up to
+				// 2^40, and exactly beyond that. Gauss-Kuzmin puts ~0.02%
+				// of quotients here.
+				fax, fay = fhead(axh, axl), fhead(ayh, ayl)
+				qf = math.Trunc(fax / fay)
+				q = uint64(int64(qf))
+				accA = q + 2
+				if q >= 1<<40 {
+					q = div128(axh, axl, ayh, ayl)
+					qf = float64(q)
+					// float64(q) may round for q >= 2^53, leaving fr too
+					// coarse to trust: force a resync before the next
+					// divide.
+					accA = 1 << 62
+				}
+			} else {
+				accA *= q + 2
+			}
+			// The float remainder comes straight off the float chain — one
+			// fused multiply-add after the truncated divide — so the next
+			// step's divide waits only div+trunc+fma, never the integer
+			// remainder or its head conversion. fr inherits the heads'
+			// accumulated error amplified by q (the same recurrence the
+			// continuant coefficients obey). The bound is quadratic in the
+			// bits stripped since the last resync: the absolute error grows
+			// with the continuant coefficient (tracked by accA >= Π(q_i+2))
+			// while the value it is measured against shrinks by the same
+			// factor, so the relative error is ~accA^2 * 2^-52. Resyncing
+			// above 2^19 with estimates gated at 2^12 keeps the estimate
+			// error below 2^38 * 2^-52 * 2^12 = 1/4 — within the one-step
+			// corrections.
+			// The exact integer state below never drifts: it is verified by
+			// multiply-back every step.
+			fr := math.FMA(-qf, fay, fax)
+			// Multiply-back. An overestimated q can push q*sy past 2^128
+			// (sx close to 2^128, one-too-high q): the product's bit 128 —
+			// h2 or the carry folding the cross term — then flags "too
+			// high" even though the wrapped subtraction shows no borrow.
+			hi, lo := bits.Mul64(ayl, q)
+			h2, p1 := bits.Mul64(ayh, q)
+			hi, ovc := bits.Add64(hi, p1, 0)
+			rl, bb := bits.Sub64(axl, lo, 0)
+			rh, neg := bits.Sub64(axh, hi, bb)
+			if neg|h2|ovc != 0 { // estimate one too high: add one sy back
+				q--
+				rl, bb = bits.Add64(rl, ayl, 0)
+				rh, _ = bits.Add64(rh, ayh, bb)
+				fr += fay
+			}
+			if !lt128(rh, rl, ayh, ayl) { // one too low: strip one more sy
+				q++
+				rl, bb = bits.Sub64(rl, ayl, 0)
+				rh, _ = bits.Sub64(rh, ayh, bb)
+				fr -= fay
+			}
+			if rh < 4 {
+				// Commit rule: the new sy would drop below 2^66, ending the
+				// guard-free regime. The finisher recomputes this step with
+				// the per-step guards.
+				aEnd = true
+			} else {
+				// The continuant bound (sims >= 2^66 under the commit rule)
+				// keeps the rows below 2^62, so the updates are plain
+				// multiply-adds with no overflow or acceptance checks, hidden
+				// in the shadow of the next step's divide. The new dividend
+				// float is the old divisor's, so only the remainder is
+				// converted.
+				au0, au1, av0, av1 = av0, av1, q*av0+au0, q*av1+au1
+				axh, axl, ayh, ayl = ayh, ayl, rh, rl
+				fax, fay = fay, fr
+				ta++
+			}
+		}
+		if aEnd {
+			k.finishFused(ja, axh, axl, ayh, ayl, au0, au1, av0, av1, ta)
+			if next >= len(elig) {
+				k.finishFused(jb, bxh, bxl, byh, byl, bu0, bu1, bv0, bv1, tb)
+				return
+			}
+			ja = int(elig[next])
+			next++
+			axh, axl = k.hx1[ja], k.hx2[ja]
+			ayh, ayl = k.hy1[ja], k.hy2[ja]
+			fax, fay = fhead(axh, axl), fhead(ayh, ayl)
+			au0, au1, av0, av1 = 1, 0, 0, 1
+			ta, accA = 0, 1
+		}
+		bEnd := byh < 4 || tb >= depth
+		if !bEnd { // one phase-1 step of slot B (the same float-quotient step)
+			if accB > 1<<19 {
+				fbx, fby = fhead(bxh, bxl), fhead(byh, byl)
+				accB = 1
+			}
+			qf := math.Trunc(fbx / fby)
+			q := uint64(int64(qf))
+			if q > 1<<12 {
+				fbx, fby = fhead(bxh, bxl), fhead(byh, byl)
+				qf = math.Trunc(fbx / fby)
+				q = uint64(int64(qf))
+				accB = q + 2
+				if q >= 1<<40 {
+					q = div128(bxh, bxl, byh, byl)
+					qf = float64(q)
+					accB = 1 << 62
+				}
+			} else {
+				accB *= q + 2
+			}
+			fr := math.FMA(-qf, fby, fbx)
+			hi, lo := bits.Mul64(byl, q)
+			h2, p1 := bits.Mul64(byh, q)
+			hi, ovc := bits.Add64(hi, p1, 0)
+			rl, bb := bits.Sub64(bxl, lo, 0)
+			rh, neg := bits.Sub64(bxh, hi, bb)
+			if neg|h2|ovc != 0 {
+				q--
+				rl, bb = bits.Add64(rl, byl, 0)
+				rh, _ = bits.Add64(rh, byh, bb)
+				fr += fby
+			}
+			if !lt128(rh, rl, byh, byl) {
+				q++
+				rl, bb = bits.Sub64(rl, byl, 0)
+				rh, _ = bits.Sub64(rh, byh, bb)
+				fr -= fby
+			}
+			if rh < 4 {
+				bEnd = true
+			} else {
+				bu0, bu1, bv0, bv1 = bv0, bv1, q*bv0+bu0, q*bv1+bu1
+				bxh, bxl, byh, byl = byh, byl, rh, rl
+				fbx, fby = fby, fr
+				tb++
+			}
+		}
+		if bEnd {
+			k.finishFused(jb, bxh, bxl, byh, byl, bu0, bu1, bv0, bv1, tb)
+			if next >= len(elig) {
+				k.finishFused(ja, axh, axl, ayh, ayl, au0, au1, av0, av1, ta)
+				return
+			}
+			jb = int(elig[next])
+			next++
+			bxh, bxl = k.hx1[jb], k.hx2[jb]
+			byh, byl = k.hy1[jb], k.hy2[jb]
+			fbx, fby = fhead(bxh, bxl), fhead(byh, byl)
+			bu0, bu1, bv0, bv1 = 1, 0, 0, 1
+			tb, accB = 0, 1
+		}
+	}
+}
+
+// finishFused completes one lane of the fused queue: the guarded
+// single-lane path takes the simulation state the rest of the way and
+// applies the accumulated matrix, then the shared exchange/retire
+// epilogue runs — or, when no step committed at all, the plain
+// single-step fallback.
+func (k *Kernel) finishFused(j int, sxh, sxl, syh, syl, u0, u1, v0, v1 uint64, t int) {
+	if k.headBatchFrom(j, sxh, sxl, syh, syl, u0, u1, v0, v1, t) {
+		k.exchangeAndRetire(j)
+	} else {
+		k.stepSlow(j)
+	}
+}
+
+func (k *Kernel) headBatchFrom(j int, sxh, sxl, syh, syl, u0, u1, v0, v1 uint64, t int) bool {
+	depth := int(k.depthCap)
+	// Phase 1: sy still spans two words. While the remainder keeps its
+	// top word the acceptance bound cannot fail (r >= 2^64 exceeds any
+	// 64-bit row sum), so the steady-state step tests only coefficient
+	// overflow; the boundary step that drops sy to one word takes the
+	// acceptance test before committing. Quotients follow Gauss-Kuzmin
+	// (~68% in {1,2,3}), and their values are irreducibly random, so the
+	// small quotient and its remainder are picked with a branch-free
+	// priority select over a single running subtraction chain — a
+	// data-dependent branch per peel level would mispredict roughly
+	// every other step.
+	for syh != 0 && t < depth {
+		// Running chain e_i = sx - i*sy. A borrow makes every later e
+		// garbage, so the masks below are priority-gated on earlier
+		// borrows before use.
+		e1l, b := bits.Sub64(sxl, syl, 0)
+		e1h, _ := bits.Sub64(sxh, syh, b) // sx >= sy: no borrow
+		e2l, b := bits.Sub64(e1l, syl, 0)
+		e2h, c2 := bits.Sub64(e1h, syh, b)
+		e3l, b := bits.Sub64(e2l, syl, 0)
+		e3h, c3 := bits.Sub64(e2h, syh, b)
+		_, b = bits.Sub64(e3l, syl, 0)
+		_, c4 := bits.Sub64(e3h, syh, b) // only the borrow of e4 is needed
+		var q, rh, rl uint64
+		if c2|c3|c4 == 0 {
+			// q >= 4: exact 3-by-2 divide (q < 2^64 because syh >= 1),
+			// remainder by multiply-back (q*sy <= sx < 2^128: exact in
+			// the low 128 bits).
+			q = div128(sxh, sxl, syh, syl)
+			hi, lo := bits.Mul64(syl, q)
+			hi += syh * q
+			var br uint64
+			rl, br = bits.Sub64(sxl, lo, 0)
+			rh, _ = bits.Sub64(sxh, hi, br)
+		} else {
+			m1 := -c2
+			m2 := -(c3 &^ c2)
+			m3 := -(c4 &^ (c2 | c3))
+			q = m1&1 | m2&2 | m3&3
+			rh = m1&e1h | m2&e2h | m3&e3h
+			rl = m1&e1l | m2&e2l | m3&e3l
 		}
 		// Candidate coefficient row, with overflow guards.
 		h0, m0 := bits.Mul64(q, v0)
@@ -80,23 +377,91 @@ func (k *Kernel) headBatch(j int) bool {
 		nv0, c0 := bits.Add64(m0, u0, 0)
 		nv1, c1 := bits.Add64(m1, u1, 0)
 		if h0|c0|h1|c1 != 0 {
-			break
+			goto done
 		}
-		// Acceptance: the post-step invariant sim >= sum of its row's
-		// coefficients, for both rows, keeps the eventual apply
-		// nonnegative. sy >= v0+v1 holds inductively for the new X row;
-		// the new Y row needs r >= nv0+nv1.
-		sum, cs := bits.Add64(nv0, nv1, 0)
-		if cs != 0 || r < sum {
-			break
+		if rh == 0 {
+			// Boundary step: the new sy fits one word, so the acceptance
+			// bound r >= nv0+nv1 is live again (see phase 2).
+			sum, cs := bits.Add64(nv0, nv1, 0)
+			if cs != 0 || rl < sum {
+				goto done
+			}
 		}
 		u0, u1, v0, v1 = v0, v1, nv0, nv1
-		sx, sy = sy, r
+		sxh, sxl, syh, syl = syh, syl, rh, rl
 		t++
+	}
+	// Phase 2: sy fits one word (sx may still span two on entry). Every
+	// step now takes the acceptance test: the post-step invariant
+	// sim >= sum of its row's coefficients, for both rows, keeps the
+	// eventual apply nonnegative. sy >= v0+v1 holds inductively for the
+	// new X row; the new Y row needs r >= nv0+nv1. syl >= 1 here: every
+	// committed step left the new sy at or above its row sum.
+	for t < depth && syh == 0 {
+		var q, rl uint64
+		if sxh != 0 {
+			if sxh >= syl {
+				// The quotient exceeds 64 bits; such a step strips 64+
+				// bits on its own, so end the batch and let the
+				// full-precision path take it.
+				goto done
+			}
+			q, rl = bits.Div64(sxh, sxl, syl)
+		} else {
+			switch d := sxl - syl; {
+			case d < syl:
+				q, rl = 1, d
+			case d-syl < syl:
+				q, rl = 2, d-syl
+			case d-2*syl < syl:
+				q, rl = 3, d-2*syl
+			default:
+				q = sxl / syl
+				rl = sxl - q*syl
+			}
+		}
+		h0, m0 := bits.Mul64(q, v0)
+		h1, m1 := bits.Mul64(q, v1)
+		nv0, c0 := bits.Add64(m0, u0, 0)
+		nv1, c1 := bits.Add64(m1, u1, 0)
+		if h0|c0|h1|c1 != 0 {
+			goto done
+		}
+		sum, cs := bits.Add64(nv0, nv1, 0)
+		if cs != 0 || rl < sum {
+			goto done
+		}
+		u0, u1, v0, v1 = v0, v1, nv0, nv1
+		sxh, sxl, syl = syh, syl, rl
+		t++
+	}
+done:
+	// Adaptive depth: grow the cap while cap-bound batches dominate the
+	// window (acceptance would have admitted more), freeze otherwise.
+	k.Telemetry.HeadSteps += int64(t)
+	if k.adaptive {
+		k.hbRuns++
+		if t >= depth {
+			k.hbCapHits++
+			k.Telemetry.HeadCapHits++
+		}
+		if k.hbRuns >= adaptWindow {
+			if capGrowDen*k.hbCapHits >= capGrowNum*k.hbRuns && k.depthCap < maxBatchDepth {
+				k.depthCap *= 2
+				if k.depthCap > maxBatchDepth {
+					k.depthCap = maxBatchDepth
+				}
+			}
+			k.hbRuns, k.hbCapHits = 0, 0
+		}
+		k.Telemetry.DepthCap = int64(k.depthCap)
+	} else if t >= depth {
+		k.Telemetry.HeadCapHits++
 	}
 	if t == 0 {
 		return false
 	}
+	k.Telemetry.HeadBatches++
 	// Apply the composed matrix. Signs alternate with step parity: after
 	// an even number of steps the X row is (+u0, -u1) and the Y row
 	// (-v0, +v1); odd parity flips both. Renaming the planes folds the

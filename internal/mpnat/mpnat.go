@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
-	"strings"
+	"strconv"
 
 	"bulkgcd/internal/word"
 )
@@ -578,6 +578,27 @@ func (n *Nat) ToBig() *big.Int {
 	return new(big.Int).SetBits(bw)
 }
 
+// ToBigInto sets dst to the value of n, reusing dst's limb storage when
+// it is large enough, and returns dst. The steady-state registry submit
+// path stages remainders through one retained big.Int per descent, so
+// the conversion must not allocate once the scratch has warmed up.
+func (n *Nat) ToBigInto(dst *big.Int) *big.Int {
+	need := (len(n.w) + wordsPerBig - 1) / wordsPerBig
+	bw := dst.Bits()
+	if cap(bw) < need {
+		bw = make([]big.Word, need)
+	} else {
+		bw = bw[:need]
+		for i := range bw {
+			bw[i] = 0
+		}
+	}
+	for i, w := range n.w {
+		bw[i/wordsPerBig] |= big.Word(w) << ((i % wordsPerBig) * word.Bits)
+	}
+	return dst.SetBits(bw)
+}
+
 // SetBig sets n to the value of b, which must be non-negative, and
 // returns n. Like ToBig it unpacks big.Word limbs directly (O(n)).
 func (n *Nat) SetBig(b *big.Int) *Nat {
@@ -604,17 +625,22 @@ func FromBig(b *big.Int) *Nat {
 // String formats n in decimal.
 func (n *Nat) String() string { return n.ToBig().String() }
 
-// Hex formats n as lowercase hexadecimal without leading zeros ("0" for 0).
+// Hex formats n as lowercase hexadecimal without leading zeros ("0" for
+// 0). The registry emits one hex line per accepted key, so this appends
+// digits directly instead of routing each word through fmt.
 func (n *Nat) Hex() string {
 	if n.IsZero() {
 		return "0"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%x", n.w[len(n.w)-1])
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 0, len(n.w)*8)
+	buf = strconv.AppendUint(buf, uint64(n.w[len(n.w)-1]), 16)
 	for i := len(n.w) - 2; i >= 0; i-- {
-		fmt.Fprintf(&b, "%08x", n.w[i])
+		for s := 28; s >= 0; s -= 4 {
+			buf = append(buf, digits[(n.w[i]>>s)&0xf])
+		}
 	}
-	return b.String()
+	return string(buf)
 }
 
 // ParseHex parses a hexadecimal string (no prefix) into a Nat.

@@ -3,6 +3,7 @@ package registry
 import (
 	"math/big"
 	"math/bits"
+	"runtime"
 	"testing"
 	"time"
 
@@ -79,6 +80,8 @@ func BenchmarkRegistrySubmit(b *testing.B) {
 	logBound := int64(bits.Len(uint(r.Len()))) + 1
 
 	b.ReportAllocs()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	b.ResetTimer()
 	start = time.Now()
 	for i := 0; i < b.N; i++ {
@@ -93,6 +96,8 @@ func BenchmarkRegistrySubmit(b *testing.B) {
 	}
 	b.StopTimer()
 	perSubmit := time.Since(start) / time.Duration(b.N)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	b.ReportMetric(float64(perSubmit.Nanoseconds()), "ns/submit")
 	b.ReportMetric(float64(rescan.Nanoseconds()), "rescan-ns")
@@ -102,5 +107,24 @@ func BenchmarkRegistrySubmit(b *testing.B) {
 	// Gate 2: the headline acceptance bound.
 	if speedup < minSpeedup {
 		b.Fatalf("incremental submit %v vs full rescan %v: %.1fx, want >= %.0fx", perSubmit, rescan, speedup, minSpeedup)
+	}
+
+	// Gate 3: allocation regression bound on the steady-state submit
+	// path. PR10 retained the fold accumulator, the spine-root list and
+	// the descent scratch per registry, leaving ~52 allocs per submit
+	// (the fresh Verdict.G, journal marshalling, and the durability
+	// syscalls). The bound carries slack for platform variance but fails
+	// loudly if per-call scratch creeps back in. Skipped for tiny b.N,
+	// where one cold-path warm-up (scratch growth, file handles)
+	// dominates the average.
+	if b.N >= 10 {
+		allocsPerOp := (msAfter.Mallocs - msBefore.Mallocs) / uint64(b.N)
+		bytesPerOp := (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(b.N)
+		if allocsPerOp > 80 {
+			b.Fatalf("submit allocated %d objects/op, want <= 80 (regression: per-call scratch on the hot path?)", allocsPerOp)
+		}
+		if bytesPerOp > 64<<10 {
+			b.Fatalf("submit allocated %d bytes/op, want <= %d", bytesPerOp, 64<<10)
+		}
 	}
 }

@@ -51,8 +51,11 @@ type nodeHeader struct {
 // in-RAM LRU cache, the node file directory, and a rebuild from
 // children (recursive for small spans, the parallel subprod builder for
 // large ones). Writes go through to disk so a restart reloads instead
-// of remultiplying. The store is not safe for concurrent use; the
-// registry serializes access under its own lock.
+// of remultiplying. value() is safe for concurrent use — the cache is
+// thread-safe, reads are pure, builds use call-local scratch, and node
+// file writes are atomic temp+rename — which is what lets the registry
+// descend the spine roots in parallel. Mutating entry points (put,
+// invalidate, prune) stay serialized under the registry lock.
 type store struct {
 	dir     string
 	cache   *subprod.KeyedCache[nodeKey]
@@ -63,8 +66,6 @@ type store struct {
 	// by the registry so the store never sees corpus bookkeeping.
 	leafHex func(i int) string
 	leaf    func(i int) *mpnat.Nat
-
-	mul mpnat.MulScratch
 
 	loads, builds *obs.Counter // registry_node_loads_total, registry_node_builds_total
 }
@@ -225,7 +226,10 @@ func (s *store) build(k nodeKey) *mpnat.Nat {
 	left := s.value(nodeKey{k.level - 1, 2 * k.index})
 	right := s.value(nodeKey{k.level - 1, 2*k.index + 1})
 	v := new(mpnat.Nat)
-	s.mul.Mul(v, left, right)
+	// Call-local scratch: concurrent root descents may rebuild disjoint
+	// nodes at once, so the serial path must not share multiplier state.
+	var mul mpnat.MulScratch
+	mul.Mul(v, left, right)
 	s.write(k, v)
 	return v
 }
@@ -275,8 +279,12 @@ func (s *store) stats() subprod.CacheStats { return s.cache.Stats() }
 // rootsOf decomposes a forest over n leaves into its spine roots, one
 // perfect subtree per set bit of n, largest first. Each root's span is
 // aligned because every higher root's span is a multiple of its size.
-func rootsOf(n int) []nodeKey {
-	var out []nodeKey
+func rootsOf(n int) []nodeKey { return appendRootsOf(nil, n) }
+
+// appendRootsOf is rootsOf into a caller-owned buffer; the submit path
+// calls it once per key, so reusing the slice keeps the hot path
+// allocation-flat.
+func appendRootsOf(out []nodeKey, n int) []nodeKey {
 	offset := 0
 	for k := 62; k >= 0; k-- {
 		if n&(1<<k) != 0 {

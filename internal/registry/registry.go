@@ -26,10 +26,12 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,6 +40,7 @@ import (
 
 	"bulkgcd/internal/checkpoint"
 	"bulkgcd/internal/corpus"
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/mpnat"
 	"bulkgcd/internal/obs"
 )
@@ -187,6 +190,17 @@ type Registry struct {
 
 	div mpnat.DivScratch
 	mul mpnat.MulScratch
+
+	// Retained submit-path scratch, all used under mu: the remainder
+	// fold's accumulator and temporaries, the staged big.Int the fold's
+	// GCD reads, the spine-root list, and one descent scratch per pool
+	// worker (descents over disjoint roots run on the work-stealing pool,
+	// and worker indices are stable, so each scratch stays pinned to one
+	// goroutine for the duration of a descent).
+	acc, remS, tmpS mpnat.Nat
+	accBig          big.Int
+	rootsBuf        []nodeKey
+	descents        []*descentScratch
 
 	submissions, found, spineMults, replayed, dropped *obs.Counter
 	keysGauge                                         *obs.Gauge
@@ -386,7 +400,7 @@ func (r *Registry) replay() error {
 		// it (crash between corpus sync and journal sync, or a pre-journal
 		// seed corpus). Recompute the verdict against the prefix forest —
 		// the same computation the original submission performed.
-		v := r.checkPrefix(n, i)
+		v := r.checkPrefix(n, n.ToBig(), i)
 		if err := r.journalVerdict(i, v); err != nil {
 			return err
 		}
@@ -426,28 +440,27 @@ func (r *Registry) foldBroken(i, j int, g *big.Int) {
 // the first m corpus keys: one remainder fold over the O(log m) spine
 // roots, one GCD, and — only on a hit — a remainder-tree descent to the
 // culprit leaves.
-func (r *Registry) checkPrefix(n *mpnat.Nat, m int) Verdict {
+func (r *Registry) checkPrefix(n *mpnat.Nat, nb *big.Int, m int) Verdict {
 	v := Verdict{Index: m, Kind: Clean, G: new(big.Int).SetInt64(1)}
 	if m == 0 {
 		return v
 	}
-	roots := rootsOf(m)
-	acc := mpnat.New(1)
-	var rem, tmp mpnat.Nat
+	r.rootsBuf = appendRootsOf(r.rootsBuf[:0], m)
+	roots := r.rootsBuf
+	acc := r.acc.SetUint64(1)
 	for _, root := range roots {
-		r.div.Mod(&rem, r.store.value(root), n)
-		if rem.IsZero() {
+		r.div.Mod(&r.remS, r.store.value(root), n)
+		if r.remS.IsZero() {
 			acc.SetUint64(0)
 			break
 		}
-		r.mul.Mul(&tmp, acc, &rem)
-		r.div.Mod(acc, &tmp, n)
+		r.mul.Mul(&r.tmpS, acc, &r.remS)
+		r.div.Mod(acc, &r.tmpS, n)
 		if acc.IsZero() {
 			break
 		}
 	}
-	nb := n.ToBig()
-	g := new(big.Int).GCD(nil, nil, nb, acc.ToBig())
+	g := new(big.Int).GCD(nil, nil, nb, acc.ToBigInto(&r.accBig))
 	if acc.IsZero() {
 		// n divides the product: gcd(n, 0) = n.
 		g.Set(nb)
@@ -457,9 +470,7 @@ func (r *Registry) checkPrefix(n *mpnat.Nat, m int) Verdict {
 		return v
 	}
 	// Hit: descend to the leaves that share content with n.
-	for _, root := range roots {
-		r.descend(root, n, nb, &v)
-	}
+	v.Partners = r.descendRoots(roots, n, nb)
 	sort.Slice(v.Partners, func(a, b int) bool { return v.Partners[a].Index < v.Partners[b].Index })
 	v.Kind = Shared
 	for _, p := range v.Partners {
@@ -471,27 +482,86 @@ func (r *Registry) checkPrefix(n *mpnat.Nat, m int) Verdict {
 	return v
 }
 
+// descentScratch is one worker's reusable state for a remainder-tree
+// descent: a division scratch, the node remainder, two staged big.Ints
+// for the per-node GCDs, and the partner accumulator. Owned by exactly
+// one pool worker per descent, so nothing in it needs locking.
+type descentScratch struct {
+	div      mpnat.DivScratch
+	rem      mpnat.Nat
+	remBig   big.Int
+	gcdBig   big.Int
+	partners []Partner
+}
+
+// descendRoots resolves a prefix hit to its culprit leaves. The spine
+// roots cover disjoint leaf spans — no two descents can ever race on a
+// node — so a multi-root forest fans the descents out across the
+// work-stealing pool with one scratch per worker. Partners are
+// concatenated in root order (spans ascend left to right) and sorted by
+// index by the caller, so the verdict is byte-identical at every worker
+// count. The spine-merge multiplications in appendLeaf stay serial:
+// each merge consumes the previous one's product, a carry chain with no
+// exploitable parallelism.
+func (r *Registry) descendRoots(roots []nodeKey, n *mpnat.Nat, nb *big.Int) []Partner {
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	for len(r.descents) < workers {
+		r.descents = append(r.descents, &descentScratch{})
+	}
+	if workers <= 1 {
+		ds := r.descents[0]
+		ds.partners = ds.partners[:0]
+		for _, root := range roots {
+			r.descend(ds, root, n, nb)
+		}
+		return append([]Partner(nil), ds.partners...)
+	}
+	perRoot := make([][]Partner, len(roots))
+	// context.Background: a descent is a short, bounded tree walk; the
+	// registry has no cancellation surface to thread through here. The
+	// error return is the context's, hence always nil.
+	_ = engine.Run(context.Background(), len(roots), engine.PoolOptions{Workers: workers, Metrics: r.cfg.Metrics}, func(i, w int) {
+		ds := r.descents[w]
+		ds.partners = ds.partners[:0]
+		r.descend(ds, roots[i], n, nb)
+		perRoot[i] = append([]Partner(nil), ds.partners...)
+	})
+	var out []Partner
+	for _, ps := range perRoot {
+		out = append(out, ps...)
+	}
+	return out
+}
+
 // descend prunes subtrees coprime with n and recurses into the rest;
 // gcd(n, subproduct mod n) = gcd(n, subproduct), so the pruning is
-// exact: every reported leaf really shares a factor.
-func (r *Registry) descend(k nodeKey, n *mpnat.Nat, nb *big.Int, v *Verdict) {
+// exact: every reported leaf really shares a factor. Partner factors
+// are copied out of the scratch on a hit, so nothing in a returned
+// Verdict aliases reusable state.
+func (r *Registry) descend(ds *descentScratch, k nodeKey, n *mpnat.Nat, nb *big.Int) {
 	if k.level == 0 {
 		j := k.index
 		if r.removed[j] {
 			return
 		}
-		g := new(big.Int).GCD(nil, nil, nb, r.corpus[j].ToBig())
+		g := ds.gcdBig.GCD(nil, nil, nb, r.corpus[j].ToBigInto(&ds.remBig))
 		if g.Cmp(one) > 0 {
-			v.Partners = append(v.Partners, Partner{Index: j, Factor: g, Dup: g.Cmp(nb) == 0 && r.corpus[j].Cmp(n) == 0})
+			f := new(big.Int).Set(g)
+			ds.partners = append(ds.partners, Partner{Index: j, Factor: f, Dup: f.Cmp(nb) == 0 && r.corpus[j].Cmp(n) == 0})
 		}
 		return
 	}
-	var rem mpnat.Nat
-	r.div.Mod(&rem, r.store.value(k), n)
-	g := new(big.Int).GCD(nil, nil, nb, rem.ToBig())
-	if rem.IsZero() || g.Cmp(one) > 0 {
-		r.descend(nodeKey{k.level - 1, 2 * k.index}, n, nb, v)
-		r.descend(nodeKey{k.level - 1, 2*k.index + 1}, n, nb, v)
+	ds.div.Mod(&ds.rem, r.store.value(k), n)
+	g := ds.gcdBig.GCD(nil, nil, nb, ds.rem.ToBigInto(&ds.remBig))
+	if ds.rem.IsZero() || g.Cmp(one) > 0 {
+		r.descend(ds, nodeKey{k.level - 1, 2 * k.index}, n, nb)
+		r.descend(ds, nodeKey{k.level - 1, 2*k.index + 1}, n, nb)
 	}
 }
 
@@ -598,7 +668,7 @@ func (r *Registry) submitLocked(n *big.Int) (Verdict, error) {
 	}
 
 	i := len(r.corpus)
-	v := r.checkPrefix(m, i)
+	v := r.checkPrefix(m, n, i)
 
 	// Durability order: corpus line first (the truth), then the forest,
 	// then the journal record. A crash between the first and the last

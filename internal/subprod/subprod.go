@@ -12,56 +12,29 @@
 package subprod
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"math/big"
-	"sync"
-	"sync/atomic"
 
+	"bulkgcd/internal/engine"
 	"bulkgcd/internal/mpnat"
+	"bulkgcd/internal/obs"
 )
 
 // ParallelEach runs fn(i, worker) for every i in [0, n) on up to workers
-// goroutines, handing items out one at a time through an atomic counter
-// (every item is a multi-precision operation, so counter contention is
-// negligible against the work it dispenses). With one worker or one item
-// it runs inline on the caller's goroutine. Workers check ctx before
-// claiming each item and stop cooperatively; the ctx error (if any) is
-// returned once all workers have drained.
+// goroutines over the shared work-stealing scheduler (engine.Run): the
+// index space is statically partitioned across per-worker deques and
+// rebalanced by steal-half, so a run of slow items (one huge tree node,
+// one dense tile) cannot strand the rest of the pool the way a static
+// split would. With one worker (or fewer) or one item it runs inline on
+// the caller's goroutine. Workers check ctx at item granularity and
+// stop cooperatively; the ctx error (if any) is returned once all
+// workers have drained.
 func ParallelEach(ctx context.Context, n, workers int, fn func(i, worker int)) error {
-	if workers > n {
-		workers = n
+	if workers < 1 {
+		workers = 1
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			fn(i, 0)
-		}
-		return ctx.Err()
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1) - 1)
-				if i >= n {
-					return
-				}
-				fn(i, w)
-			}
-		}(w)
-	}
-	wg.Wait()
-	return ctx.Err()
+	return engine.Run(ctx, n, engine.PoolOptions{Workers: workers}, fn)
 }
 
 // Tree holds the levels of a product tree: level 0 is the input slice,
@@ -135,6 +108,9 @@ type BuildOptions struct {
 	// OnNode, when non-nil, is called once per completed multiplication
 	// (possibly concurrently from several workers).
 	OnNode func()
+	// Metrics, when non-nil, instruments the per-level scheduler pools
+	// (engine_steals_total and friends).
+	Metrics *obs.Registry
 }
 
 // Mults returns the number of multiplications a tree over m leaves
@@ -166,8 +142,12 @@ func buildLevels[T any](ctx context.Context, leaves []T, opt BuildOptions, mul f
 		pairs := len(level) / 2
 		next := make([]T, (len(level)+1)/2)
 		src := level
+		workers := opt.Workers
+		if workers < 1 {
+			workers = 1
+		}
 		run := func() error {
-			return ParallelEach(ctx, pairs, opt.Workers, func(i, w int) {
+			return engine.Run(ctx, pairs, engine.PoolOptions{Workers: workers, Metrics: opt.Metrics}, func(i, w int) {
 				next[i] = mul(w, src[2*i], src[2*i+1])
 				if opt.OnNode != nil {
 					opt.OnNode()
@@ -252,135 +232,4 @@ func ProductNat(ms []*mpnat.Nat) *mpnat.Nat {
 // NatBytes returns the in-memory size the cache accounts for a Nat.
 func NatBytes(n *mpnat.Nat) int64 {
 	return int64(n.Len()) * 4
-}
-
-// CacheStats is a point-in-time accounting snapshot of a Cache.
-type CacheStats struct {
-	// Hits and Misses count Get calls served from (resp. absent from)
-	// the cache; Builds counts build invocations (>= Misses only when
-	// concurrent Gets race on the same key).
-	Hits, Misses, Builds int64
-	// Evictions counts entries dropped to stay under the budget.
-	Evictions int64
-	// Bytes is the current cached payload size; Entries the entry count.
-	Bytes   int64
-	Entries int
-}
-
-// KeyedCache is a byte-budgeted LRU cache of subproducts, generic over
-// the key type: the hybrid engine keys tile subproducts by tile index,
-// the key registry keys persistent tree nodes by (level, index) pairs.
-// It is safe for concurrent use. Values must be treated as read-only by
-// callers (they are shared across workers).
-//
-// A Get miss builds outside the lock, so two workers racing on the same
-// key may both build; the extra build is wasted work, never a
-// correctness issue (the first insert wins and both callers return
-// equal values).
-type KeyedCache[K comparable] struct {
-	mu      sync.Mutex
-	budget  int64 // <= 0 means unlimited
-	used    int64
-	order   *list.List // front = most recently used; values are *cacheEntry[K]
-	entries map[K]*list.Element
-
-	hits, misses, builds, evictions int64
-}
-
-type cacheEntry[K comparable] struct {
-	key K
-	val *mpnat.Nat
-}
-
-// Cache is the tile-index-keyed cache the hybrid engine uses.
-type Cache = KeyedCache[int]
-
-// NewCache returns a tile-index-keyed cache holding at most budget bytes
-// of subproduct payload (budget <= 0 means unlimited). A single value
-// larger than the whole budget is handed to the caller but never
-// retained.
-func NewCache(budget int64) *Cache { return NewKeyedCache[int](budget) }
-
-// NewKeyedCache is NewCache for an arbitrary comparable key type.
-func NewKeyedCache[K comparable](budget int64) *KeyedCache[K] {
-	return &KeyedCache[K]{budget: budget, order: list.New(), entries: map[K]*list.Element{}}
-}
-
-// Get returns the cached value for key, building and (budget permitting)
-// inserting it on a miss.
-func (c *KeyedCache[K]) Get(key K, build func() *mpnat.Nat) *mpnat.Nat {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		v := el.Value.(*cacheEntry[K]).val
-		c.hits++
-		c.mu.Unlock()
-		return v
-	}
-	c.misses++
-	c.builds++
-	c.mu.Unlock()
-
-	v := build()
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.insertLocked(key, v)
-}
-
-// Put inserts a value built elsewhere (budget permitting) and returns
-// the retained value: the already-cached one when a racing worker got
-// there first, v otherwise.
-func (c *KeyedCache[K]) Put(key K, v *mpnat.Nat) *mpnat.Nat {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.insertLocked(key, v)
-}
-
-// insertLocked adds v under key unless the key is already present, then
-// evicts from the LRU tail until the budget holds. Callers hold mu.
-func (c *KeyedCache[K]) insertLocked(key K, v *mpnat.Nat) *mpnat.Nat {
-	if el, ok := c.entries[key]; ok {
-		// A racing worker inserted first; its value is identical.
-		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry[K]).val
-	}
-	size := NatBytes(v)
-	if c.budget > 0 && size > c.budget {
-		return v // larger than the whole budget: use, don't retain
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry[K]{key: key, val: v})
-	c.used += size
-	for c.budget > 0 && c.used > c.budget && c.order.Len() > 1 {
-		back := c.order.Back()
-		e := back.Value.(*cacheEntry[K])
-		c.order.Remove(back)
-		delete(c.entries, e.key)
-		c.used -= NatBytes(e.val)
-		c.evictions++
-	}
-	return v
-}
-
-// Drop removes key from the cache if present (the registry invalidates
-// rebuilt nodes after a quarantine divides a leaf out of their products).
-func (c *KeyedCache[K]) Drop(key K) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		e := el.Value.(*cacheEntry[K])
-		c.order.Remove(el)
-		delete(c.entries, key)
-		c.used -= NatBytes(e.val)
-	}
-}
-
-// Stats returns a snapshot of the cache accounting.
-func (c *KeyedCache[K]) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Builds: c.builds,
-		Evictions: c.evictions, Bytes: c.used, Entries: c.order.Len(),
-	}
 }
